@@ -1,0 +1,96 @@
+// Package-level benchmarks: one testing.B benchmark per table and figure of
+// the paper's evaluation, each invoking the same regenerator the
+// chameleon-bench CLI uses, at a reduced scale suitable for `go test
+// -bench`. Full-scale runs: `go run ./cmd/chameleon-bench -experiment all`.
+package chameleondb
+
+import (
+	"fmt"
+	"testing"
+
+	"chameleondb/internal/bench"
+)
+
+// benchOpts is the reduced scale used under `go test -bench`.
+func benchOpts() bench.Options {
+	return bench.Options{Keys: 100_000, Ops: 100_000, Threads: 8, ValueSize: 8, Seed: 1}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		reports, err := e.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 || len(reports[0].Rows) == 0 {
+			b.Fatalf("experiment %q produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig1PmemWriteBandwidth(b *testing.B) { runExperiment(b, "fig1") }
+func BenchmarkFig2MultiLevelLatency(b *testing.B)  { runExperiment(b, "fig2") }
+func BenchmarkFig3FourMeasures(b *testing.B)       { runExperiment(b, "fig3") }
+func BenchmarkFig10PutThroughput(b *testing.B)     { runExperiment(b, "fig10") }
+func BenchmarkFig11Tab2PutLatency(b *testing.B)    { runExperiment(b, "fig11tab2") }
+func BenchmarkFig12GetThroughput(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkFig13Tab3GetLatency(b *testing.B)    { runExperiment(b, "fig13tab3") }
+func BenchmarkTab4Overall(b *testing.B)            { runExperiment(b, "tab4") }
+func BenchmarkFig14Tab5YCSB(b *testing.B)          { runExperiment(b, "fig14tab5") }
+func BenchmarkFig15CompactionModes(b *testing.B)   { runExperiment(b, "fig15") }
+func BenchmarkFig16GetProtectBursts(b *testing.B)  { runExperiment(b, "fig16") }
+func BenchmarkFig17VsNoveLSMMatrixKV(b *testing.B) { runExperiment(b, "fig17") }
+func BenchmarkAblationDesignChoices(b *testing.B)  { runExperiment(b, "ablations") }
+func BenchmarkAblationGPMDumpBudget(b *testing.B)  { runExperiment(b, "gpmdumps") }
+
+// BenchmarkPutThroughputVirtual measures the core store's virtual put
+// throughput directly and reports it as a custom metric.
+func BenchmarkPutThroughputVirtual(b *testing.B) {
+	db, err := Open(DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%09d", i)), []byte("12345678")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if ns := s.VirtualNanos(); ns > 0 {
+		b.ReportMetric(float64(b.N)/float64(ns)*1000, "virtual-Mops/s")
+	}
+}
+
+// BenchmarkGetLatencyVirtual reports the virtual per-get cost on a loaded
+// store.
+func BenchmarkGetLatencyVirtual(b *testing.B) {
+	db, err := Open(DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+	const keys = 200_000
+	for i := 0; i < keys; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%09d", i)), []byte("12345678")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start := s.VirtualNanos()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.Get([]byte(fmt.Sprintf("key-%09d", i%keys))); err != nil || !ok {
+			b.Fatal("missing key")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.VirtualNanos()-start)/float64(b.N), "virtual-ns/get")
+}

@@ -1,0 +1,57 @@
+// Command chameleon-ycsb runs the YCSB workloads of the paper's Table 5
+// against any of the stores in the evaluation and prints virtual
+// throughput — a focused version of the fig14 experiment for exploring a
+// single store/workload pair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chameleondb/internal/bench"
+	"chameleondb/internal/ycsb"
+)
+
+func main() {
+	var (
+		storeName = flag.String("store", "ChameleonDB", "store: ChameleonDB, Pmem-LSM-PinK, Pmem-LSM-NF, Pmem-LSM-F, Pmem-Hash, Dram-Hash")
+		workload  = flag.String("workload", "all", "workload: YCSB_LOAD, YCSB_A, YCSB_B, YCSB_C, YCSB_D, YCSB_F, or all")
+		keys      = flag.Int64("keys", 1_000_000, "keys to load")
+		ops       = flag.Int64("ops", 1_000_000, "operations per workload")
+		threads   = flag.Int("threads", 16, "worker threads")
+	)
+	flag.Parse()
+
+	var kind bench.StoreKind
+	found := false
+	for _, k := range bench.ComparisonSet {
+		if strings.EqualFold(k.String(), *storeName) {
+			kind = k
+			found = true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown store %q\n", *storeName)
+		os.Exit(1)
+	}
+
+	opt := bench.Options{Keys: *keys, Ops: *ops, Threads: *threads, ValueSize: 8, Seed: 1}
+	var wls []ycsb.Workload
+	if *workload == "all" {
+		wls = ycsb.Workloads
+	} else {
+		wls = []ycsb.Workload{ycsb.Workload(*workload)}
+	}
+	results, err := bench.RunYCSB(kind, opt, wls)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s, %d keys, %d threads\n", kind, *keys, *threads)
+	for _, r := range results {
+		fmt.Printf("  %-10s %-32s %8.2f Mops/s virtual\n", r.Workload, ycsb.Mix(r.Workload), r.Mops)
+	}
+}

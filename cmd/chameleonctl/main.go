@@ -1,0 +1,150 @@
+// Command chameleonctl is an interactive shell over a ChameleonDB instance:
+// put/get/delete keys, fill with synthetic data, crash and recover the
+// simulated device, toggle Write-Intensive Mode, and inspect engine
+// statistics. Useful for exploring the store's behaviour by hand.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"chameleondb"
+)
+
+const help = `commands:
+  put <key> <value>     insert or update a key
+  get <key>             read a key
+  del <key>             delete a key
+  fill <n>              insert n synthetic keys (fill:<seq>)
+  flush                 make acknowledged writes durable
+  crash                 simulate power failure
+  recover               recover after crash (prints restart time)
+  wim on|off            toggle Write-Intensive Mode
+  stats                 engine statistics
+  help                  this text
+  quit                  exit`
+
+func main() {
+	var (
+		shards = flag.Int("shards", 64, "index shards (power of two)")
+	)
+	flag.Parse()
+
+	opts := chameleondb.DefaultOptions()
+	opts.Shards = *shards
+	db, err := chameleondb.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	fmt.Printf("%s ready — 'help' for commands\n", db)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch cmd := fields[0]; cmd {
+		case "put":
+			if len(fields) != 3 {
+				fmt.Println("usage: put <key> <value>")
+				break
+			}
+			if err := db.Put([]byte(fields[1]), []byte(fields[2])); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				break
+			}
+			v, ok, err := db.Get([]byte(fields[1]))
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case !ok:
+				fmt.Println("(not found)")
+			default:
+				fmt.Printf("%q\n", v)
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				break
+			}
+			if err := db.Delete([]byte(fields[1])); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "fill":
+			if len(fields) != 2 {
+				fmt.Println("usage: fill <n>")
+				break
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				fmt.Println("usage: fill <n>")
+				break
+			}
+			s := db.NewSession()
+			for i := 0; i < n; i++ {
+				if err := s.Put([]byte(fmt.Sprintf("fill:%08d", i)), []byte("synthetic")); err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+			}
+			fmt.Printf("inserted %d keys in %.2f ms virtual\n", n, float64(s.VirtualNanos())/1e6)
+		case "flush":
+			if err := db.Flush(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "crash":
+			db.Crash()
+			fmt.Println("crashed: volatile state lost; run 'recover'")
+		case "recover":
+			ready, full, err := db.Recover()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("recovered: ready in %.2f ms virtual (full %.2f ms)\n",
+					float64(ready)/1e6, float64(full)/1e6)
+			}
+		case "wim":
+			if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+				fmt.Println("usage: wim on|off")
+				break
+			}
+			db.SetWriteIntensive(fields[1] == "on")
+			fmt.Println("ok")
+		case "stats":
+			st := db.Stats()
+			fmt.Printf("puts=%d flushes=%d spills=%d upperCompactions=%d lastCompactions=%d dumps=%d\n",
+				st.Puts, st.Flushes, st.Spills, st.UpperCompactions, st.LastCompactions, st.Dumps)
+			fmt.Printf("gets: memtable=%d abi=%d last=%d miss=%d\n",
+				st.GetMemTable, st.GetABI, st.GetLast, st.GetMiss)
+			fmt.Printf("media: written=%.1fMB read=%.1fMB writeAmp=%.2f dram=%.1fMB\n",
+				float64(st.MediaBytesWritten)/(1<<20), float64(st.MediaBytesRead)/(1<<20),
+				st.WriteAmplification(), float64(st.DRAMFootprintBytes)/(1<<20))
+		case "help":
+			fmt.Println(help)
+		case "quit", "exit":
+			return
+		default:
+			fmt.Printf("unknown command %q — 'help' for commands\n", cmd)
+		}
+		fmt.Print("> ")
+	}
+}

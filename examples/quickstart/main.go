@@ -1,0 +1,69 @@
+// Quickstart: open a ChameleonDB store, write and read a few keys, and
+// inspect what the engine did underneath (flushes, compactions, media
+// traffic on the simulated Optane device).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chameleondb"
+)
+
+func main() {
+	db, err := chameleondb.Open(chameleondb.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Basic operations.
+	if err := db.Put([]byte("user:1"), []byte("ada")); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Put([]byte("user:2"), []byte("grace")); err != nil {
+		log.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("user:1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user:1 = %q (found=%v)\n", v, ok)
+
+	if err := db.Delete([]byte("user:2")); err != nil {
+		log.Fatal(err)
+	}
+	if _, ok, _ := db.Get([]byte("user:2")); !ok {
+		fmt.Println("user:2 deleted")
+	}
+
+	// Write enough to exercise MemTable flushes and compactions.
+	for i := 0; i < 200_000; i++ {
+		key := fmt.Sprintf("item:%08d", i)
+		val := fmt.Sprintf("value-%d", i)
+		if err := db.Put([]byte(key), []byte(val)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 200_000; i += 20_000 {
+		key := fmt.Sprintf("item:%08d", i)
+		v, ok, err := db.Get([]byte(key))
+		if err != nil || !ok {
+			log.Fatalf("lost %s: %v", key, err)
+		}
+		fmt.Printf("%s = %s\n", key, v)
+	}
+
+	st := db.Stats()
+	fmt.Printf("\nengine activity:\n")
+	fmt.Printf("  puts                %d\n", st.Puts)
+	fmt.Printf("  memtable flushes    %d\n", st.Flushes)
+	fmt.Printf("  upper compactions   %d\n", st.UpperCompactions)
+	fmt.Printf("  last-level merges   %d\n", st.LastCompactions)
+	fmt.Printf("  gets from memtable  %d\n", st.GetMemTable)
+	fmt.Printf("  gets from ABI       %d\n", st.GetABI)
+	fmt.Printf("  gets from last lvl  %d\n", st.GetLast)
+	fmt.Printf("  media written       %.1f MB (write amp %.2f)\n",
+		float64(st.MediaBytesWritten)/(1<<20), st.WriteAmplification())
+	fmt.Printf("  DRAM footprint      %.1f MB\n", float64(st.DRAMFootprintBytes)/(1<<20))
+}

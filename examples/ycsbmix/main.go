@@ -1,0 +1,95 @@
+// Ycsbmix: run YCSB-style mixed workloads against the public API with one
+// session per worker, the way a service embedding the store would, and
+// report virtual throughput and where reads were served from (MemTable /
+// ABI / last level — the paper's three-probe read path).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"chameleondb"
+)
+
+const (
+	keys    = 400_000
+	opsEach = 50_000
+	workers = 8
+)
+
+func workload(db *chameleondb.DB, name string, readPct int) {
+	var wg sync.WaitGroup
+	maxNs := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.NewSession()
+			rng := rand.New(rand.NewSource(int64(w) + 42))
+			for i := 0; i < opsEach; i++ {
+				k := []byte(fmt.Sprintf("key:%08d", rng.Intn(keys)))
+				if rng.Intn(100) < readPct {
+					if _, _, err := s.Get(k); err != nil {
+						log.Fatal(err)
+					}
+				} else {
+					if err := s.Put(k, []byte("updated-payload")); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			maxNs[w] = s.VirtualNanos()
+		}(w)
+	}
+	wg.Wait()
+	var span int64
+	for _, n := range maxNs {
+		if n > span {
+			span = n
+		}
+	}
+	total := float64(workers * opsEach)
+	fmt.Printf("  %-22s %6.2f Mops/s virtual\n", name, total/float64(span)*1000)
+}
+
+func main() {
+	db, err := chameleondb.Open(chameleondb.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Printf("loading %d keys with %d workers...\n", keys, workers)
+	var wg sync.WaitGroup
+	per := keys / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.NewSession()
+			for i := w * per; i < (w+1)*per; i++ {
+				if err := s.Put([]byte(fmt.Sprintf("key:%08d", i)), []byte("initial-payload")); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Println("running mixed workloads:")
+	workload(db, "YCSB-A (50% reads)", 50)
+	workload(db, "YCSB-B (95% reads)", 95)
+	workload(db, "YCSB-C (100% reads)", 100)
+
+	st := db.Stats()
+	served := st.GetMemTable + st.GetABI + st.GetLast
+	fmt.Printf("\nread path (of %d hits): memtable %.1f%%, ABI %.1f%%, last level %.1f%%\n",
+		served,
+		100*float64(st.GetMemTable)/float64(served),
+		100*float64(st.GetABI)/float64(served),
+		100*float64(st.GetLast)/float64(served))
+	fmt.Printf("compactions: %d upper, %d last-level; write amp %.2f\n",
+		st.UpperCompactions, st.LastCompactions, st.WriteAmplification())
+}

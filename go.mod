@@ -1,0 +1,3 @@
+module chameleondb
+
+go 1.22

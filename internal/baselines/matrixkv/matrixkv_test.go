@@ -1,0 +1,104 @@
+package matrixkv
+
+import (
+	"fmt"
+	"testing"
+
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/storetest"
+)
+
+func factory(t *testing.T) kvstore.Store {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MemTableBytes = 16 << 10
+	cfg.ArenaBytes = 512 << 20
+	cfg.WALBytes = 64 << 20
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, "MatrixKV", factory, storetest.Options{Keys: 4000, SupportsRecovery: true})
+}
+
+func TestMatrixRowsAccumulate(t *testing.T) {
+	s := factory(t).(*Store)
+	se := s.NewSession(simclock.New(0))
+	for i := 0; i < 2000; i++ {
+		se.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("0123456789abcdef"))
+	}
+	rows := 0
+	for _, st := range s.stripes {
+		rows += len(st.rows)
+	}
+	if rows == 0 && s.Compactions() == 0 {
+		t.Fatal("no matrix rows and no compactions: flushes never happened")
+	}
+	for i := 0; i < 2000; i += 13 {
+		got, ok, err := se.Get([]byte(fmt.Sprintf("key-%08d", i)))
+		if err != nil || !ok || string(got) != "0123456789abcdef" {
+			t.Fatalf("key %d lost: %q %v %v", i, got, ok, err)
+		}
+	}
+}
+
+func TestRowTableMetadataInflatesWrites(t *testing.T) {
+	// Section 3.7: RowTable metadata adds ~45% write traffic at 64 B values.
+	run := func(meta int) int64 {
+		cfg := DefaultConfig()
+		cfg.MemTableBytes = 16 << 10
+		cfg.ArenaBytes = 512 << 20
+		cfg.WALBytes = 64 << 20
+		cfg.MetaBytesPerEntry = meta
+		s, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se := s.NewSession(simclock.New(0))
+		for i := 0; i < 5000; i++ {
+			se.Put([]byte(fmt.Sprintf("key-%08d", i)), make([]byte, 64))
+		}
+		return s.DeviceStats().MediaBytesWritten
+	}
+	withMeta, without := run(36), run(0)
+	if withMeta <= without {
+		t.Fatalf("metadata bytes not reflected in media writes: %d vs %d", withMeta, without)
+	}
+}
+
+func TestWALReplayAfterCrash(t *testing.T) {
+	s := factory(t).(*Store)
+	se := s.NewSession(simclock.New(0))
+	for i := 0; i < 3000; i++ {
+		se.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("v"))
+	}
+	se.Flush()
+	s.Crash()
+	if err := s.Recover(simclock.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	se2 := s.NewSession(simclock.New(0))
+	for i := 0; i < 3000; i += 97 {
+		if _, ok, _ := se2.Get([]byte(fmt.Sprintf("key-%08d", i))); !ok {
+			t.Fatalf("key %d lost after WAL replay", i)
+		}
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stripes = 6
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("bad stripes accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxRows = 1
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("bad rows accepted")
+	}
+}

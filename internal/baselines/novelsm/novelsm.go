@@ -1,0 +1,441 @@
+// Package novelsm implements the NoveLSM baseline (Kannan et al., ATC'18)
+// as configured in the paper's Section 3.7: an LSM-tree whose mutable
+// MemTable is a skip list in persistent memory (inserts are small in-place
+// Pmem writes with heavy 256 B read-modify-write amplification), with all
+// levels placed in the Pmem for the comparison, leveled compaction, bloom
+// filters at every level, and no key/value separation — compactions rewrite
+// values, which multiplies media writes (Figure 17(b)).
+package novelsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"chameleondb/internal/blockcache"
+	"chameleondb/internal/device"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/pmem"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/skiplist"
+	"chameleondb/internal/sstable"
+	"chameleondb/internal/xhash"
+)
+
+// Config sizes the store.
+type Config struct {
+	// Stripes is the number of independent LSM instances (the paper runs
+	// one compaction thread; 1 reproduces that).
+	Stripes int
+	// MemTableBytes triggers a flush (the paper configures 128 MB total).
+	MemTableBytes int64
+	// L0Trigger is the number of L0 runs that triggers a compaction.
+	L0Trigger int
+	// Ratio is the leveled size ratio (LevelDB's 10).
+	Ratio int
+	// MaxLevels bounds the level count.
+	MaxLevels int
+	// ArenaBytes sizes the pmem arena.
+	ArenaBytes int64
+	// CacheBytes sizes the in-DRAM data cache (the paper grants NoveLSM
+	// 8 GB in Section 3.7; 0 disables it).
+	CacheBytes int64
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Stripes:       1,
+		MemTableBytes: 1 << 20,
+		L0Trigger:     4,
+		Ratio:         10,
+		MaxLevels:     5,
+		ArenaBytes:    2 << 30,
+	}
+}
+
+type stripe struct {
+	mu sync.Mutex
+	tl simclock.Timeline
+
+	mem      *skiplist.List
+	memBytes int64
+	l0       []*sstable.Run // oldest first
+	levels   []*sstable.Run // levels[k] is L(k+1): one run each, leveled
+	cache    *blockcache.Cache
+}
+
+// Store is a NoveLSM instance.
+type Store struct {
+	cfg   Config
+	dev   *device.Device
+	arena *pmem.Arena
+	slab  *pmem.Slab
+
+	stripes []*stripe
+
+	mu      sync.Mutex
+	crashed bool
+
+	compactions int64
+}
+
+var _ kvstore.Store = (*Store)(nil)
+
+// ErrCrashed is returned between Crash and Recover.
+var ErrCrashed = errors.New("novelsm: store has crashed; call Recover first")
+
+// Open creates a NoveLSM store on a fresh device.
+func Open(cfg Config) (*Store, error) {
+	return OpenOn(cfg, device.New(device.OptanePmem))
+}
+
+// OpenOn creates a NoveLSM store on an existing device.
+func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
+	if cfg.Stripes <= 0 || cfg.Stripes&(cfg.Stripes-1) != 0 {
+		return nil, errors.New("novelsm: Stripes must be a power of two")
+	}
+	if cfg.MaxLevels < 2 || cfg.Ratio < 2 || cfg.L0Trigger < 2 || cfg.MemTableBytes < 1024 {
+		return nil, errors.New("novelsm: invalid geometry")
+	}
+	arena := pmem.NewArena(dev, cfg.ArenaBytes)
+	s := &Store{cfg: cfg, dev: dev, arena: arena, slab: pmem.NewSlab(arena, 1<<20)}
+	s.stripes = make([]*stripe, cfg.Stripes)
+	for i := range s.stripes {
+		l, err := skiplist.New(arena, s.slab, int64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		s.stripes[i] = &stripe{
+			mem:    l,
+			levels: make([]*sstable.Run, cfg.MaxLevels),
+			cache:  blockcache.New(cfg.CacheBytes / int64(cfg.Stripes)),
+		}
+	}
+	return s, nil
+}
+
+// Name implements kvstore.Store.
+func (s *Store) Name() string { return "NoveLSM" }
+
+// DeviceStats implements kvstore.Store.
+func (s *Store) DeviceStats() device.Stats { return s.dev.Stats() }
+
+// Device exposes the simulated device (the bench harness tunes its
+// contention model per thread count).
+func (s *Store) Device() *device.Device { return s.dev }
+
+// Compactions reports how many compactions have run.
+func (s *Store) Compactions() int64 { return s.compactions }
+
+// DRAMFootprint implements kvstore.Store: NoveLSM's structures are in Pmem;
+// only the bloom filters are volatile.
+func (s *Store) DRAMFootprint() int64 {
+	var total int64
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for _, r := range st.l0 {
+			total += r.DRAMFootprint()
+		}
+		for _, r := range st.levels {
+			if r != nil {
+				total += r.DRAMFootprint()
+			}
+		}
+		total += st.cache.UsedBytes()
+		st.mu.Unlock()
+	}
+	return total
+}
+
+func (s *Store) stripeFor(h uint64) *stripe {
+	return s.stripes[(h>>8)&uint64(len(s.stripes)-1)]
+}
+
+// Crash implements kvstore.Store. NoveLSM's design point is that everything
+// — including the mutable MemTable — is already persistent, so nothing
+// volatile is lost except the bloom filters.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	s.crashed = true
+	s.mu.Unlock()
+	s.arena.Crash()
+	s.dev.ResetTimelines()
+	for _, st := range s.stripes {
+		st.tl.Reset()
+		st.cache.Reset()
+	}
+}
+
+// Recover implements kvstore.Store: reattach the persistent structures and
+// rebuild the volatile filters.
+func (s *Store) Recover(c *simclock.Clock) error {
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for _, r := range st.l0 {
+			r.ChargeScan(c)
+		}
+		for _, r := range st.levels {
+			if r != nil {
+				r.ChargeScan(c)
+			}
+		}
+		st.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.crashed = false
+	s.mu.Unlock()
+	return nil
+}
+
+// Close implements kvstore.Store.
+func (s *Store) Close() error { return nil }
+
+func (s *Store) isCrashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// payload layout in the slab: [2 B keyLen][2 B flags][4 B valLen][key][value]
+const payloadHeader = 8
+
+func (s *Store) writePayload(c *simclock.Clock, key, value []byte, tomb bool) (int64, error) {
+	sz := int64(payloadHeader+len(key)+len(value)+7) &^ 7
+	off, err := s.slab.Alloc(sz)
+	if err != nil {
+		return 0, err
+	}
+	buf := s.arena.Bytes(off, sz)
+	buf[0], buf[1] = byte(len(key)), byte(len(key)>>8)
+	if tomb {
+		buf[2] = 1
+	}
+	buf[4], buf[5], buf[6], buf[7] = byte(len(value)), byte(len(value)>>8), byte(len(value)>>16), byte(len(value)>>24)
+	copy(buf[payloadHeader:], key)
+	copy(buf[payloadHeader+len(key):], value)
+	// An unaligned small persisted write: the RMW-amplified access pattern
+	// of building a mutable structure directly in the Pmem.
+	s.arena.Persist(c, off, sz)
+	return off, nil
+}
+
+func (s *Store) readPayload(c *simclock.Clock, off int64) (key, value []byte, tomb bool) {
+	hdr := s.arena.Bytes(off, payloadHeader)
+	keyLen := int(hdr[0]) | int(hdr[1])<<8
+	tomb = hdr[2]&1 != 0
+	valLen := int(hdr[4]) | int(hdr[5])<<8 | int(hdr[6])<<16 | int(hdr[7])<<24
+	sz := int64(payloadHeader+keyLen+valLen+7) &^ 7
+	buf := s.arena.ReadRandom(c, off, sz)
+	return buf[payloadHeader : payloadHeader+keyLen], buf[payloadHeader+keyLen : payloadHeader+keyLen+valLen], tomb
+}
+
+// flushLocked turns the MemTable into an L0 run and cascades compactions.
+func (s *Store) flushLocked(c *simclock.Clock, st *stripe) error {
+	if st.mem.Len() == 0 {
+		return nil
+	}
+	entries := make([]sstable.Entry, 0, st.mem.Len())
+	st.mem.Iterate(func(h, ref uint64) bool {
+		key, val, tomb := s.readPayloadVolatile(ref)
+		entries = append(entries, sstable.Entry{Hash: h, Key: key, Value: val, Tombstone: tomb})
+		return true
+	})
+	// Reading the memtable out of Pmem for the flush.
+	s.dev.ReadSeq(c, 0, st.memBytes)
+	run, err := sstable.Build(c, s.arena, entries, sstable.BuildOptions{WithFilter: true})
+	if err != nil {
+		return err
+	}
+	st.l0 = append(st.l0, run)
+	st.mem.Reset(c)
+	st.memBytes = 0
+	if len(st.l0) >= s.cfg.L0Trigger {
+		return s.compactLocked(c, st)
+	}
+	return nil
+}
+
+func (s *Store) readPayloadVolatile(ref uint64) (key, value []byte, tomb bool) {
+	off := int64(ref)
+	hdr := s.arena.Bytes(off, payloadHeader)
+	keyLen := int(hdr[0]) | int(hdr[1])<<8
+	tomb = hdr[2]&1 != 0
+	valLen := int(hdr[4]) | int(hdr[5])<<8 | int(hdr[6])<<16 | int(hdr[7])<<24
+	buf := s.arena.Bytes(off, int64(payloadHeader+keyLen+valLen))
+	return buf[payloadHeader : payloadHeader+keyLen], buf[payloadHeader+keyLen:], tomb
+}
+
+// compactLocked runs LevelDB-style leveled compaction: L0's runs merge with
+// L1 into a new L1; an oversized L1 merges with L2; and so on. Every merge
+// reads and rewrites whole runs including their values — the write
+// amplification the paper measures with ipmwatch in Figure 17(b).
+func (s *Store) compactLocked(c *simclock.Clock, st *stripe) error {
+	s.compactions++
+	// L0 (+ L1) -> new L1, newest first: L0 runs from newest to oldest,
+	// then the old L1.
+	inputs := make([]*sstable.Run, 0, len(st.l0)+1)
+	for i := len(st.l0) - 1; i >= 0; i-- {
+		inputs = append(inputs, st.l0[i])
+	}
+	if st.levels[0] != nil {
+		inputs = append(inputs, st.levels[0])
+	}
+	lastLevel := s.cfg.MaxLevels - 1
+	merged, err := sstable.Merge(c, s.arena, inputs, sstable.BuildOptions{WithFilter: true}, lastLevel == 0)
+	if err != nil {
+		return err
+	}
+	for _, r := range inputs {
+		r.Release()
+	}
+	st.l0 = nil
+	st.levels[0] = merged
+
+	// Cascade down while a level exceeds its capacity.
+	levelCap := s.cfg.MemTableBytes * int64(s.cfg.L0Trigger)
+	for lvl := 0; lvl < s.cfg.MaxLevels-1; lvl++ {
+		levelCap *= int64(s.cfg.Ratio)
+		r := st.levels[lvl]
+		if r == nil || r.SizeBytes() <= levelCap {
+			break
+		}
+		inputs := []*sstable.Run{r}
+		if st.levels[lvl+1] != nil {
+			inputs = append(inputs, st.levels[lvl+1])
+		}
+		drop := lvl+1 == s.cfg.MaxLevels-1
+		merged, err := sstable.Merge(c, s.arena, inputs, sstable.BuildOptions{WithFilter: true}, drop)
+		if err != nil {
+			return err
+		}
+		for _, in := range inputs {
+			in.Release()
+		}
+		st.levels[lvl] = nil
+		st.levels[lvl+1] = merged
+		s.compactions++
+	}
+	return nil
+}
+
+// Session is a per-worker handle.
+type Session struct {
+	store *Store
+	clock *simclock.Clock
+}
+
+var _ kvstore.Session = (*Session)(nil)
+
+// NewSession implements kvstore.Store.
+func (s *Store) NewSession(c *simclock.Clock) kvstore.Session {
+	return &Session{store: s, clock: c}
+}
+
+// Clock implements kvstore.Session.
+func (se *Session) Clock() *simclock.Clock { return se.clock }
+
+func (se *Session) write(key, value []byte, tomb bool) error {
+	if se.store.isCrashed() {
+		return ErrCrashed
+	}
+	c := se.clock
+	c.Advance(device.CostHash64)
+	h := xhash.Sum64(key)
+	st := se.store.stripeFor(h)
+	st.mu.Lock()
+	opStart := c.Now()
+	off, err := se.store.writePayload(c, key, value, tomb)
+	if err == nil {
+		st.cache.Invalidate(h)
+		err = st.mem.Insert(c, h, uint64(off))
+	}
+	if err == nil {
+		st.memBytes += int64(payloadHeader + len(key) + len(value))
+		if st.memBytes >= se.store.cfg.MemTableBytes {
+			err = se.store.flushLocked(c, st)
+		}
+	}
+	dur := c.Now() - opStart
+	st.mu.Unlock()
+	c.AdvanceTo(st.tl.Reserve(opStart, dur))
+	return err
+}
+
+// Put implements kvstore.Session: a skip-list insert directly in the Pmem.
+func (se *Session) Put(key, value []byte) error { return se.write(key, value, false) }
+
+// Delete implements kvstore.Session.
+func (se *Session) Delete(key []byte) error { return se.write(key, nil, true) }
+
+// Get implements kvstore.Session: the in-Pmem MemTable (random Pmem reads),
+// then L0 runs newest-first, then the levels — filters, binary searches,
+// and block reads all the way down (Section 3.7).
+func (se *Session) Get(key []byte) ([]byte, bool, error) {
+	if se.store.isCrashed() {
+		return nil, false, ErrCrashed
+	}
+	c := se.clock
+	c.Advance(device.CostHash64)
+	h := xhash.Sum64(key)
+	st := se.store.stripeFor(h)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	opStart := c.Now()
+	// Deferred functions run LIFO: this reservation executes before the
+	// unlock above, covering the whole locked section.
+	defer func() {
+		c.AdvanceTo(st.tl.Reserve(opStart, c.Now()-opStart))
+	}()
+
+	if v, ok := st.cache.Get(c, h); ok {
+		return append([]byte(nil), v...), true, nil
+	}
+	if ref, ok := st.mem.Get(c, h); ok {
+		k, v, tomb := se.store.readPayload(c, int64(ref))
+		if !bytes.Equal(k, key) || tomb {
+			return nil, false, nil
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	check := func(r *sstable.Run) ([]byte, bool, bool) {
+		k, v, tomb, ok := r.Get(c, h)
+		if !ok {
+			return nil, false, false
+		}
+		if tomb || !bytes.Equal(k, key) {
+			return nil, false, true
+		}
+		st.cache.Put(h, v)
+		return append([]byte(nil), v...), true, true
+	}
+	for i := len(st.l0) - 1; i >= 0; i-- {
+		if v, found, done := check(st.l0[i]); done {
+			return v, found, nil
+		}
+	}
+	for _, r := range st.levels {
+		if r == nil {
+			continue
+		}
+		if v, found, done := check(r); done {
+			return v, found, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Flush implements kvstore.Session: NoveLSM persists every put in place, so
+// there is nothing buffered.
+func (se *Session) Flush() error {
+	if se.store.isCrashed() {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (s *Store) String() string {
+	return fmt.Sprintf("NoveLSM(stripes=%d, memtable=%dB)", s.cfg.Stripes, s.cfg.MemTableBytes)
+}

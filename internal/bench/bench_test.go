@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyOpts() Options {
+	return Options{Keys: 40_000, Ops: 40_000, Threads: 4, ValueSize: 8, Seed: 1}
+}
+
+// TestAllExperimentsRun executes every registered experiment at tiny scale:
+// each must produce non-empty, well-formed reports.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			reports, err := e.Run(tinyOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reports) == 0 {
+				t.Fatal("no reports")
+			}
+			for _, r := range reports {
+				if len(r.Columns) == 0 || len(r.Rows) == 0 {
+					t.Fatalf("report %s is empty", r.ID)
+				}
+				for _, row := range r.Rows {
+					if len(row) != len(r.Columns) {
+						t.Fatalf("report %s: row %v has %d cells for %d columns", r.ID, row, len(row), len(r.Columns))
+					}
+				}
+				var sb strings.Builder
+				r.Print(&sb)
+				if !strings.Contains(sb.String(), r.ID) {
+					t.Fatalf("report rendering missing ID: %q", sb.String()[:80])
+				}
+			}
+		})
+	}
+}
+
+func TestLookupAndRegistry(t *testing.T) {
+	if _, ok := Lookup("tab4"); !ok {
+		t.Fatal("tab4 not registered")
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("bogus experiment found")
+	}
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Title == "" {
+			t.Fatalf("experiment %s has no title", e.ID)
+		}
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig10", "fig11tab2", "fig12", "fig13tab3", "tab4", "fig14tab5", "fig15", "fig16", "fig17", "ablations", "gpmdumps"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s missing from registry", want)
+		}
+	}
+}
+
+func TestStoreKinds(t *testing.T) {
+	for _, k := range ComparisonSet {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		s, err := OpenStore(k, tinyOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if s.Name() == "" {
+			t.Fatalf("%s store has no name", k)
+		}
+		s.Close()
+	}
+	if _, err := OpenStore(StoreKind(99), tinyOpts()); err == nil {
+		t.Fatal("bogus store kind accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	got := sweep(16)
+	want := []int{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("sweep(16) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep(16) = %v", got)
+		}
+	}
+	got = sweep(6)
+	if got[len(got)-1] != 6 {
+		t.Fatalf("sweep(6) = %v, must end at 6", got)
+	}
+}
+
+func TestWindowedP99(t *testing.T) {
+	var samples []sample
+	for i := int64(0); i < 1000; i++ {
+		samples = append(samples, sample{at: i, lat: 100})
+	}
+	samples[550].lat = 9999 // spike lands in window 5 (at 550/1001*10)
+	p := windowedP99(samples, 1000, 10)
+	if len(p) != 10 {
+		t.Fatalf("got %d windows", len(p))
+	}
+	if p[5] != 9999 {
+		t.Fatalf("spike window p99 = %d", p[5])
+	}
+	if p[0] != 100 {
+		t.Fatalf("quiet window p99 = %d", p[0])
+	}
+	if windowedP99(nil, 0, 4) != nil {
+		t.Fatal("empty samples should give nil")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	d := DefaultOptions()
+	if o != d {
+		t.Fatalf("withDefaults() = %+v, want %+v", o, d)
+	}
+	o = Options{Keys: 5}.withDefaults()
+	if o.Keys != 5 || o.Threads != d.Threads {
+		t.Fatalf("partial defaults broken: %+v", o)
+	}
+}

@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"chameleondb/internal/histogram"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/ycsb"
+)
+
+func init() {
+	register("fig10", "Put throughput vs thread count", runFig10)
+	register("fig11tab2", "Put latency CDF and tail latencies", runFig11Tab2)
+	register("fig12", "Get throughput vs thread count", runFig12)
+	register("fig13tab3", "Get latency CDF and tail latencies", runFig13Tab3)
+	register("tab4", "Overall comparison: throughput, DRAM footprint, restart time", runTab4)
+	register("fig3", "Four-measure comparison (write amp, read latency, DRAM, recovery)", runFig3)
+}
+
+// loadMeasured loads the store while recording per-put latencies, returning
+// the makespan.
+func loadMeasured(s kvstore.Store, opt Options, threads int, hist *histogram.Histogram) (int64, error) {
+	setConcurrency(s, threads)
+	val := make([]byte, opt.ValueSize)
+	per := opt.Keys / int64(threads)
+	g, err := workers(s, threads, 0, func(w int, se kvstore.Session) stepper {
+		gen := ycsb.NewGenerator(ycsb.Load, 0, w, threads, opt.Seed)
+		n := per
+		if w == threads-1 {
+			n = opt.Keys - per*int64(threads-1)
+		}
+		c := se.Clock()
+		return countingStepper(n, func(i int64) error {
+			t0 := c.Now()
+			if err := se.Put(gen.Next().Key, val); err != nil {
+				return err
+			}
+			if hist != nil {
+				hist.Record(c.Now() - t0)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return g.Makespan(), nil
+}
+
+// getPhase runs `ops` uniform random gets over the loaded keyspace with the
+// given thread count, starting all clocks at `start` (the load frontier), and
+// returns the phase makespan.
+func getPhase(s kvstore.Store, opt Options, threads int, ops int64, start int64, hist *histogram.Histogram) (int64, error) {
+	setConcurrency(s, threads)
+	per := ops / int64(threads)
+	g, err := workers(s, threads, start, func(w int, se kvstore.Session) stepper {
+		rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
+		c := se.Clock()
+		return countingStepper(per, func(i int64) error {
+			key := ycsb.Key(rng.Int63n(opt.Keys))
+			t0 := c.Now()
+			if _, ok, err := se.Get(key); err != nil {
+				return err
+			} else if !ok {
+				return fmt.Errorf("bench: loaded key %q missing", key)
+			}
+			if hist != nil {
+				hist.Record(c.Now() - t0)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return g.Makespan(), nil
+}
+
+func runFig10(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	threadCounts := sweep(opt.Threads)
+	rep := &Report{
+		ID:      "fig10",
+		Title:   "Put throughput (Mops/s), rows = store",
+		Columns: []string{"store"},
+		Notes: []string{
+			"expect: Dram-Hash highest; ChameleonDB ~ Pmem-LSM-PinK ~ Pmem-LSM-NF;",
+			"Pmem-LSM-F 2-3x below NF (bloom construction); Pmem-Hash lowest (small writes)",
+		},
+	}
+	for _, tc := range threadCounts {
+		rep.Columns = append(rep.Columns, fmt.Sprintf("%dthr", tc))
+	}
+	for _, kind := range ComparisonSet {
+		row := []string{kind.String()}
+		for _, tc := range threadCounts {
+			s, err := OpenStore(kind, opt)
+			if err != nil {
+				return nil, err
+			}
+			dur, err := loadMeasured(s, opt, tc, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%d threads: %w", kind, tc, err)
+			}
+			row = append(row, mops(opt.Keys, dur))
+			s.Close()
+			runtime.GC()
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return []*Report{rep}, nil
+}
+
+func sweep(max int) []int {
+	var out []int
+	for t := 1; t <= max; t *= 2 {
+		out = append(out, t)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+func runFig11Tab2(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	cdf := &Report{
+		ID:      "fig11",
+		Title:   fmt.Sprintf("Put latency CDF at %d threads (ns at fixed fractions)", opt.Threads),
+		Columns: append([]string{"store"}, cdfColumns...),
+	}
+	tails := &Report{
+		ID:      "tab2",
+		Title:   "Tail put latency (ns)",
+		Columns: []string{"store", "p50", "p99", "p99.9", "p99.99", "max"},
+		Notes: []string{
+			"expect: Pmem-Hash p50 ~12x ChameleonDB, tails 18-29x;",
+			"Dram-Hash max dominated by rehash spikes",
+		},
+	}
+	for _, kind := range ComparisonSet {
+		s, err := OpenStore(kind, opt)
+		if err != nil {
+			return nil, err
+		}
+		var h histogram.Histogram
+		if _, err := loadMeasured(s, opt, opt.Threads, &h); err != nil {
+			return nil, fmt.Errorf("%s: %w", kind, err)
+		}
+		cdf.Rows = append(cdf.Rows, append([]string{kind.String()}, cdfSummary(&h)...))
+		t := h.Tails()
+		tails.Rows = append(tails.Rows, []string{
+			kind.String(),
+			fmt.Sprintf("%d", t.P50), fmt.Sprintf("%d", t.P99),
+			fmt.Sprintf("%d", t.P999), fmt.Sprintf("%d", t.P9999),
+			fmt.Sprintf("%d", t.Max),
+		})
+		s.Close()
+		runtime.GC()
+	}
+	return []*Report{cdf, tails}, nil
+}
+
+func runFig12(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	threadCounts := sweep(opt.Threads)
+	rep := &Report{
+		ID:      "fig12",
+		Title:   "Get throughput (Mops/s), rows = store",
+		Columns: []string{"store"},
+		Notes: []string{
+			"expect: Dram-Hash highest; then ChameleonDB (ABI bypass);",
+			"Pmem-LSM-NF lowest (multi-level Pmem walk)",
+		},
+	}
+	for _, tc := range threadCounts {
+		rep.Columns = append(rep.Columns, fmt.Sprintf("%dthr", tc))
+	}
+	for _, kind := range ComparisonSet {
+		s, err := OpenStore(kind, opt)
+		if err != nil {
+			return nil, err
+		}
+		loadDur, err := loadMeasured(s, opt, opt.Threads, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", kind, err)
+		}
+		row := []string{kind.String()}
+		frontier := loadDur
+		for _, tc := range threadCounts {
+			dur, err := getPhase(s, opt, tc, opt.Ops, frontier, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s gets @%d threads: %w", kind, tc, err)
+			}
+			frontier += dur
+			row = append(row, mops(opt.Ops, dur))
+		}
+		rep.Rows = append(rep.Rows, row)
+		s.Close()
+		runtime.GC()
+	}
+	return []*Report{rep}, nil
+}
+
+func runFig13Tab3(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	cdf := &Report{
+		ID:      "fig13",
+		Title:   "Get latency CDF, 1 thread (ns at fixed fractions)",
+		Columns: append([]string{"store"}, cdfColumns...),
+		Notes: []string{
+			"expect a two-stage ChameleonDB curve: ABI hits fast, last-level hits slower;",
+			"ChameleonDB median below Pmem-Hash/Pmem-LSM-*; Dram-Hash lowest",
+		},
+	}
+	tails := &Report{
+		ID:      "tab3",
+		Title:   "Tail get latency (ns)",
+		Columns: []string{"store", "p50", "p99", "p99.9", "p99.99", "max"},
+	}
+	ops := opt.Ops / 4
+	if ops < 10000 {
+		ops = 10000
+	}
+	for _, kind := range ComparisonSet {
+		s, err := OpenStore(kind, opt)
+		if err != nil {
+			return nil, err
+		}
+		loadDur, err := loadMeasured(s, opt, opt.Threads, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", kind, err)
+		}
+		var h histogram.Histogram
+		if _, err := getPhase(s, opt, 1, ops, loadDur, &h); err != nil {
+			return nil, fmt.Errorf("%s gets: %w", kind, err)
+		}
+		cdf.Rows = append(cdf.Rows, append([]string{kind.String()}, cdfSummary(&h)...))
+		t := h.Tails()
+		tails.Rows = append(tails.Rows, []string{
+			kind.String(),
+			fmt.Sprintf("%d", t.P50), fmt.Sprintf("%d", t.P99),
+			fmt.Sprintf("%d", t.P999), fmt.Sprintf("%d", t.P9999),
+			fmt.Sprintf("%d", t.Max),
+		})
+		s.Close()
+		runtime.GC()
+	}
+	return []*Report{cdf, tails}, nil
+}
+
+// overallRow captures one store's Table 4 measurements.
+type overallRow struct {
+	kind      StoreKind
+	putMops   float64
+	getMops   float64
+	dramMB    float64
+	restartMs float64
+	writeAmp  float64
+	medGetNs  int64
+}
+
+func measureOverall(opt Options, kind StoreKind) (overallRow, error) {
+	row := overallRow{kind: kind}
+	s, err := OpenStore(kind, opt)
+	if err != nil {
+		return row, err
+	}
+	defer s.Close()
+	loadDur, err := loadMeasured(s, opt, opt.Threads, nil)
+	if err != nil {
+		return row, fmt.Errorf("%s load: %w", kind, err)
+	}
+	row.putMops = mopsVal(opt.Keys, loadDur)
+	// Write amplification over the load: media bytes per user byte.
+	user := opt.Keys * int64(8+opt.ValueSize)
+	row.writeAmp = float64(s.DeviceStats().MediaBytesWritten) / float64(user)
+
+	var gh histogram.Histogram
+	getDur, err := getPhase(s, opt, opt.Threads, opt.Ops, loadDur, &gh)
+	if err != nil {
+		return row, fmt.Errorf("%s gets: %w", kind, err)
+	}
+	row.getMops = mopsVal(opt.Ops, getDur)
+	row.medGetNs = gh.Percentile(50)
+	row.dramMB = float64(s.DRAMFootprint()) / (1 << 20)
+
+	s.Crash()
+	rc := simclock.New(0)
+	if err := s.Recover(rc); err != nil {
+		return row, fmt.Errorf("%s recover: %w", kind, err)
+	}
+	restart := rc.Now()
+	if cs, ok := s.(interface{ RecoverTimes() (int64, int64) }); ok {
+		restart, _ = cs.RecoverTimes() // ready time, excluding background ABI rebuild
+	}
+	row.restartMs = float64(restart) / 1e6
+	runtime.GC()
+	return row, nil
+}
+
+func runTab4(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	rep := &Report{
+		ID:      "tab4",
+		Title:   "Overall comparison",
+		Columns: []string{"store", "put(Mops/s)", "get(Mops/s)", "DRAM(MB)", "restart(ms virtual)"},
+		Notes: []string{
+			"expect: only ChameleonDB avoids every 'bad' cell — Dram-Hash restarts slowest",
+			"with the biggest DRAM; Pmem-Hash puts slowest; Pmem-LSM-* gets slow",
+		},
+	}
+	for _, kind := range ComparisonSet {
+		row, err := measureOverall(opt, kind)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			kind.String(),
+			fmt.Sprintf("%.2f", row.putMops),
+			fmt.Sprintf("%.2f", row.getMops),
+			fmt.Sprintf("%.1f", row.dramMB),
+			fmt.Sprintf("%.2f", row.restartMs),
+		})
+	}
+	return []*Report{rep}, nil
+}
+
+func runFig3(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	// Figure 3 compares the four design archetypes.
+	kinds := []StoreKind{Chameleon, PmemLSMNF, PmemHash, DramHash}
+	labels := map[StoreKind]string{
+		Chameleon: "ChameleonDB", PmemLSMNF: "Pmem-LSM", PmemHash: "Pmem-Hash", DramHash: "Dram-Hash",
+	}
+	rows := make([]overallRow, 0, len(kinds))
+	for _, k := range kinds {
+		r, err := measureOverall(opt, k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	maxOf := func(f func(overallRow) float64) float64 {
+		m := 0.0
+		for _, r := range rows {
+			if v := f(r); v > m {
+				m = v
+			}
+		}
+		if m == 0 {
+			m = 1
+		}
+		return m
+	}
+	wa := maxOf(func(r overallRow) float64 { return r.writeAmp })
+	lat := maxOf(func(r overallRow) float64 { return float64(r.medGetNs) })
+	mem := maxOf(func(r overallRow) float64 { return r.dramMB })
+	rec := maxOf(func(r overallRow) float64 { return r.restartMs })
+
+	rep := &Report{
+		ID:      "fig3",
+		Title:   "Four measures normalized to the worst performer (smaller is better)",
+		Columns: []string{"store", "write-amp", "read-latency", "DRAM", "recovery"},
+		Notes: []string{
+			"expect: every baseline has at least one ~1.0 (worst) column; ChameleonDB none",
+		},
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, []string{
+			labels[r.kind],
+			fmt.Sprintf("%.2f", r.writeAmp/wa),
+			fmt.Sprintf("%.2f", float64(r.medGetNs)/lat),
+			fmt.Sprintf("%.2f", r.dramMB/mem),
+			fmt.Sprintf("%.2f", r.restartMs/rec),
+		})
+	}
+	return []*Report{rep}, nil
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"container/heap"
+
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/simclock"
+)
+
+// The harness simulates N concurrent workers with a conservative
+// discrete-event loop: every worker is a stepper that performs one operation
+// per call, and the scheduler always advances the worker with the smallest
+// virtual clock. This keeps the workers' timeline reservations interleaved
+// in virtual-time order — running them as real goroutines would let a worker
+// that happens to run first in wall-clock time book the device pipes far
+// into the virtual future, serializing the phase and destroying the
+// parallelism being measured. The event loop is also deterministic, which
+// real goroutines are not.
+
+// stepper performs one operation; it returns false when the worker is done.
+type stepper func() (more bool, err error)
+
+type workerHeap struct {
+	clocks []*simclock.Clock
+	ids    []int
+}
+
+func (h workerHeap) Len() int { return len(h.ids) }
+func (h workerHeap) Less(i, j int) bool {
+	ci, cj := h.clocks[h.ids[i]].Now(), h.clocks[h.ids[j]].Now()
+	if ci != cj {
+		return ci < cj
+	}
+	return h.ids[i] < h.ids[j]
+}
+func (h workerHeap) Swap(i, j int) { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *workerHeap) Push(x any)   { h.ids = append(h.ids, x.(int)) }
+func (h *workerHeap) Pop() any {
+	old := h.ids
+	n := len(old)
+	x := old[n-1]
+	h.ids = old[:n-1]
+	return x
+}
+
+// workers simulates `threads` concurrent workers over the store, each built
+// by mk with its own session. All clocks start at `start`; the returned
+// group's makespan is the phase's virtual duration.
+func workers(s kvstore.Store, threads int, start int64, mk func(w int, se kvstore.Session) stepper) (*simclock.Group, error) {
+	g := simclock.NewGroup(threads, start)
+	sessions := make([]kvstore.Session, threads)
+	steps := make([]stepper, threads)
+	for w := 0; w < threads; w++ {
+		sessions[w] = s.NewSession(g.Clock(w))
+		steps[w] = mk(w, sessions[w])
+	}
+	h := &workerHeap{clocks: make([]*simclock.Clock, threads)}
+	for w := 0; w < threads; w++ {
+		h.clocks[w] = g.Clock(w)
+		h.ids = append(h.ids, w)
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		w := h.ids[0]
+		more, err := steps[w]()
+		if err != nil {
+			return g, err
+		}
+		if more {
+			heap.Fix(h, 0)
+			continue
+		}
+		heap.Pop(h)
+		// Flush the finished worker's session immediately: a retired
+		// worker's half-full batch chunk must not pin the log's
+		// MinNextLSN watermark (and thus every shard's recovery
+		// watermark) while the remaining workers keep running.
+		if err := sessions[w].Flush(); err != nil {
+			return g, err
+		}
+	}
+	return g, nil
+}
+
+// countingStepper wraps a per-op body into a stepper running n operations.
+func countingStepper(n int64, body func(i int64) error) stepper {
+	i := int64(0)
+	return func() (bool, error) {
+		if i >= n {
+			return false, nil
+		}
+		if err := body(i); err != nil {
+			return false, err
+		}
+		i++
+		return i < n, nil
+	}
+}

@@ -1,0 +1,128 @@
+package blockcache
+
+import (
+	"bytes"
+	"testing"
+
+	"chameleondb/internal/simclock"
+)
+
+func TestHitMiss(t *testing.T) {
+	c := New(1024)
+	clk := simclock.New(0)
+	if _, ok := c.Get(clk, 1); ok {
+		t.Fatal("hit in empty cache")
+	}
+	c.Put(1, []byte("hello"))
+	v, ok := c.Get(clk, 1)
+	if !ok || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("get = %q %v", v, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", c.HitRate())
+	}
+	if clk.Now() <= 0 {
+		t.Fatal("lookups charged no time")
+	}
+	if !c.Enabled() {
+		t.Fatal("cache should report enabled")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3 * (100 + 32))
+	clk := simclock.New(0)
+	val := bytes.Repeat([]byte{1}, 100)
+	c.Put(1, val)
+	c.Put(2, val)
+	c.Put(3, val)
+	c.Get(clk, 1) // refresh 1: now 2 is the LRU
+	c.Put(4, val) // evicts 2
+	if _, ok := c.Get(clk, 2); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	for _, k := range []uint64{1, 3, 4} {
+		if _, ok := c.Get(clk, k); !ok {
+			t.Fatalf("wrong entry evicted: %d missing", k)
+		}
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	c := New(500)
+	val := bytes.Repeat([]byte{1}, 100)
+	for i := uint64(0); i < 100; i++ {
+		c.Put(i, val)
+		if c.UsedBytes() > 500 {
+			t.Fatalf("capacity exceeded: %d", c.UsedBytes())
+		}
+	}
+}
+
+func TestOversizeAndDisabled(t *testing.T) {
+	c := New(100)
+	c.Put(1, bytes.Repeat([]byte{1}, 200)) // larger than capacity: rejected
+	clk := simclock.New(0)
+	if _, ok := c.Get(clk, 1); ok {
+		t.Fatal("oversize value cached")
+	}
+	d := New(0) // disabled
+	if d.Enabled() {
+		t.Fatal("zero-capacity cache reports enabled")
+	}
+	d.Put(1, []byte("x"))
+	if _, ok := d.Get(clk, 1); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+}
+
+func TestInvalidateAndReset(t *testing.T) {
+	c := New(1000)
+	clk := simclock.New(0)
+	c.Put(1, []byte("a"))
+	c.Put(2, []byte("b"))
+	c.Invalidate(1)
+	if _, ok := c.Get(clk, 1); ok {
+		t.Fatal("invalidated value still cached")
+	}
+	c.Invalidate(42) // absent: no-op
+	c.Reset()
+	if c.UsedBytes() != 0 {
+		t.Fatal("reset did not clear accounting")
+	}
+	if _, ok := c.Get(clk, 2); ok {
+		t.Fatal("reset did not clear items")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	c := New(1000)
+	clk := simclock.New(0)
+	c.Put(1, []byte("old"))
+	c.Put(1, []byte("newer-value"))
+	v, ok := c.Get(clk, 1)
+	if !ok || string(v) != "newer-value" {
+		t.Fatalf("overwrite lost: %q %v", v, ok)
+	}
+	// Accounting must track the replacement, not accumulate.
+	want := int64(len("newer-value")) + 32
+	if c.UsedBytes() != want {
+		t.Fatalf("used = %d, want %d", c.UsedBytes(), want)
+	}
+}
+
+func TestCachedValueIsACopy(t *testing.T) {
+	c := New(1000)
+	clk := simclock.New(0)
+	src := []byte("mutable")
+	c.Put(1, src)
+	src[0] = 'X'
+	v, _ := c.Get(clk, 1)
+	if string(v) != "mutable" {
+		t.Fatal("cache aliased the caller's buffer")
+	}
+}

@@ -1,0 +1,76 @@
+// Package bloom implements the Bloom filters used by the Pmem-LSM-F,
+// NoveLSM, and MatrixKV baselines. Filters live in DRAM; construction and
+// membership checks charge the CPU cost model, because against Optane's
+// nanosecond reads filter work is no longer negligible — this is the heart of
+// the paper's Challenge 2 and the Pmem-LSM-F/NF throughput gap.
+package bloom
+
+import (
+	"chameleondb/internal/device"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/xhash"
+)
+
+// Filter is a standard double-hashing Bloom filter over 64-bit key hashes.
+// Concurrent Contains calls are safe after construction is complete.
+type Filter struct {
+	bits []uint64
+	mask uint64
+	k    int
+}
+
+// BitsPerKey is the paper-typical space budget (~1% false positive rate).
+const BitsPerKey = 10
+
+// New creates a filter sized for n keys at BitsPerKey bits each.
+func New(n int) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	nbits := nextPow2(uint64(n) * BitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &Filter{
+		bits: make([]uint64, nbits/64),
+		mask: nbits - 1,
+		k:    7, // optimal k for 10 bits/key is ~6.9
+	}
+}
+
+func nextPow2(v uint64) uint64 {
+	n := uint64(64)
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// Add inserts a key hash, charging the CPU construction cost.
+func (f *Filter) Add(c *simclock.Clock, h uint64) {
+	c.Advance(device.CostBloomAdd)
+	g := xhash.Uint64(h)
+	for i := 0; i < f.k; i++ {
+		bit := h & f.mask
+		f.bits[bit/64] |= 1 << (bit % 64)
+		h += g
+	}
+}
+
+// Contains tests membership, charging the CPU check cost. False positives
+// occur at the designed rate; false negatives never.
+func (f *Filter) Contains(c *simclock.Clock, h uint64) bool {
+	c.Advance(device.CostBloomCheck)
+	g := xhash.Uint64(h)
+	for i := 0; i < f.k; i++ {
+		bit := h & f.mask
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+		h += g
+	}
+	return true
+}
+
+// SizeBytes reports the filter's DRAM footprint.
+func (f *Filter) SizeBytes() int64 { return int64(len(f.bits) * 8) }

@@ -1,0 +1,66 @@
+package bloom
+
+import (
+	"testing"
+
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/xhash"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	c := simclock.New(0)
+	f := New(10000)
+	for i := uint64(0); i < 10000; i++ {
+		f.Add(c, xhash.Uint64(i))
+	}
+	for i := uint64(0); i < 10000; i++ {
+		if !f.Contains(c, xhash.Uint64(i)) {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	c := simclock.New(0)
+	const n = 10000
+	f := New(n)
+	for i := uint64(0); i < n; i++ {
+		f.Add(c, xhash.Uint64(i))
+	}
+	fp := 0
+	const probes = 100000
+	for i := uint64(n); i < n+probes; i++ {
+		if f.Contains(c, xhash.Uint64(i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %v too high for 10 bits/key", rate)
+	}
+}
+
+func TestChargesCPUCost(t *testing.T) {
+	c := simclock.New(0)
+	f := New(100)
+	f.Add(c, 1)
+	afterAdd := c.Now()
+	if afterAdd == 0 {
+		t.Fatal("Add charged no CPU time")
+	}
+	f.Contains(c, 1)
+	if c.Now() == afterAdd {
+		t.Fatal("Contains charged no CPU time")
+	}
+}
+
+func TestSizing(t *testing.T) {
+	if f := New(0); f.SizeBytes() < 8 {
+		t.Fatal("degenerate filter too small")
+	}
+	f := New(1 << 20)
+	// 10 bits/key * 1 Mi keys, rounded to a power of two: 2 MiB of bits.
+	if f.SizeBytes() != 1<<21 {
+		t.Fatalf("SizeBytes = %d, want %d", f.SizeBytes(), 1<<21)
+	}
+}

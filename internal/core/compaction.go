@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/hashtable"
+	"chameleondb/internal/simclock"
+)
+
+// flush persists the MemTable as a new immutable L0 table, mirrors its
+// entries into the ABI (Figure 7), advances the recovery watermark, and runs
+// whatever compaction the level occupancy demands. Called with sh.mu held.
+func (sh *shard) flush(c *simclock.Clock) error {
+	if sh.mem.Len() == 0 {
+		return nil
+	}
+	// If the ABI cannot absorb this MemTable, clear it with a last-level
+	// compaction first (geometry normally prevents this; dynamic last-level
+	// growth keeps it a safety valve, not the steady state).
+	if sh.abi != nil && float64(sh.abi.Len()+sh.mem.Len()) >= sh.store.cfg.ABIFullFraction*float64(sh.abi.Cap()) {
+		if err := sh.lastLevelCompaction(c); err != nil {
+			return err
+		}
+	}
+	// The log must be at least as durable as the index that points into it:
+	// sync every worker's batch before persisting the table.
+	sh.store.log.SyncAll(c)
+	table, err := hashtable.BuildPmemTable(c, sh.store.arena, sh.store.cfg.MemTableSlots, sh.mem.Iterate)
+	if err != nil {
+		return err
+	}
+	if sh.abi != nil {
+		sh.mem.Iterate(func(s hashtable.Slot) bool {
+			probes, _ := sh.abi.Insert(s.Hash, s.Ref)
+			c.Advance(device.DRAMProbeCost(probes))
+			return true
+		})
+	}
+	sh.levels[0] = append(sh.levels[0], sh.wrapUpper(c, table))
+	if sh.memMaxLSN > sh.persistedMaxLSN {
+		sh.persistedMaxLSN = sh.memMaxLSN
+	}
+	sh.mem.Reset()
+	sh.memMinLSN = 0
+	sh.memMaxLSN = 0
+	sh.store.stats.Flushes.Add(1)
+	sh.persistManifest(c)
+
+	if len(sh.levels[0]) >= sh.store.cfg.Ratio {
+		if sh.store.cfg.CompactionMode == LevelByLevel {
+			return sh.compactLevelByLevel(c)
+		}
+		return sh.compactDirect(c)
+	}
+	return nil
+}
+
+// spillToABI is the Write-Intensive / Get-Protect path (Sections 2.3, 2.4):
+// the full MemTable moves into the ABI without persisting an L0 table, so
+// the only persistent copy of these entries is the storage log — the
+// recovery watermark stays behind them. Called with sh.mu held.
+func (sh *shard) spillToABI(c *simclock.Clock) error {
+	if sh.abi == nil {
+		// ABI disabled: Write-Intensive Mode is meaningless, flush normally.
+		return sh.flush(c)
+	}
+	if float64(sh.abi.Len()+sh.mem.Len()) >= sh.store.cfg.ABIFullFraction*float64(sh.abi.Cap()) {
+		if sh.store.gpmActive.Load() && len(sh.dumped) < sh.store.cfg.GetProtect.MaxDumps {
+			if err := sh.dumpABI(c); err != nil {
+				return err
+			}
+		} else {
+			// WIM, or GPM with its dump budget exhausted: the postponed
+			// last-level compaction can wait no longer (Section 2.4).
+			if err := sh.lastLevelCompaction(c); err != nil {
+				return err
+			}
+		}
+	}
+	if sh.spillMinLSN == 0 || (sh.memMinLSN != 0 && sh.memMinLSN < sh.spillMinLSN) {
+		sh.spillMinLSN = sh.memMinLSN
+	}
+	if sh.memMaxLSN > sh.spillMaxLSN {
+		sh.spillMaxLSN = sh.memMaxLSN
+	}
+	sh.mem.Iterate(func(s hashtable.Slot) bool {
+		probes, _ := sh.abi.Insert(s.Hash, s.Ref)
+		c.Advance(device.DRAMProbeCost(probes))
+		return true
+	})
+	sh.mem.Reset()
+	sh.memMinLSN = 0
+	sh.memMaxLSN = 0
+	sh.store.stats.Spills.Add(1)
+	return nil
+}
+
+// dumpABI writes the ABI verbatim to the Pmem as a new dumped table without
+// merging it into the last level (Figure 9), then clears the ABI. Called
+// with sh.mu held, only during Get-Protect Mode.
+func (sh *shard) dumpABI(c *simclock.Clock) error {
+	if sh.abi.Len() == 0 {
+		return nil
+	}
+	sh.store.log.SyncAll(c)
+	capSlots := needCap(sh.abi.Len(), 0.85, 8)
+	table, err := hashtable.BuildPmemTable(c, sh.store.arena, capSlots, sh.abi.Iterate)
+	if err != nil {
+		return err
+	}
+	sh.dumped = append(sh.dumped, &ptable{t: table})
+	sh.abi.Reset()
+	if sh.spillMaxLSN > sh.persistedMaxLSN {
+		sh.persistedMaxLSN = sh.spillMaxLSN
+	}
+	sh.spillMinLSN = 0
+	sh.spillMaxLSN = 0
+	sh.store.stats.Dumps.Add(1)
+	sh.persistManifest(c)
+	return nil
+}
+
+// compactDirect implements Direct Compaction (Figure 5b): one merge covering
+// L0 and every full upper level, landing in the first level with room — or
+// the last level when every upper level is at capacity. Called with sh.mu
+// held when L0 holds Ratio tables.
+func (sh *shard) compactDirect(c *simclock.Clock) error {
+	cfg := sh.store.cfg
+	dst := 1
+	for dst <= cfg.Levels-2 && len(sh.levels[dst]) >= cfg.Ratio-1 {
+		dst++
+	}
+	if dst > cfg.Levels-2 {
+		return sh.lastLevelCompaction(c)
+	}
+	// Merge levels[0 .. dst-1] into one table at level dst. Geometry
+	// guarantees the contents fit: r*S0 + sum (r-1)*Si == S_dst. Sources are
+	// collected newest-first (upper levels hold newer data, and within a
+	// level later tables are newer) so the merge keeps the newest version.
+	var old []*ptable
+	var sources []*hashtable.PmemTable
+	for lvl := 0; lvl < dst; lvl++ {
+		tables := sh.levels[lvl]
+		for i := len(tables) - 1; i >= 0; i-- {
+			old = append(old, tables[i])
+			sources = append(sources, tables[i].t)
+		}
+	}
+	merged, err := sh.mergeTables(c, cfg.MemTableSlots*pow(cfg.Ratio, dst), sources, true)
+	if err != nil {
+		return err
+	}
+	sh.levels[dst] = append(sh.levels[dst], sh.wrapUpper(c, merged))
+	for lvl := 0; lvl < dst; lvl++ {
+		sh.levels[lvl] = nil
+	}
+	sh.store.stats.UpperCompactions.Add(1)
+	sh.persistManifest(c)
+	for _, p := range old {
+		p.release()
+	}
+	return nil
+}
+
+// compactLevelByLevel implements the classic cascade (Figure 5a): merge L0's
+// r tables into one L1 table; if that fills L1, merge L1 into L2; and so on,
+// each step reading and rewriting its level (the overhead Direct Compaction
+// avoids). Called with sh.mu held when L0 holds Ratio tables.
+func (sh *shard) compactLevelByLevel(c *simclock.Clock) error {
+	cfg := sh.store.cfg
+	for lvl := 0; lvl <= cfg.Levels-2; lvl++ {
+		full := cfg.Ratio
+		if len(sh.levels[lvl]) < full {
+			return nil
+		}
+		if lvl == cfg.Levels-2 {
+			return sh.lastLevelCompaction(c)
+		}
+		tables := sh.levels[lvl]
+		sources := make([]*hashtable.PmemTable, 0, len(tables))
+		for i := len(tables) - 1; i >= 0; i-- {
+			sources = append(sources, tables[i].t)
+		}
+		merged, err := sh.mergeTables(c, cfg.MemTableSlots*pow(cfg.Ratio, lvl+1), sources, true)
+		if err != nil {
+			return err
+		}
+		sh.levels[lvl+1] = append(sh.levels[lvl+1], sh.wrapUpper(c, merged))
+		sh.levels[lvl] = nil
+		sh.store.stats.UpperCompactions.Add(1)
+		sh.persistManifest(c)
+		for _, p := range tables {
+			p.release()
+		}
+	}
+	return nil
+}
+
+// mergeTables merges sources (newest first) into one new persisted table of
+// at least minCap slots, keeping tombstones (keepTombstones) or dropping
+// them (last-level merges). Pmem source tables are charged as sequential
+// scans.
+func (sh *shard) mergeTables(c *simclock.Clock, minCap int, sources []*hashtable.PmemTable, keepTombstones bool) (*hashtable.PmemTable, error) {
+	entries := 0
+	for _, t := range sources {
+		t.ChargeScan(c)
+		entries += t.Len()
+	}
+	capSlots := minCap
+	if need := needCap(entries, 0.99, 8); need > capSlots {
+		capSlots = need
+	}
+	return hashtable.BuildPmemTable(c, sh.store.arena, capSlots, func(yield func(hashtable.Slot) bool) {
+		// Stage the newest-wins merge in DRAM, then emit.
+		winners := hashtable.NewMem(needCap(entries, 0.85, 16))
+		for _, t := range sources {
+			t.Iterate(func(s hashtable.Slot) bool {
+				c.Advance(device.CostCompactionPerSlot)
+				winners.InsertIfAbsent(s.Hash, s.Ref)
+				return true
+			})
+		}
+		winners.Iterate(func(s hashtable.Slot) bool {
+			if !keepTombstones && s.Tombstone() {
+				return true
+			}
+			return yield(s)
+		})
+	})
+}
+
+// lastLevelCompaction merges everything above the last level into a new last
+// level table. Per Section 2.2/Figure 8 the merge reads the upper-level
+// entries from the ABI in DRAM instead of re-reading the persisted upper
+// tables; dumped ABI tables and the old last level are read from Pmem. All
+// upper levels, dumps, and the ABI are cleared afterwards, and the recovery
+// watermark advances to the log frontier. Called with sh.mu held.
+func (sh *shard) lastLevelCompaction(c *simclock.Clock) error {
+	sh.store.log.SyncAll(c)
+	cfg := sh.store.cfg
+	bound := sh.mergedEntryBound()
+	winners := hashtable.NewMem(needCap(bound, 0.80, 16))
+
+	if sh.abi != nil {
+		// Upper-level entries come from DRAM (the ABI): no Pmem reads.
+		sh.abi.Iterate(func(s hashtable.Slot) bool {
+			c.Advance(device.CostCompactionPerSlot)
+			winners.InsertIfAbsent(s.Hash, s.Ref)
+			return true
+		})
+	} else {
+		// Ablation path: read the upper tables from Pmem, newest first.
+		for lvl := 0; lvl < len(sh.levels); lvl++ {
+			tables := sh.levels[lvl]
+			for i := len(tables) - 1; i >= 0; i-- {
+				tables[i].t.ChargeScan(c)
+				tables[i].t.Iterate(func(s hashtable.Slot) bool {
+					c.Advance(device.CostCompactionPerSlot)
+					winners.InsertIfAbsent(s.Hash, s.Ref)
+					return true
+				})
+			}
+		}
+	}
+	for i := len(sh.dumped) - 1; i >= 0; i-- {
+		sh.dumped[i].t.ChargeScan(c)
+		sh.dumped[i].t.Iterate(func(s hashtable.Slot) bool {
+			c.Advance(device.CostCompactionPerSlot)
+			winners.InsertIfAbsent(s.Hash, s.Ref)
+			return true
+		})
+	}
+	if sh.last != nil {
+		sh.last.t.ChargeScan(c)
+		sh.last.t.Iterate(func(s hashtable.Slot) bool {
+			c.Advance(device.CostCompactionPerSlot)
+			winners.InsertIfAbsent(s.Hash, s.Ref)
+			return true
+		})
+	}
+
+	live := 0
+	winners.Iterate(func(s hashtable.Slot) bool {
+		if !s.Tombstone() {
+			live++
+		}
+		return true
+	})
+	capSlots := cfg.lastLevelSlots()
+	if need := needCap(live, 0.85, 8); need > capSlots {
+		// The designed capacity holds r^(l-1) MemTables; beyond that the
+		// last level grows by doubling (see DESIGN.md section 3).
+		capSlots = need
+	}
+	newLast, err := hashtable.BuildPmemTable(c, sh.store.arena, capSlots, func(yield func(hashtable.Slot) bool) {
+		winners.Iterate(func(s hashtable.Slot) bool {
+			if s.Tombstone() {
+				return true // the last level is the floor: drop tombstones
+			}
+			return yield(s)
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	released := make([]*ptable, 0, 16)
+	for lvl := range sh.levels {
+		released = append(released, sh.levels[lvl]...)
+		sh.levels[lvl] = nil
+	}
+	released = append(released, sh.dumped...)
+	sh.dumped = nil
+	if sh.last != nil {
+		released = append(released, sh.last)
+	}
+	sh.last = sh.wrapLast(c, newLast)
+	if sh.abi != nil {
+		sh.abi.Reset()
+	}
+	if sh.spillMaxLSN > sh.persistedMaxLSN {
+		sh.persistedMaxLSN = sh.spillMaxLSN
+	}
+	sh.spillMinLSN = 0
+	sh.spillMaxLSN = 0
+	sh.store.stats.LastCompactions.Add(1)
+	sh.persistManifest(c)
+	for _, p := range released {
+		p.release()
+	}
+	return nil
+}
+
+// needCap returns the smallest power-of-two capacity >= minCap that keeps n
+// entries at or below load factor f.
+func needCap(n int, f float64, minCap int) int {
+	c := minCap
+	for float64(n) > f*float64(c) {
+		c <<= 1
+		if c <= 0 {
+			panic(fmt.Sprintf("core: capacity overflow for %d entries", n))
+		}
+	}
+	return c
+}
+
+func pow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+	}
+	return r
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"chameleondb/internal/simclock"
+)
+
+func openGPM(t *testing.T, threshold int64) *Store {
+	t.Helper()
+	cfg := TestConfig()
+	cfg.GetProtect = GPMConfig{
+		Enabled:          true,
+		EnterThresholdNs: threshold,
+		ExitThresholdNs:  threshold,
+		MaxDumps:         1,
+		WindowSize:       256,
+		SampleEvery:      1,
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGPMEngagesOnSlowGets(t *testing.T) {
+	// An absurdly low threshold forces GPM on as soon as gets are sampled.
+	s := openGPM(t, 1)
+	se := s.NewSession(simclock.New(0))
+	for i := 0; i < 2000; i++ {
+		se.Put(key(i), val(i))
+	}
+	for i := 0; i < 2000; i++ {
+		se.Get(key(i))
+	}
+	if !s.GPMActive() {
+		t.Fatal("GPM did not engage despite threshold of 1 ns")
+	}
+	if s.Stats().GPMEntries == 0 {
+		t.Fatal("GPM entry not counted")
+	}
+	// Puts during GPM must spill, not flush.
+	f0 := s.Stats().Flushes
+	for i := 2000; i < 8000; i++ {
+		se.Put(key(i), val(i))
+	}
+	st := s.Stats()
+	if st.Flushes != f0 {
+		t.Fatalf("flushes happened during GPM: %d -> %d", f0, st.Flushes)
+	}
+	if st.Spills == 0 {
+		t.Fatal("no ABI spills during GPM")
+	}
+	// Everything remains readable.
+	for i := 0; i < 8000; i += 37 {
+		got, ok, _ := se.Get(key(i))
+		if !ok || string(got) != string(val(i)) {
+			t.Fatalf("key %d lost during GPM", i)
+		}
+	}
+}
+
+func TestGPMDumpsABIWithoutMerging(t *testing.T) {
+	s := openGPM(t, 1)
+	se := s.NewSession(simclock.New(0))
+	for i := 0; i < 500; i++ {
+		se.Put(key(i), val(i))
+	}
+	for i := 0; i < 500; i++ {
+		se.Get(key(i))
+	}
+	if !s.GPMActive() {
+		t.Fatal("GPM not active")
+	}
+	last0 := s.Stats().LastCompactions
+	// Push enough data through GPM to fill the ABI at least once.
+	for i := 500; i < 25000; i++ {
+		se.Put(key(i), val(i))
+	}
+	st := s.Stats()
+	if st.Dumps == 0 {
+		t.Fatal("ABI never dumped during sustained GPM puts")
+	}
+	// With MaxDumps=1, once the dump budget is gone a forced last-level
+	// compaction must eventually clear the ABI anyway.
+	if st.LastCompactions == last0 {
+		t.Fatal("dump budget exhausted but no forced last-level compaction")
+	}
+	for i := 0; i < 25000; i += 111 {
+		got, ok, _ := se.Get(key(i))
+		if !ok || string(got) != string(val(i)) {
+			t.Fatalf("key %d lost across GPM dumps", i)
+		}
+	}
+	if s.Stats().GetDumped == 0 {
+		t.Fatal("no gets served from dumped tables")
+	}
+}
+
+func TestGPMExitsAndMergesDumps(t *testing.T) {
+	s := openGPM(t, 1)
+	se := s.NewSession(simclock.New(0))
+	for i := 0; i < 500; i++ {
+		se.Put(key(i), val(i))
+	}
+	for i := 0; i < 500; i++ {
+		se.Get(key(i))
+	}
+	for i := 500; i < 25000; i++ {
+		se.Put(key(i), val(i))
+	}
+	if s.Stats().Dumps == 0 {
+		t.Skip("workload did not produce a dump; geometry changed?")
+	}
+	// Raise the exit threshold so the next sampled gets cancel GPM.
+	s.cfg.GetProtect.EnterThresholdNs = 1 << 60
+	s.cfg.GetProtect.ExitThresholdNs = 1 << 60
+	for i := 0; i < 2000; i++ {
+		se.Get(key(i))
+	}
+	if s.GPMActive() {
+		t.Fatal("GPM did not exit after latency dropped below threshold")
+	}
+	if s.Stats().GPMExits == 0 {
+		t.Fatal("GPM exit not counted")
+	}
+	// Subsequent puts trigger the postponed merges; dumps drain.
+	for i := 25000; i < 30000; i++ {
+		se.Put(key(i), val(i))
+	}
+	dumpsLeft := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		dumpsLeft += len(sh.dumped)
+		sh.mu.Unlock()
+	}
+	if dumpsLeft != 0 {
+		t.Fatalf("%d dumped tables never merged back", dumpsLeft)
+	}
+	for i := 0; i < 30000; i += 173 {
+		got, ok, _ := se.Get(key(i))
+		if !ok || string(got) != string(val(i)) {
+			t.Fatalf("key %d lost after GPM drain", i)
+		}
+	}
+}
+
+func TestGPMCrashRecovery(t *testing.T) {
+	// Crash while dumps exist and spills are unpersisted: recovery must
+	// restore every acknowledged-durable key.
+	s := openGPM(t, 1)
+	se := s.NewSession(simclock.New(0))
+	for i := 0; i < 500; i++ {
+		se.Put(key(i), val(i))
+	}
+	for i := 0; i < 500; i++ {
+		se.Get(key(i))
+	}
+	for i := 500; i < 20000; i++ {
+		se.Put(key(i), val(i))
+	}
+	se.Flush()
+	s.Crash()
+	if err := s.Recover(simclock.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	se2 := s.NewSession(simclock.New(0))
+	for i := 0; i < 20000; i += 97 {
+		got, ok, _ := se2.Get(key(i))
+		if !ok || string(got) != string(val(i)) {
+			t.Fatalf("key %d lost across GPM crash", i)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/hashtable"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/wlog"
+	"chameleondb/internal/xhash"
+)
+
+// ErrCrashed is returned by operations issued between Crash and Recover.
+var ErrCrashed = errors.New("core: store has crashed; call Recover first")
+
+// Session is a per-worker handle on the store: it owns a virtual clock and a
+// private log appender (the DRAM write batch of Section 2.5). Not safe for
+// concurrent use.
+type Session struct {
+	store *Store
+	clock *simclock.Clock
+	ap    *wlog.Appender
+}
+
+var _ kvstore.Session = (*Session)(nil)
+
+// NewSession implements kvstore.Store.
+func (s *Store) NewSession(c *simclock.Clock) kvstore.Session {
+	return &Session{store: s, clock: c, ap: s.log.NewAppender()}
+}
+
+// Clock returns the session's virtual clock.
+func (se *Session) Clock() *simclock.Clock { return se.clock }
+
+// Put implements kvstore.Session.
+func (se *Session) Put(key, value []byte) error {
+	return se.write(key, value, 0)
+}
+
+// Delete implements kvstore.Session: a tombstone append plus index update.
+func (se *Session) Delete(key []byte) error {
+	return se.write(key, nil, wlog.FlagTombstone)
+}
+
+func (se *Session) write(key, value []byte, flags uint16) error {
+	if se.store.crashed.Load() {
+		return ErrCrashed
+	}
+	c := se.clock
+	c.Advance(device.CostHash64)
+	h := xhash.Sum64(key)
+	// Copying the entry into the DRAM batch buffer.
+	c.Advance(int64(float64(wlog.EntrySize(len(key), len(value))) * device.CostDRAMSeqPerByte))
+
+	sh := se.store.shardFor(h)
+	sh.mu.Lock()
+	opStart := c.Now()
+	sh.asyncNs = 0
+	lsn, err := se.ap.Append(c, h, key, value, flags)
+	if err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	if sh.memMinLSN == 0 || lsn < sh.memMinLSN {
+		sh.memMinLSN = lsn
+	}
+	if lsn > sh.memMaxLSN {
+		sh.memMaxLSN = lsn
+	}
+	err = sh.insertMem(c, h, hashtable.MakeRef(lsn, flags&wlog.FlagTombstone != 0))
+	if err == nil && sh.pendingMerge.Load() && !se.store.gpmActive.Load() {
+		// A postponed Get-Protect dump is merged back once the burst is
+		// over (Section 2.4).
+		sh.pendingMerge.Store(false)
+		if len(sh.dumped) > 0 {
+			err = sh.async(c, func() error { return sh.lastLevelCompaction(c) })
+		}
+	}
+	// Background flush/compaction time stalls this worker (its core hosts
+	// the compaction thread) but does not extend the shard's critical
+	// section for other workers.
+	dur := c.Now() - opStart - sh.asyncNs
+	sh.mu.Unlock()
+	c.AdvanceTo(sh.tl.Reserve(opStart, dur))
+	if err != nil {
+		return err
+	}
+	se.store.stats.Puts.Add(1)
+	return nil
+}
+
+// Get implements kvstore.Session: MemTable, then ABI, then (dumped tables,)
+// then last level — at most three structures in the common case (Figure 6b)
+// — followed by one log read for the value.
+func (se *Session) Get(key []byte) ([]byte, bool, error) {
+	if se.store.crashed.Load() {
+		return nil, false, ErrCrashed
+	}
+	c := se.clock
+	arrive := c.Now()
+	c.Advance(device.CostHash64)
+	h := xhash.Sum64(key)
+
+	sh := se.store.shardFor(h)
+	sh.mu.Lock()
+	opStart := c.Now()
+	slot, src, ok := sh.getLocked(c, h)
+	dur := c.Now() - opStart
+	sh.mu.Unlock()
+	c.AdvanceTo(sh.tl.Reserve(opStart, dur))
+
+	se.store.stats.countGet(src)
+	if !ok || slot.Tombstone() {
+		se.store.recordGetLatency(c.Now() - arrive)
+		return nil, false, nil
+	}
+	e, err := se.store.log.Read(c, slot.LSN())
+	if err != nil {
+		return nil, false, err
+	}
+	if !bytes.Equal(e.Key, key) {
+		// A full 64-bit hash collision between distinct keys: the hashed
+		// index cannot tell them apart (the same limitation every
+		// hash-keyed store in the paper shares). Report a miss and count it.
+		se.store.stats.HashMismatches.Add(1)
+		se.store.recordGetLatency(c.Now() - arrive)
+		return nil, false, nil
+	}
+	val := make([]byte, len(e.Value))
+	copy(val, e.Value)
+	se.store.recordGetLatency(c.Now() - arrive)
+	return val, true, nil
+}
+
+// Flush implements kvstore.Session: seals the session's log batch, making
+// its acknowledged writes durable.
+func (se *Session) Flush() error {
+	if se.store.crashed.Load() {
+		return ErrCrashed
+	}
+	return se.ap.Flush(se.clock)
+}
+
+// Release detaches the session's appender so a retired worker does not hold
+// the recovery watermark back.
+func (se *Session) Release() error {
+	return se.ap.Release(se.clock)
+}

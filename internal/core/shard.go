@@ -1,0 +1,224 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/hashtable"
+	"chameleondb/internal/simclock"
+)
+
+// shard is one of the store's independent LSM structures (Section 2.1): a
+// DRAM MemTable, persisted upper levels of immutable hash tables, one last
+// level table, a DRAM Auxiliary Bypass Index covering the upper levels, and
+// (under Get-Protect Mode) a bounded list of dumped ABI tables.
+//
+// Invariant: every live entry of the upper levels is present in the ABI or a
+// dumped table, so a get never probes the upper levels in Pmem (the ABI
+// bypass, Section 2.2). Version order, newest first: MemTable, ABI, dumped
+// tables (newest dump first), last level.
+type shard struct {
+	store *Store
+	id    int
+
+	mu sync.Mutex
+	tl simclock.Timeline // virtual-time critical section (lock queueing)
+
+	mem    *hashtable.Mem
+	abi    *hashtable.Mem
+	levels [][]*ptable // levels[0] = L0 ... levels[l-2]
+	last   *ptable     // nil until first last-level compaction
+	dumped []*ptable   // GPM ABI dumps, oldest first
+
+	lfThreshold float64
+
+	// recoverLSN is the persisted watermark: every entry of this shard with
+	// a smaller LSN is already in a persisted table, so crash recovery
+	// replays the log only from here (conservatively; see persistManifest).
+	recoverLSN int64
+	// replayFilter freezes the manifest watermark for the duration of a
+	// recovery replay: flushes during replay advance recoverLSN, which must
+	// not cause later unreplayed entries to be skipped.
+	replayFilter int64
+	// memMinLSN is the smallest LSN resident in the MemTable (0 = empty);
+	// spillMinLSN the smallest LSN spilled into the ABI without an L0 table
+	// (0 = none). Both hold the watermark back until their entries persist.
+	memMinLSN   int64
+	spillMinLSN int64
+	// memMaxLSN / spillMaxLSN track the newest entry in the MemTable / the
+	// ABI's unpersisted spills; persistedMaxLSN is the newest LSN present in
+	// any persisted table. A replayed log entry newer than persistedMaxLSN
+	// cannot be superseded by a table, so recovery skips the (expensive)
+	// supersession probes for the common case.
+	memMaxLSN       int64
+	spillMaxLSN     int64
+	persistedMaxLSN int64
+
+	manifest     manifestSlots
+	pendingMerge atomic.Bool
+
+	// asyncNs accumulates, within the current locked operation, the virtual
+	// time spent on background work: flushes and compactions. The paper
+	// pairs every put thread with a compaction thread on the same core
+	// (Section 3.3), so this time stalls the *triggering worker's* clock but
+	// is excluded from the shard's critical-section reservation — other
+	// workers' puts and gets to the shard are not blocked behind a
+	// compaction, exactly as an LSM's immutable-table maintenance allows.
+	asyncNs int64
+}
+
+// async brackets background work: it runs fn (charging c as usual) and
+// moves the elapsed time into sh.asyncNs so the session excludes it from the
+// critical-section reservation. Called with sh.mu held.
+func (sh *shard) async(c *simclock.Clock, fn func() error) error {
+	t0 := c.Now()
+	err := fn()
+	sh.asyncNs += c.Now() - t0
+	return err
+}
+
+func newShard(s *Store, id int, boot *simclock.Clock) (*shard, error) {
+	sh := &shard{
+		store:       s,
+		id:          id,
+		mem:         hashtable.NewMem(s.cfg.MemTableSlots),
+		levels:      make([][]*ptable, s.cfg.Levels-1),
+		lfThreshold: s.cfg.loadFactorFor(id),
+		recoverLSN:  s.log.Base(),
+	}
+	if !s.cfg.DisableABI {
+		sh.abi = hashtable.NewMem(s.cfg.ABISlots)
+	}
+	if err := sh.manifestAlloc(); err != nil {
+		return nil, err
+	}
+	sh.persistManifest(boot)
+	return sh, nil
+}
+
+// volatileWipe models the loss of DRAM state at a crash.
+func (sh *shard) volatileWipe() {
+	sh.mem = hashtable.NewMem(sh.store.cfg.MemTableSlots)
+	if !sh.store.cfg.DisableABI {
+		sh.abi = hashtable.NewMem(sh.store.cfg.ABISlots)
+	}
+	for i := range sh.levels {
+		sh.levels[i] = nil
+	}
+	sh.last = nil
+	sh.dumped = nil
+	sh.memMinLSN = 0
+	sh.spillMinLSN = 0
+	sh.memMaxLSN = 0
+	sh.spillMaxLSN = 0
+	sh.pendingMerge.Store(false)
+}
+
+// liveEntries counts entries that must fit in a last-level merge.
+func (sh *shard) mergedEntryBound() int {
+	n := 0
+	if sh.abi != nil {
+		n += sh.abi.Len()
+	} else {
+		for _, lvl := range sh.levels {
+			for _, p := range lvl {
+				n += p.t.Len()
+			}
+		}
+	}
+	for _, d := range sh.dumped {
+		n += d.t.Len()
+	}
+	if sh.last != nil {
+		n += sh.last.t.Len()
+	}
+	return n
+}
+
+// insertMem puts one entry into the MemTable, charging DRAM probe costs, and
+// flushes / spills when the randomized load-factor threshold is reached.
+// Called with sh.mu held; the caller has already appended to the log.
+func (sh *shard) insertMem(c *simclock.Clock, h uint64, ref uint64) error {
+	probes, ok := sh.mem.Insert(h, ref)
+	c.Advance(device.DRAMProbeCost(probes))
+	if !ok {
+		// Can't happen while thresholds < 1.0, but handle it: force a flush
+		// and retry once.
+		if err := sh.memTableFull(c); err != nil {
+			return err
+		}
+		probes, _ = sh.mem.Insert(h, ref)
+		c.Advance(device.DRAMProbeCost(probes))
+	}
+	if sh.mem.LoadFactor() >= sh.lfThreshold {
+		return sh.memTableFull(c)
+	}
+	return nil
+}
+
+// memTableFull handles a full MemTable according to the current mode:
+//   - Get-Protect Mode or Write-Intensive Mode: spill into the ABI without
+//     persisting an L0 table (Sections 2.3, 2.4).
+//   - Normal: flush to L0 (Figure 7) and run compactions as needed.
+func (sh *shard) memTableFull(c *simclock.Clock) error {
+	if sh.store.cfg.WriteIntensive || sh.store.gpmActive.Load() {
+		return sh.async(c, func() error { return sh.spillToABI(c) })
+	}
+	return sh.async(c, func() error { return sh.flush(c) })
+}
+
+// getLocked performs the index lookup under sh.mu, returning the winning
+// slot (possibly a tombstone) and which structure produced it.
+func (sh *shard) getLocked(c *simclock.Clock, h uint64) (hashtable.Slot, getSource, bool) {
+	// 1. MemTable.
+	ref, probes, ok := sh.mem.Get(h)
+	c.Advance(device.DRAMProbeCost(probes))
+	if ok {
+		return hashtable.Slot{Hash: h, Ref: ref}, srcMemTable, true
+	}
+	// 2. ABI.
+	if sh.abi != nil {
+		ref, probes, ok = sh.abi.Get(h)
+		c.Advance(device.DRAMProbeCost(probes))
+		if ok {
+			return hashtable.Slot{Hash: h, Ref: ref}, srcABI, true
+		}
+	}
+	// 3. Dumped ABI tables, newest first (Section 2.4).
+	for i := len(sh.dumped) - 1; i >= 0; i-- {
+		if s, ok := sh.dumped[i].get(c, h); ok {
+			return s, srcDumped, true
+		}
+	}
+	// 4. Upper levels in Pmem — only without an ABI (ablation), since the
+	// ABI+dumps cover them otherwise (Figure 6).
+	if sh.abi == nil {
+		for lvl := 0; lvl < len(sh.levels); lvl++ {
+			tables := sh.levels[lvl]
+			for i := len(tables) - 1; i >= 0; i-- {
+				if s, ok := tables[i].get(c, h); ok {
+					return s, srcUpper, true
+				}
+			}
+		}
+	}
+	// 5. Last level.
+	if sh.last != nil {
+		if s, ok := sh.last.get(c, h); ok {
+			return s, srcLast, true
+		}
+	}
+	return hashtable.Slot{}, srcMiss, false
+}
+
+type getSource int
+
+const (
+	srcMemTable getSource = iota
+	srcABI
+	srcDumped
+	srcUpper
+	srcLast
+	srcMiss
+)

@@ -1,0 +1,97 @@
+package core
+
+import "sync/atomic"
+
+// Stats aggregates the store's operation counters (atomics; snapshot with
+// Snapshot).
+type Stats struct {
+	Puts             atomic.Int64
+	Flushes          atomic.Int64
+	Spills           atomic.Int64
+	UpperCompactions atomic.Int64
+	LastCompactions  atomic.Int64
+	Dumps            atomic.Int64
+	GPMEntries       atomic.Int64
+	GPMExits         atomic.Int64
+	HashMismatches   atomic.Int64
+	LogGCs           atomic.Int64
+	LogGCRelocated   atomic.Int64
+	LogGCDropped     atomic.Int64
+
+	GetMemTable atomic.Int64
+	GetABI      atomic.Int64
+	GetDumped   atomic.Int64
+	GetUpper    atomic.Int64
+	GetLast     atomic.Int64
+	GetMiss     atomic.Int64
+}
+
+func (st *Stats) countGet(src getSource) {
+	switch src {
+	case srcMemTable:
+		st.GetMemTable.Add(1)
+	case srcABI:
+		st.GetABI.Add(1)
+	case srcDumped:
+		st.GetDumped.Add(1)
+	case srcUpper:
+		st.GetUpper.Add(1)
+	case srcLast:
+		st.GetLast.Add(1)
+	default:
+		st.GetMiss.Add(1)
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Puts             int64
+	Flushes          int64
+	Spills           int64
+	UpperCompactions int64
+	LastCompactions  int64
+	Dumps            int64
+	GPMEntries       int64
+	GPMExits         int64
+	HashMismatches   int64
+	LogGCs           int64
+	LogGCRelocated   int64
+	LogGCDropped     int64
+	GetMemTable      int64
+	GetABI           int64
+	GetDumped        int64
+	GetUpper         int64
+	GetLast          int64
+	GetMiss          int64
+}
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Puts:             s.stats.Puts.Load(),
+		Flushes:          s.stats.Flushes.Load(),
+		Spills:           s.stats.Spills.Load(),
+		UpperCompactions: s.stats.UpperCompactions.Load(),
+		LastCompactions:  s.stats.LastCompactions.Load(),
+		Dumps:            s.stats.Dumps.Load(),
+		GPMEntries:       s.stats.GPMEntries.Load(),
+		GPMExits:         s.stats.GPMExits.Load(),
+		HashMismatches:   s.stats.HashMismatches.Load(),
+		LogGCs:           s.stats.LogGCs.Load(),
+		LogGCRelocated:   s.stats.LogGCRelocated.Load(),
+		LogGCDropped:     s.stats.LogGCDropped.Load(),
+		GetMemTable:      s.stats.GetMemTable.Load(),
+		GetABI:           s.stats.GetABI.Load(),
+		GetDumped:        s.stats.GetDumped.Load(),
+		GetUpper:         s.stats.GetUpper.Load(),
+		GetLast:          s.stats.GetLast.Load(),
+		GetMiss:          s.stats.GetMiss.Load(),
+	}
+}
+
+// RecoverTimes reports the virtual nanoseconds of the last Recover call:
+// ready is when the store could serve requests again (Table 4's restart
+// time); full additionally includes the background ABI rebuild.
+func (s *Store) RecoverTimes() (ready, full int64) {
+	return s.lastRecoverReadyNs, s.lastRecoverFullNs
+}

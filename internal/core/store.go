@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/histogram"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/pmem"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/wlog"
+)
+
+// Store is a ChameleonDB instance. Create one with Open; drive it through
+// per-worker Sessions.
+type Store struct {
+	cfg   Config
+	dev   *device.Device
+	arena *pmem.Arena
+	log   *wlog.Log
+
+	shards     []*shard
+	shardShift uint
+
+	// gpmActive is set by the tail-latency monitor while Get-Protect Mode
+	// suspends flushes and compactions.
+	gpmActive atomic.Bool
+	gpmMu     sync.Mutex
+	gpmWindow *histogram.Windowed
+	gpmTick   atomic.Int64
+
+	stats Stats
+
+	crashed atomic.Bool
+
+	// replayPos is the current log-scan position while a recovery replay is
+	// running, or MaxInt64 otherwise. Watermarks persisted during replay are
+	// clamped to it: entries past the replay cursor are not yet in any
+	// table, so a second crash must scan them again.
+	replayPos atomic.Int64
+
+	// Recovery instrumentation (Table 4 restart times).
+	lastRecoverReadyNs int64
+	lastRecoverFullNs  int64
+}
+
+var _ kvstore.Store = (*Store)(nil)
+
+// Open creates a ChameleonDB on a fresh simulated pmem device.
+func Open(cfg Config) (*Store, error) {
+	dev := device.New(device.OptanePmem)
+	return OpenOn(cfg, dev)
+}
+
+// OpenOn creates a ChameleonDB on an existing device (so the harness can
+// share one device model across phases).
+func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	arena := pmem.NewArena(dev, cfg.ArenaBytes)
+	log, err := wlog.New(arena, cfg.LogBytes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:        cfg,
+		dev:        dev,
+		arena:      arena,
+		log:        log,
+		shardShift: 64 - uint(log2(cfg.Shards)),
+	}
+	s.replayPos.Store(int64(1) << 62)
+	if cfg.GetProtect.Enabled {
+		s.gpmWindow = histogram.NewWindowed(cfg.GetProtect.WindowSize)
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	boot := simclock.New(0)
+	for i := range s.shards {
+		sh, err := newShard(s, i, boot)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Name implements kvstore.Store.
+func (s *Store) Name() string { return "ChameleonDB" }
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Device returns the simulated pmem device (for harness stats).
+func (s *Store) Device() *device.Device { return s.dev }
+
+// Log exposes the storage log (tests and the harness use its counters).
+func (s *Store) Log() *wlog.Log { return s.log }
+
+// shardFor routes a key hash to its shard: the top bits select the shard so
+// the low bits remain independent for in-table slot selection.
+func (s *Store) shardFor(h uint64) *shard {
+	if s.shardShift == 64 {
+		return s.shards[0]
+	}
+	return s.shards[h>>s.shardShift]
+}
+
+// DeviceStats implements kvstore.Store.
+func (s *Store) DeviceStats() device.Stats { return s.dev.Stats() }
+
+// DRAMFootprint implements kvstore.Store: MemTables + ABIs + GPM monitor.
+func (s *Store) DRAMFootprint() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.mem.DRAMFootprint()
+		if sh.abi != nil {
+			total += sh.abi.DRAMFootprint()
+		}
+		for _, lvl := range sh.levels {
+			for _, p := range lvl {
+				total += p.dramFootprint()
+			}
+		}
+		for _, p := range sh.dumped {
+			total += p.dramFootprint()
+		}
+		if sh.last != nil {
+			total += sh.last.dramFootprint()
+		}
+		sh.mu.Unlock()
+	}
+	if s.gpmWindow != nil {
+		total += int64(s.cfg.GetProtect.WindowSize) * 8
+	}
+	return total
+}
+
+// Crash implements kvstore.Store: power loss. All sessions must be quiesced.
+func (s *Store) Crash() {
+	s.crashed.Store(true)
+	s.arena.Crash()
+	// Power loss clears the device pipes: recovery does not queue behind
+	// pre-crash in-flight transfers, and its clock starts fresh.
+	s.dev.ResetTimelines()
+	for _, sh := range s.shards {
+		sh.tl.Reset()
+	}
+	// Volatile state dies with the process.
+	for _, sh := range s.shards {
+		sh.volatileWipe()
+	}
+	s.gpmActive.Store(false)
+}
+
+// Close implements kvstore.Store.
+func (s *Store) Close() error { return nil }
+
+// SetWriteIntensive toggles Write-Intensive Mode at runtime (Section 2.3
+// describes it as a user option).
+func (s *Store) SetWriteIntensive(on bool) {
+	s.cfg.WriteIntensive = on
+}
+
+// GPMActive reports whether Get-Protect Mode is currently engaged.
+func (s *Store) GPMActive() bool { return s.gpmActive.Load() }
+
+// recordGetLatency feeds the dynamic Get-Protect monitor (Section 2.4) and
+// flips the mode when the windowed tail crosses the thresholds.
+func (s *Store) recordGetLatency(ns int64) {
+	gp := s.cfg.GetProtect
+	if !gp.Enabled {
+		return
+	}
+	n := s.gpmTick.Add(1)
+	if n%int64(gp.SampleEvery) != 0 {
+		return
+	}
+	s.gpmMu.Lock()
+	s.gpmWindow.Record(ns)
+	var p99 int64
+	check := n%(int64(gp.SampleEvery)*64) == 0
+	if check {
+		p99 = s.gpmWindow.Percentile(99)
+	}
+	s.gpmMu.Unlock()
+	if !check || p99 == 0 {
+		return
+	}
+	if p99 > gp.EnterThresholdNs {
+		if s.gpmActive.CompareAndSwap(false, true) {
+			s.stats.GPMEntries.Add(1)
+		}
+	} else if p99 < gp.ExitThresholdNs {
+		if s.gpmActive.CompareAndSwap(true, false) {
+			s.stats.GPMExits.Add(1)
+			// Dumped ABIs are merged back lazily: mark every shard so its
+			// next put triggers the postponed last-level compaction if it
+			// actually holds a dump (checked under the shard lock).
+			for _, sh := range s.shards {
+				sh.pendingMerge.Store(true)
+			}
+		}
+	}
+}

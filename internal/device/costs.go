@@ -1,0 +1,67 @@
+package device
+
+// CPU cost table, in virtual nanoseconds, charged to worker clocks for the
+// computational work the paper identifies as significant against Optane's
+// nanosecond-scale accesses (Sections 3.3 and 3.7): bloom filter
+// construction, key sorting, and hash computation. The values are calibrated
+// against the ratios the paper reports (e.g. the Pmem-LSM-F vs Pmem-LSM-NF
+// put-throughput gap is dominated by CostBloomAdd, and the NoveLSM/MatrixKV
+// get-bandwidth deficit by CostKeyCompare-driven binary search).
+const (
+	// CostHash64 is one 64-bit hash of a short key.
+	CostHash64 = 15
+
+	// CostDRAMRandAccess is one dependent random DRAM access (a hash-table
+	// probe step that misses cache).
+	CostDRAMRandAccess = 80
+
+	// CostDRAMSeqPerByte is streaming DRAM work (memcpy / merge scan),
+	// ~20 GB/s.
+	CostDRAMSeqPerByte = 0.05
+
+	// CostBloomAdd is inserting one key into a bloom filter (k hash+set
+	// operations on a filter too large for cache, plus its share of filter
+	// allocation and management; calibrated against the paper's 3x
+	// Pmem-LSM-F vs -NF put-throughput gap).
+	CostBloomAdd = 350
+
+	// CostBloomCheck is one bloom filter membership test: k dependent
+	// probes into a filter far larger than cache. The paper measures filter
+	// checks at 50% or more of an Optane read (Section 2.2), which is what
+	// makes the multi-filter walk of Pmem-LSM-F slower than Pmem-LSM-PinK's
+	// pinned-table walk (Figures 12/13).
+	CostBloomCheck = 250
+
+	// CostKeyCompare is one key comparison step during binary search or
+	// merge sort in the sorted-run baselines (NoveLSM, MatrixKV).
+	CostKeyCompare = 12
+
+	// CostSortPerKey is the amortized per-key cost of sorting a MemTable or
+	// merging sorted runs in the comparison-based baselines.
+	CostSortPerKey = 110
+
+	// CostSlotProbe is examining one 16-byte index slot that is already in
+	// cache (same 256 B line as the previous probe).
+	CostSlotProbe = 6
+
+	// CostCompactionPerSlot is the per-slot CPU cost of staging and merging
+	// hash-table slots during flushes and compactions. Merges stream over
+	// tables that largely fit in cache, so this is far below a dependent
+	// DRAM miss; it is the constant that, multiplied by ChameleonDB's
+	// (l-1+r)/f rewrite factor, sets the LSM stores' put overhead relative
+	// to Dram-Hash (Figure 10's ~1.7x gap).
+	CostCompactionPerSlot = 25
+)
+
+// DRAMProbeCost models a linear-probe sequence over 16-byte slots in DRAM:
+// one random access per touched 64 B cache line (4 slots) plus a small
+// per-slot compare cost. Probe chains are contiguous, so charging a full
+// random access per slot would overstate DRAM by ~4x and distort the
+// DRAM-vs-Pmem comparisons the paper's Figures 12/13 rest on.
+func DRAMProbeCost(probes int) int64 {
+	if probes <= 0 {
+		return 0
+	}
+	lines := int64((probes + 3) / 4)
+	return lines*CostDRAMRandAccess + int64(probes)*2
+}

@@ -1,0 +1,192 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chameleondb/internal/simclock"
+)
+
+func TestMediaSpanRounding(t *testing.T) {
+	d := New(OptanePmem)
+	cases := []struct {
+		off, size, want int64
+	}{
+		{0, 1, 256},
+		{0, 256, 256},
+		{0, 257, 512},
+		{255, 2, 512},     // straddles a unit boundary
+		{256, 256, 256},   // exactly one aligned unit
+		{300, 16, 256},    // small write inside one unit
+		{0, 4096, 4096},   // 16 units
+		{128, 4096, 4352}, // unaligned 4 KB touches 17 units
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := d.mediaSpan(c.off, c.size); got != c.want {
+			t.Errorf("mediaSpan(%d, %d) = %d, want %d", c.off, c.size, got, c.want)
+		}
+	}
+}
+
+func TestWriteAmplificationSmallWrites(t *testing.T) {
+	// A 16-byte in-place index update on Optane must cost a full 256 B media
+	// write: amplification 16. This is the arithmetic behind Challenge 1.
+	d := New(OptanePmem)
+	c := simclock.New(0)
+	for i := int64(0); i < 100; i++ {
+		d.WritePersist(c, i*1024, 16) // non-contiguous 16 B writes
+	}
+	s := d.Stats()
+	if s.LogicalBytesWritten != 1600 {
+		t.Fatalf("logical = %d, want 1600", s.LogicalBytesWritten)
+	}
+	if s.MediaBytesWritten != 25600 {
+		t.Fatalf("media = %d, want 25600", s.MediaBytesWritten)
+	}
+	if wa := s.WriteAmplification(); wa != 16.0 {
+		t.Fatalf("WA = %v, want 16", wa)
+	}
+	// RMW: the untouched 240 bytes of each unit must have been read.
+	if s.MediaBytesRead != 24000 {
+		t.Fatalf("RMW reads = %d, want 24000", s.MediaBytesRead)
+	}
+}
+
+func TestWriteAmplificationAlignedWrites(t *testing.T) {
+	// 256 B-aligned whole-unit writes have no amplification and no RMW.
+	d := New(OptanePmem)
+	c := simclock.New(0)
+	for i := int64(0); i < 100; i++ {
+		d.WritePersist(c, i*256, 256)
+	}
+	s := d.Stats()
+	if wa := s.WriteAmplification(); wa != 1.0 {
+		t.Fatalf("WA = %v, want 1", wa)
+	}
+	if s.MediaBytesRead != 0 {
+		t.Fatalf("aligned writes should not RMW, got %d read bytes", s.MediaBytesRead)
+	}
+}
+
+func TestRandomReadChargesLatency(t *testing.T) {
+	d := New(OptanePmem)
+	c := simclock.New(0)
+	d.ReadRandom(c, 0, 16)
+	if c.Now() < OptanePmem.ReadLatency {
+		t.Fatalf("read advanced clock by %d, want >= %d", c.Now(), OptanePmem.ReadLatency)
+	}
+	s := d.Stats()
+	if s.MediaBytesRead != 256 {
+		t.Fatalf("16 B random read should touch one 256 B unit, got %d", s.MediaBytesRead)
+	}
+}
+
+func TestSeqReadAmortizesLatency(t *testing.T) {
+	d := New(OptanePmem)
+	cr := simclock.New(0)
+	d.ReadSeq(cr, 0, 1<<20) // 1 MB at 12 GB/s ~ 87 us
+	seq := cr.Now()
+	d2 := New(OptanePmem)
+	cs := simclock.New(0)
+	for i := int64(0); i < 4096; i++ { // same bytes as 256 B random reads
+		d2.ReadRandom(cs, i*256, 256)
+	}
+	if seq >= cs.Now() {
+		t.Fatalf("sequential read (%d ns) should be faster than random (%d ns)", seq, cs.Now())
+	}
+}
+
+func TestContentionCurve(t *testing.T) {
+	// Write bandwidth should degrade beyond MaxParallel threads (Figure 1).
+	bwAt := func(threads int) float64 {
+		d := New(OptanePmem)
+		d.SetConcurrency(threads)
+		g := simclock.NewGroup(threads, 0)
+		const perThread = 1000
+		for i := 0; i < threads; i++ {
+			c := g.Clock(i)
+			for j := 0; j < perThread; j++ {
+				d.WritePersist(c, int64(j)*256, 256)
+			}
+		}
+		totalBytes := float64(threads * perThread * 256)
+		return totalBytes / float64(g.Makespan())
+	}
+	bw1, bw4, bw16 := bwAt(1), bwAt(4), bwAt(16)
+	if bw4 <= bw1 {
+		t.Fatalf("bandwidth should rise from 1 to 4 threads: %v vs %v", bw1, bw4)
+	}
+	if bw16 >= bw4 {
+		t.Fatalf("bandwidth should decline past saturation: 4 threads %v, 16 threads %v", bw4, bw16)
+	}
+}
+
+func TestConcurrencyClamp(t *testing.T) {
+	d := New(OptanePmem)
+	d.SetConcurrency(0)
+	if d.Concurrency() != 1 {
+		t.Fatalf("Concurrency() = %d, want clamp to 1", d.Concurrency())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := New(OptanePmem)
+	c := simclock.New(0)
+	d.WritePersist(c, 0, 64)
+	d.ResetStats()
+	if s := d.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after reset = %+v, want zero", s)
+	}
+}
+
+// Property: media bytes written are always >= logical bytes and always a
+// multiple of the access unit.
+func TestMediaAccountingProperty(t *testing.T) {
+	d := New(OptanePmem)
+	c := simclock.New(0)
+	f := func(off uint16, size uint16) bool {
+		if size == 0 {
+			return true
+		}
+		before := d.Stats()
+		d.WritePersist(c, int64(off), int64(size))
+		after := d.Stats()
+		dMedia := after.MediaBytesWritten - before.MediaBytesWritten
+		dLogical := after.LogicalBytesWritten - before.LogicalBytesWritten
+		return dMedia >= dLogical && dMedia%OptanePmem.AccessUnit == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSizeWriteIsNoOp(t *testing.T) {
+	d := New(OptanePmem)
+	c := simclock.New(0)
+	d.WritePersist(c, 100, 0)
+	if s := d.Stats(); s.WriteOps != 0 || c.Now() != 0 {
+		t.Fatalf("zero-size write should be a no-op, stats=%+v clock=%d", s, c.Now())
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []Profile{OptanePmem, DRAM, SATASSD, NVMeSSD} {
+		if p.AccessUnit <= 0 || p.ReadBandwidth <= 0 || p.WriteBandwidth <= 0 {
+			t.Errorf("profile %s has non-positive parameters: %+v", p.Name, p)
+		}
+	}
+	// The relationships the paper relies on.
+	if OptanePmem.ReadLatency <= DRAM.ReadLatency {
+		t.Error("Optane reads must be slower than DRAM")
+	}
+	if OptanePmem.ReadLatency > 5*DRAM.ReadLatency {
+		t.Error("Optane reads are ~3x DRAM in the paper, model is way off")
+	}
+	if SATASSD.ReadLatency <= NVMeSSD.ReadLatency {
+		t.Error("SATA must be slower than NVMe")
+	}
+	if NVMeSSD.ReadLatency <= OptanePmem.ReadLatency {
+		t.Error("NVMe must be slower than Optane")
+	}
+}

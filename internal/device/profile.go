@@ -1,0 +1,120 @@
+// Package device models the timing and media-level behaviour of the storage
+// devices used in the ChameleonDB paper: Optane DC persistent memory, DRAM,
+// and the SATA/PCIe SSDs of Figure 2.
+//
+// The model captures the three properties the paper's design exploits:
+//
+//  1. Optane Pmem has a 256-byte internal access unit. Any persisted write is
+//     rounded up to the 256 B lines it touches; a partial line additionally
+//     incurs a read-modify-write. The accountant reports media bytes exactly
+//     the way Intel's ipmwatch does in the paper's Figure 17(b).
+//  2. Optane Pmem is fast: ~300 ns random reads (about 3x DRAM) and on the
+//     order of 10 GB/s of sequential bandwidth, so filter checks and other
+//     CPU work are no longer negligible relative to a device access.
+//  3. Bandwidth is shared and contended: the integrated memory controller
+//     (iMC) saturates around four writer threads and degrades beyond that
+//     (paper Figure 1). The device is a simclock.Timeline on which every
+//     access reserves transfer time, which reproduces queueing; an explicit
+//     contention curve reproduces the post-saturation decline.
+//
+// All durations are virtual nanoseconds (see package simclock).
+package device
+
+// Profile describes the timing characteristics of a device class.
+type Profile struct {
+	// Name identifies the profile in stats output.
+	Name string
+
+	// ReadLatency is the fixed cost of one random read operation, charged to
+	// the issuing worker's clock in addition to transfer time.
+	ReadLatency int64
+
+	// WriteLatency is the fixed cost of persisting one write (the
+	// ntstore+sfence round trip for Pmem, the command overhead for an SSD).
+	WriteLatency int64
+
+	// ReadBandwidth and WriteBandwidth are peak sequential transfer rates in
+	// bytes per nanosecond (1.0 == 1 GB/s on the convenient definition
+	// 1 GB = 1e9 bytes).
+	ReadBandwidth  float64
+	WriteBandwidth float64
+
+	// AccessUnit is the internal media access granularity in bytes. Writes
+	// are rounded up to touched units; a write smaller than the units it
+	// touches incurs a read-modify-write of those units.
+	AccessUnit int64
+
+	// MaxParallel is the number of concurrent writers at which write
+	// bandwidth peaks (the iMC saturation point in Figure 1).
+	MaxParallel int
+
+	// ContentionSlope is the fractional write-bandwidth loss per writer
+	// beyond MaxParallel: effective = peak / (1 + slope*(n-MaxParallel)).
+	ContentionSlope float64
+
+	// ReadWriteInterferenceNs is the maximum extra latency a random read
+	// pays when the device is fully busy with writes. On Optane, reads
+	// behind a heavy write stream slow down several-fold (the paper's
+	// Figure 16 put bursts raise get tails 2-3x); the penalty scales with
+	// the write pipe's recent utilization.
+	ReadWriteInterferenceNs int64
+}
+
+// The profiles below are calibrated so that ratios between stores match the
+// shapes reported in the paper; see EXPERIMENTS.md for the calibration notes.
+var (
+	// OptanePmem models one socket's interleaved pair of 128 GB Optane DC
+	// DIMMs in App Direct mode, matching the paper's testbed (Section 3.1)
+	// and the characterization in Yang et al. (FAST'20): ~300 ns random
+	// reads (~3x DRAM), ~12 GB/s sequential reads, ~8 GB/s peak ntstore
+	// write bandwidth at 256 B granularity, 256 B access unit, iMC
+	// saturation at 4 writer threads.
+	OptanePmem = Profile{
+		Name:                    "optane-pmem",
+		ReadLatency:             400,
+		WriteLatency:            100,
+		ReadBandwidth:           12.0,
+		WriteBandwidth:          8.0,
+		AccessUnit:              256,
+		MaxParallel:             4,
+		ContentionSlope:         0.05,
+		ReadWriteInterferenceNs: 4000,
+	}
+
+	// DRAM models local-socket DRAM: ~80 ns random access, high bandwidth,
+	// cacheline granularity, effectively uncontended at our scales.
+	DRAM = Profile{
+		Name:            "dram",
+		ReadLatency:     80,
+		WriteLatency:    80,
+		ReadBandwidth:   40.0,
+		WriteBandwidth:  40.0,
+		AccessUnit:      64,
+		MaxParallel:     16,
+		ContentionSlope: 0.0,
+	}
+
+	// SATASSD models the SATA SSD of Figure 2(a): ~80 us random reads.
+	SATASSD = Profile{
+		Name:            "sata-ssd",
+		ReadLatency:     80_000,
+		WriteLatency:    60_000,
+		ReadBandwidth:   0.5,
+		WriteBandwidth:  0.45,
+		AccessUnit:      4096,
+		MaxParallel:     8,
+		ContentionSlope: 0.02,
+	}
+
+	// NVMeSSD models the PCIe SSD of Figure 2(b): ~20 us random reads.
+	NVMeSSD = Profile{
+		Name:            "nvme-ssd",
+		ReadLatency:     20_000,
+		WriteLatency:    15_000,
+		ReadBandwidth:   3.0,
+		WriteBandwidth:  2.0,
+		AccessUnit:      4096,
+		MaxParallel:     16,
+		ContentionSlope: 0.01,
+	}
+)

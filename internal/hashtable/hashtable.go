@@ -1,0 +1,171 @@
+// Package hashtable implements the fixed-size linear-probing hash tables at
+// the heart of ChameleonDB (Section 2.1/2.5): the in-DRAM MemTable and ABI
+// use Mem; the immutable persisted sub-level tables and last-level table use
+// PmemTable. Both share the 16-byte slot format {key hash, reference}, where
+// the reference is a storage-log LSN with a tombstone bit.
+//
+// Tables are deliberately not extendable: ChameleonDB avoids rehashing by
+// bounding each table's load factor at build time (Randomized Load Factors,
+// Section 2.5) and relying on compaction, not expansion, to make room.
+package hashtable
+
+import "encoding/binary"
+
+// TombstoneBit marks a deleted key in a slot reference.
+const TombstoneBit = uint64(1) << 63
+
+// SlotSize is the on-media size of one slot in bytes.
+const SlotSize = 16
+
+// Slot is one index entry. Ref == 0 means the slot is empty (LSN 0 is
+// reserved by the pmem arena).
+type Slot struct {
+	Hash uint64
+	Ref  uint64
+}
+
+// Tombstone reports whether the slot marks a deletion.
+func (s Slot) Tombstone() bool { return s.Ref&TombstoneBit != 0 }
+
+// LSN returns the storage-log position the slot references.
+func (s Slot) LSN() int64 { return int64(s.Ref &^ TombstoneBit) }
+
+// MakeRef builds a slot reference from an LSN and tombstone flag.
+func MakeRef(lsn int64, tombstone bool) uint64 {
+	r := uint64(lsn)
+	if tombstone {
+		r |= TombstoneBit
+	}
+	return r
+}
+
+// Mem is a fixed-capacity linear-probing hash table in DRAM. It is the
+// MemTable and ABI building block. Not safe for concurrent use; ChameleonDB
+// shards serialize access per shard.
+type Mem struct {
+	slots []Slot
+	mask  uint64
+	count int
+}
+
+// NewMem creates a table with the given capacity (rounded up to a power of
+// two, minimum 8).
+func NewMem(capacity int) *Mem {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	return &Mem{slots: make([]Slot, c), mask: uint64(c - 1)}
+}
+
+// Cap returns the slot capacity.
+func (m *Mem) Cap() int { return len(m.slots) }
+
+// Len returns the number of occupied slots (tombstones count: they occupy
+// index space until compacted away).
+func (m *Mem) Len() int { return m.count }
+
+// LoadFactor returns occupied/capacity.
+func (m *Mem) LoadFactor() float64 { return float64(m.count) / float64(len(m.slots)) }
+
+// DRAMFootprint returns the table's memory footprint in bytes.
+func (m *Mem) DRAMFootprint() int64 { return int64(len(m.slots)) * SlotSize }
+
+// Insert places or updates the entry for hash h, returning the number of
+// slots probed. ok is false when the table is completely full and h is not
+// present (callers must flush before that happens; load-factor thresholds
+// keep them far from it).
+func (m *Mem) Insert(h uint64, ref uint64) (probes int, ok bool) {
+	idx := h & m.mask
+	for i := 0; i <= int(m.mask); i++ {
+		probes++
+		s := &m.slots[idx]
+		if s.Ref == 0 {
+			s.Hash, s.Ref = h, ref
+			m.count++
+			return probes, true
+		}
+		if s.Hash == h {
+			s.Ref = ref
+			return probes, true
+		}
+		idx = (idx + 1) & m.mask
+	}
+	return probes, false
+}
+
+// InsertIfAbsent places the entry only if hash h is not already present.
+// It returns true if the entry was inserted. Used by merges that iterate
+// newest-first so newer versions win.
+func (m *Mem) InsertIfAbsent(h uint64, ref uint64) bool {
+	idx := h & m.mask
+	for i := 0; i <= int(m.mask); i++ {
+		s := &m.slots[idx]
+		if s.Ref == 0 {
+			s.Hash, s.Ref = h, ref
+			m.count++
+			return true
+		}
+		if s.Hash == h {
+			return false
+		}
+		idx = (idx + 1) & m.mask
+	}
+	return false
+}
+
+// Get returns the reference for hash h. probes reports the number of slots
+// examined, which callers convert into timing charges.
+func (m *Mem) Get(h uint64) (ref uint64, probes int, ok bool) {
+	idx := h & m.mask
+	for i := 0; i <= int(m.mask); i++ {
+		s := m.slots[idx]
+		probes++
+		if s.Ref == 0 {
+			return 0, probes, false
+		}
+		if s.Hash == h {
+			return s.Ref, probes, true
+		}
+		idx = (idx + 1) & m.mask
+	}
+	return 0, probes, false
+}
+
+// Iterate calls fn for every occupied slot. Iteration order is table order,
+// which is meaningless; callers needing recency order track it themselves.
+func (m *Mem) Iterate(fn func(Slot) bool) {
+	for _, s := range m.slots {
+		if s.Ref != 0 {
+			if !fn(s) {
+				return
+			}
+		}
+	}
+}
+
+// Reset clears the table for reuse without reallocating.
+func (m *Mem) Reset() {
+	clear(m.slots)
+	m.count = 0
+}
+
+// Clone returns a deep copy, used by PinK-style DRAM pinning.
+func (m *Mem) Clone() *Mem {
+	c := &Mem{slots: make([]Slot, len(m.slots)), mask: m.mask, count: m.count}
+	copy(c.slots, m.slots)
+	return c
+}
+
+// encodeSlot/decodeSlot define the persisted slot layout (little endian).
+func encodeSlot(b []byte, s Slot) {
+	binary.LittleEndian.PutUint64(b[0:8], s.Hash)
+	binary.LittleEndian.PutUint64(b[8:16], s.Ref)
+}
+
+func decodeSlot(b []byte) Slot {
+	return Slot{
+		Hash: binary.LittleEndian.Uint64(b[0:8]),
+		Ref:  binary.LittleEndian.Uint64(b[8:16]),
+	}
+}

@@ -1,0 +1,51 @@
+// Package kvstore defines the interface every store in the evaluation
+// implements — ChameleonDB and the Pmem-Hash / Dram-Hash / Pmem-LSM /
+// NoveLSM / MatrixKV baselines — so the benchmark harness and the oracle
+// test suite can drive them uniformly.
+package kvstore
+
+import (
+	"chameleondb/internal/device"
+	"chameleondb/internal/simclock"
+)
+
+// Session is a per-worker handle. Each benchmark thread (and each background
+// compaction worker) owns one session; the session's clock accumulates the
+// virtual time of everything the worker does. Sessions are not safe for
+// concurrent use; different sessions of the same store are.
+type Session interface {
+	// Put inserts or updates a key.
+	Put(key, value []byte) error
+	// Get returns the value for key, and whether it exists.
+	Get(key []byte) ([]byte, bool, error)
+	// Delete removes a key (a tombstone in log-structured stores).
+	Delete(key []byte) error
+	// Flush drains any DRAM write buffers to the device (log batches,
+	// unsealed chunks), making acknowledged writes durable.
+	Flush() error
+	// Clock returns the worker's virtual clock.
+	Clock() *simclock.Clock
+}
+
+// Store is a key-value store under evaluation.
+type Store interface {
+	// Name identifies the store in reports ("ChameleonDB", "Pmem-Hash", ...).
+	Name() string
+	// NewSession creates a worker handle bound to clock c.
+	NewSession(c *simclock.Clock) Session
+	// DRAMFootprint reports the store's volatile memory use in bytes
+	// (Table 4's DRAM Footprint column).
+	DRAMFootprint() int64
+	// DeviceStats reports the persistent device's media counters.
+	DeviceStats() device.Stats
+	// Crash simulates a power failure: all volatile state (DRAM indexes,
+	// unflushed buffers) is lost; only persisted data survives. The caller
+	// must have quiesced all sessions.
+	Crash()
+	// Recover rebuilds the store after Crash until it can serve requests.
+	// The recovery work is charged to c; the elapsed virtual time is the
+	// restart time of Table 4.
+	Recover(c *simclock.Clock) error
+	// Close releases resources.
+	Close() error
+}

@@ -1,0 +1,168 @@
+// Package pmem implements the simulated Optane persistent memory arena used
+// by every store in this repository.
+//
+// The arena keeps two images of the memory: a volatile image, which models
+// the CPU cache hierarchy plus the device and is what running code reads and
+// writes, and a durable image, which models the persistent media behind the
+// write pending queue. Writes land in the volatile image immediately;
+// Persist (clwb+sfence) and PersistNT (ntstore+sfence) copy byte ranges into
+// the durable image and charge the device model for the media traffic.
+// Crash discards the volatile image, so anything not persisted is lost —
+// exactly the failure semantics App Direct mode exposes — and Recover-time
+// code sees only what was fenced.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/simclock"
+)
+
+// ErrOutOfSpace is returned by Alloc when the arena is exhausted.
+var ErrOutOfSpace = errors.New("pmem: arena out of space")
+
+// Arena is a byte-addressable persistent memory region backed by the device
+// timing model. Allocation is thread-safe; data access into disjoint
+// allocations is safe without locking, as with real memory.
+type Arena struct {
+	dev *device.Device
+
+	mu       sync.Mutex
+	volatile []byte
+	durable  []byte
+	next     int64
+	free     map[int64][]int64 // size class -> free offsets
+
+	crashMu sync.RWMutex // held for writing only during Crash
+}
+
+// NewArena creates an arena of the given capacity in bytes on device dev.
+// Offset 0 is reserved (a zero offset means "nil" throughout the codebase),
+// so the first allocation starts at the device access unit boundary.
+func NewArena(dev *device.Device, capacity int64) *Arena {
+	a := &Arena{
+		dev:      dev,
+		volatile: make([]byte, capacity),
+		durable:  make([]byte, capacity),
+		next:     dev.Profile().AccessUnit,
+		free:     make(map[int64][]int64),
+	}
+	return a
+}
+
+// Device returns the backing device model.
+func (a *Arena) Device() *device.Device { return a.dev }
+
+// Capacity returns the arena size in bytes.
+func (a *Arena) Capacity() int64 { return int64(len(a.volatile)) }
+
+// InUse returns the high-water allocation mark in bytes.
+func (a *Arena) InUse() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
+// Alloc reserves size bytes aligned to the device access unit and returns the
+// offset. Freed blocks of the same size class are reused. Allocation itself
+// is not charged time: real pmem allocators amortize this into the writes.
+func (a *Arena) Alloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("pmem: invalid alloc size %d", size)
+	}
+	unit := a.dev.Profile().AccessUnit
+	size = (size + unit - 1) / unit * unit
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if list := a.free[size]; len(list) > 0 {
+		off := list[len(list)-1]
+		a.free[size] = list[:len(list)-1]
+		return off, nil
+	}
+	if a.next+size > int64(len(a.volatile)) {
+		return 0, fmt.Errorf("%w: need %d bytes, %d available", ErrOutOfSpace, size, int64(len(a.volatile))-a.next)
+	}
+	off := a.next
+	a.next += size
+	return off, nil
+}
+
+// Free returns an allocation of the given size to the arena's free list. The
+// contents are zeroed in both images so stale data cannot leak into the next
+// user of the block (the durable zeroing is not charged: real systems defer
+// it into the next table write, which we charge in full).
+func (a *Arena) Free(off, size int64) {
+	if off == 0 || size <= 0 {
+		return
+	}
+	unit := a.dev.Profile().AccessUnit
+	size = (size + unit - 1) / unit * unit
+	clear(a.volatile[off : off+size])
+	clear(a.durable[off : off+size])
+	a.mu.Lock()
+	a.free[size] = append(a.free[size], off)
+	a.mu.Unlock()
+}
+
+// Bytes returns the volatile view of [off, off+size). Callers that model
+// timed access must charge the device separately (ReadRandom/ReadSeq); this
+// accessor exists so index structures can manipulate their backing memory.
+func (a *Arena) Bytes(off, size int64) []byte {
+	return a.volatile[off : off+size]
+}
+
+// ReadRandom charges one random device read and returns the volatile view of
+// the range (identical to the durable view for persisted data).
+func (a *Arena) ReadRandom(c *simclock.Clock, off, size int64) []byte {
+	a.dev.ReadRandom(c, off, size)
+	return a.volatile[off : off+size]
+}
+
+// ReadSeq charges a streaming read and returns the volatile view.
+func (a *Arena) ReadSeq(c *simclock.Clock, off, size int64) []byte {
+	a.dev.ReadSeq(c, off, size)
+	return a.volatile[off : off+size]
+}
+
+// Persist flushes [off, off+size) from the volatile image to the durable
+// image (clwb + sfence). Partial-unit writes incur read-modify-write
+// charges in the device model.
+func (a *Arena) Persist(c *simclock.Clock, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	a.crashMu.RLock()
+	copy(a.durable[off:off+size], a.volatile[off:off+size])
+	a.crashMu.RUnlock()
+	a.dev.WritePersist(c, off, size)
+}
+
+// Store writes data into the volatile image without persisting it. It models
+// a plain cached store: free in time (the cost is charged when the line is
+// eventually persisted), lost on crash if never fenced.
+func (a *Arena) Store(off int64, data []byte) {
+	copy(a.volatile[off:off+int64(len(data))], data)
+}
+
+// StorePersist writes data and immediately persists it — the common
+// store+clwb+sfence (or ntstore+sfence) sequence for small in-place updates,
+// the access pattern that makes Pmem-Hash slow in the paper.
+func (a *Arena) StorePersist(c *simclock.Clock, off int64, data []byte) {
+	a.Store(off, data)
+	a.Persist(c, off, int64(len(data)))
+}
+
+// Crash simulates a power failure: the volatile image is replaced by the
+// durable image, discarding every write that was not persisted. The caller
+// must guarantee no concurrent access (stores stop their workers first).
+func (a *Arena) Crash() {
+	a.crashMu.Lock()
+	copy(a.volatile, a.durable)
+	a.crashMu.Unlock()
+}
+
+// Stats returns the backing device's media counters.
+func (a *Arena) Stats() device.Stats { return a.dev.Stats() }

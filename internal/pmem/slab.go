@@ -1,0 +1,49 @@
+package pmem
+
+import "sync"
+
+// Slab is a small-object sub-allocator over an Arena. Arena allocations are
+// access-unit aligned (256 B minimum), which would waste enormous space on
+// structures like skiplist nodes; Slab carves unaligned objects out of large
+// arena chunks instead, exactly as a real pmem allocator does — and exactly
+// because objects straddle 256 B units, small persisted writes to them incur
+// the read-modify-write amplification the paper's Challenge 1 describes.
+type Slab struct {
+	arena     *Arena
+	chunkSize int64
+
+	mu   sync.Mutex
+	cur  int64 // current chunk offset, 0 if none
+	used int64
+}
+
+// NewSlab creates a slab allocator drawing chunkSize-byte chunks from arena.
+func NewSlab(arena *Arena, chunkSize int64) *Slab {
+	if chunkSize < 4096 {
+		chunkSize = 4096
+	}
+	return &Slab{arena: arena, chunkSize: chunkSize}
+}
+
+// Alloc reserves size bytes (8-byte aligned, not unit aligned) and returns
+// the absolute arena offset. Slab allocations are never freed individually;
+// log-structured stores reclaim space wholesale, which is out of scope here.
+func (s *Slab) Alloc(size int64) (int64, error) {
+	size = (size + 7) &^ 7
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == 0 || s.used+size > s.chunkSize {
+		n := s.chunkSize
+		if size > n {
+			n = size
+		}
+		off, err := s.arena.Alloc(n)
+		if err != nil {
+			return 0, err
+		}
+		s.cur, s.used = off, 0
+	}
+	off := s.cur + s.used
+	s.used += size
+	return off, nil
+}

@@ -1,0 +1,74 @@
+package pmem
+
+import (
+	"testing"
+
+	"chameleondb/internal/device"
+)
+
+func TestSlabCarvesUnaligned(t *testing.T) {
+	a := NewArena(device.New(device.OptanePmem), 1<<20)
+	s := NewSlab(a, 4096)
+	off1, err := s.Alloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := s.Alloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off2 != off1+24 {
+		t.Fatalf("slab allocations not contiguous: %d then %d", off1, off2)
+	}
+}
+
+func TestSlabAlignment(t *testing.T) {
+	a := NewArena(device.New(device.OptanePmem), 1<<20)
+	s := NewSlab(a, 4096)
+	off, err := s.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := s.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off%8 != 0 || off2 != off+8 {
+		t.Fatalf("slab must 8-byte align: %d, %d", off, off2)
+	}
+}
+
+func TestSlabNewChunkOnOverflow(t *testing.T) {
+	a := NewArena(device.New(device.OptanePmem), 1<<20)
+	s := NewSlab(a, 4096)
+	if _, err := s.Alloc(4000); err != nil {
+		t.Fatal(err)
+	}
+	off, err := s.Alloc(200) // does not fit in chunk remainder
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off%4096 != 0 && off%256 != 0 {
+		t.Fatalf("overflow allocation should start a fresh chunk, got %d", off)
+	}
+}
+
+func TestSlabBigAllocation(t *testing.T) {
+	a := NewArena(device.New(device.OptanePmem), 1<<20)
+	s := NewSlab(a, 4096)
+	if _, err := s.Alloc(100000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlabExhaustsArena(t *testing.T) {
+	a := NewArena(device.New(device.OptanePmem), 8192)
+	s := NewSlab(a, 4096)
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		_, err = s.Alloc(1024)
+	}
+	if err == nil {
+		t.Fatal("expected arena exhaustion")
+	}
+}

@@ -1,0 +1,178 @@
+// Package robinhood implements the resizable robin-hood hash table used as
+// Dram-Hash's in-DRAM index, mirroring the open-source robin_hood map the
+// paper uses for that baseline (Section 3.2). Robin-hood hashing minimizes
+// probe-length variance by displacing "rich" entries (short distance from
+// home) in favour of "poor" ones, and deletes with backward shifting so no
+// tombstones accumulate.
+//
+// The table is untimed; the Dram-Hash store converts the returned probe and
+// rehash counts into CPU/DRAM charges, including the multi-second rehash
+// spikes responsible for Dram-Hash's worst-case put latency in Table 2.
+package robinhood
+
+const maxLoadFactor = 0.8
+
+// Table maps 64-bit key hashes to 64-bit references.
+type Table struct {
+	hashes []uint64
+	refs   []uint64
+	used   []bool
+	mask   uint64
+	count  int
+}
+
+// New creates a table with at least the given capacity.
+func New(capacity int) *Table {
+	c := 16
+	for c < capacity {
+		c <<= 1
+	}
+	return &Table{
+		hashes: make([]uint64, c),
+		refs:   make([]uint64, c),
+		used:   make([]bool, c),
+		mask:   uint64(c - 1),
+	}
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return t.count }
+
+// Cap returns the current slot capacity.
+func (t *Table) Cap() int { return len(t.hashes) }
+
+// DRAMFootprint returns the table's memory use in bytes.
+func (t *Table) DRAMFootprint() int64 { return int64(len(t.hashes)) * 17 }
+
+func (t *Table) dist(idx int) int {
+	home := t.hashes[idx] & t.mask
+	return int((uint64(idx) - home) & t.mask)
+}
+
+// Insert adds or updates an entry. probes is the number of slots examined;
+// grown reports how many entries were rehashed if the insert triggered a
+// resize (0 otherwise). Callers convert both into time charges.
+func (t *Table) Insert(h, ref uint64) (probes, grown int) {
+	if float64(t.count+1) > maxLoadFactor*float64(len(t.hashes)) {
+		grown = t.grow()
+	}
+	probes = t.insertNoGrow(h, ref)
+	return probes, grown
+}
+
+func (t *Table) insertNoGrow(h, ref uint64) (probes int) {
+	idx := int(h & t.mask)
+	d := 0
+	for {
+		probes++
+		if !t.used[idx] {
+			t.hashes[idx], t.refs[idx], t.used[idx] = h, ref, true
+			t.count++
+			return probes
+		}
+		if t.hashes[idx] == h {
+			t.refs[idx] = ref
+			return probes
+		}
+		if existing := t.dist(idx); existing < d {
+			// Rob the rich: displace the closer-to-home entry.
+			t.hashes[idx], h = h, t.hashes[idx]
+			t.refs[idx], ref = ref, t.refs[idx]
+			d = existing
+		}
+		idx = int(uint64(idx+1) & t.mask)
+		d++
+	}
+}
+
+func (t *Table) grow() int {
+	old := *t
+	c := len(t.hashes) * 2
+	t.hashes = make([]uint64, c)
+	t.refs = make([]uint64, c)
+	t.used = make([]bool, c)
+	t.mask = uint64(c - 1)
+	t.count = 0
+	moved := 0
+	for i, u := range old.used {
+		if u {
+			t.insertNoGrow(old.hashes[i], old.refs[i])
+			moved++
+		}
+	}
+	return moved
+}
+
+// Get returns the reference for h and the probe count.
+func (t *Table) Get(h uint64) (ref uint64, probes int, ok bool) {
+	idx := int(h & t.mask)
+	d := 0
+	for {
+		probes++
+		if !t.used[idx] {
+			return 0, probes, false
+		}
+		if t.hashes[idx] == h {
+			return t.refs[idx], probes, true
+		}
+		if t.dist(idx) < d {
+			// An entry closer to home than our distance means h is absent:
+			// robin-hood ordering guarantees it would have been here.
+			return 0, probes, false
+		}
+		idx = int(uint64(idx+1) & t.mask)
+		d++
+	}
+}
+
+// Delete removes h using backward shifting and reports probes and success.
+func (t *Table) Delete(h uint64) (probes int, ok bool) {
+	idx := int(h & t.mask)
+	d := 0
+	for {
+		probes++
+		if !t.used[idx] {
+			return probes, false
+		}
+		if t.hashes[idx] == h {
+			break
+		}
+		if t.dist(idx) < d {
+			return probes, false
+		}
+		idx = int(uint64(idx+1) & t.mask)
+		d++
+	}
+	// Backward-shift the following cluster.
+	for {
+		next := int(uint64(idx+1) & t.mask)
+		if !t.used[next] || t.dist(next) == 0 {
+			t.used[idx] = false
+			t.hashes[idx], t.refs[idx] = 0, 0
+			t.count--
+			return probes, true
+		}
+		t.hashes[idx], t.refs[idx] = t.hashes[next], t.refs[next]
+		idx = next
+		probes++
+	}
+}
+
+// Iterate calls fn for each entry until fn returns false.
+func (t *Table) Iterate(fn func(h, ref uint64) bool) {
+	for i, u := range t.used {
+		if u {
+			if !fn(t.hashes[i], t.refs[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Reset clears the table, keeping the allocation.
+func (t *Table) Reset() {
+	clear(t.hashes)
+	clear(t.refs)
+	clear(t.used)
+	t.count = 0
+}

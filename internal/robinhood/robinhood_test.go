@@ -1,0 +1,156 @@
+package robinhood
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chameleondb/internal/xhash"
+)
+
+func TestBasicOps(t *testing.T) {
+	tb := New(16)
+	if _, _, ok := tb.Get(1); ok {
+		t.Fatal("found key in empty table")
+	}
+	tb.Insert(1, 100)
+	ref, probes, ok := tb.Get(1)
+	if !ok || ref != 100 || probes < 1 {
+		t.Fatalf("Get = %d %d %v", ref, probes, ok)
+	}
+	tb.Insert(1, 200) // update
+	if tb.Len() != 1 {
+		t.Fatalf("update grew table: %d", tb.Len())
+	}
+	ref, _, _ = tb.Get(1)
+	if ref != 200 {
+		t.Fatal("update not visible")
+	}
+	if _, ok := tb.Delete(1); !ok {
+		t.Fatal("delete failed")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("delete did not decrement count")
+	}
+	if _, ok := tb.Delete(1); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestGrowthPreservesEntries(t *testing.T) {
+	tb := New(16)
+	const n = 10000
+	sawGrow := false
+	for i := uint64(0); i < n; i++ {
+		_, grown := tb.Insert(xhash.Uint64(i), i+1)
+		if grown > 0 {
+			sawGrow = true
+		}
+	}
+	if !sawGrow {
+		t.Fatal("table never grew")
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		ref, _, ok := tb.Get(xhash.Uint64(i))
+		if !ok || ref != i+1 {
+			t.Fatalf("entry %d lost after growth", i)
+		}
+	}
+}
+
+func TestBackwardShiftDeleteKeepsCluster(t *testing.T) {
+	tb := New(64)
+	// Build a probe cluster: several keys with the same home slot.
+	base := uint64(5)
+	keys := []uint64{base, base + 64, base + 128, base + 192}
+	for i, k := range keys {
+		tb.Insert(k, uint64(i)+1)
+	}
+	// Delete the middle of the cluster; the rest must stay reachable.
+	tb.Delete(keys[1])
+	for i, k := range keys {
+		if i == 1 {
+			if _, _, ok := tb.Get(k); ok {
+				t.Fatal("deleted key still present")
+			}
+			continue
+		}
+		ref, _, ok := tb.Get(k)
+		if !ok || ref != uint64(i)+1 {
+			t.Fatalf("cluster member %d unreachable after delete", i)
+		}
+	}
+}
+
+func TestIterateAndReset(t *testing.T) {
+	tb := New(16)
+	for i := uint64(0); i < 10; i++ {
+		tb.Insert(xhash.Uint64(i), i+1)
+	}
+	var sum uint64
+	tb.Iterate(func(h, ref uint64) bool { sum += ref; return true })
+	if sum != 55 {
+		t.Fatalf("iterate sum = %d, want 55", sum)
+	}
+	n := 0
+	tb.Iterate(func(h, ref uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("iterate did not stop early")
+	}
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	tb := New(16)
+	before := tb.DRAMFootprint()
+	for i := uint64(0); i < 1000; i++ {
+		tb.Insert(xhash.Uint64(i), 1)
+	}
+	if tb.DRAMFootprint() <= before {
+		t.Fatal("footprint should grow with the table")
+	}
+}
+
+// Property: the table matches a map oracle under random insert/delete/get.
+func TestMatchesMapOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tb := New(16)
+		oracle := map[uint64]uint64{}
+		for op := 0; op < 3000; op++ {
+			h := xhash.Uint64(uint64(r.Intn(500)))
+			switch r.Intn(3) {
+			case 0, 1:
+				ref := uint64(r.Intn(10000)) + 1
+				tb.Insert(h, ref)
+				oracle[h] = ref
+			case 2:
+				_, ok := tb.Delete(h)
+				_, want := oracle[h]
+				if ok != want {
+					return false
+				}
+				delete(oracle, h)
+			}
+		}
+		if tb.Len() != len(oracle) {
+			return false
+		}
+		for h, want := range oracle {
+			got, _, ok := tb.Get(h)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

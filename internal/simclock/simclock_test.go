@@ -1,0 +1,186 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := New(100)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now() = %d, want 100", got)
+	}
+	if got := c.Advance(50); got != 150 {
+		t.Fatalf("Advance(50) = %d, want 150", got)
+	}
+	if got := c.Advance(-10); got != 150 {
+		t.Fatalf("Advance(-10) = %d, want 150 (negative ignored)", got)
+	}
+	c.AdvanceTo(120)
+	if got := c.Now(); got != 150 {
+		t.Fatalf("AdvanceTo(past) moved clock backwards to %d", got)
+	}
+	c.AdvanceTo(200)
+	if got := c.Now(); got != 200 {
+		t.Fatalf("AdvanceTo(200) = %d", got)
+	}
+}
+
+func TestTimelineSerializes(t *testing.T) {
+	var tl Timeline
+	end1 := tl.Reserve(0, 100)
+	if end1 != 100 {
+		t.Fatalf("first reservation end = %d, want 100", end1)
+	}
+	// A request arriving at t=50 must queue behind the first reservation.
+	end2 := tl.Reserve(50, 30)
+	if end2 != 130 {
+		t.Fatalf("queued reservation end = %d, want 130", end2)
+	}
+	// A request arriving after the line is idle starts immediately.
+	end3 := tl.Reserve(500, 10)
+	if end3 != 510 {
+		t.Fatalf("idle reservation end = %d, want 510", end3)
+	}
+	if tl.Peek() != 510 {
+		t.Fatalf("Peek() = %d, want 510", tl.Peek())
+	}
+}
+
+func TestTimelineNegativeDuration(t *testing.T) {
+	var tl Timeline
+	end := tl.Reserve(10, -5)
+	if end != 10 {
+		t.Fatalf("negative duration reservation end = %d, want 10", end)
+	}
+}
+
+// Property: the total reserved time on a timeline equals the sum of
+// durations, regardless of arrival order or concurrency — a timeline is a
+// work-conserving serial resource once it is saturated.
+func TestTimelineConservesWorkUnderConcurrency(t *testing.T) {
+	var tl Timeline
+	const workers = 8
+	const perWorker = 1000
+	const dur = 7
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tl.Reserve(0, dur) // all arrive at t=0: fully saturated
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(workers * perWorker * dur)
+	if got := tl.Peek(); got != want {
+		t.Fatalf("saturated timeline end = %d, want %d", got, want)
+	}
+}
+
+// Property: reservations never complete before their arrival plus duration.
+func TestTimelineNeverEarly(t *testing.T) {
+	f := func(arrivals []uint16, durs []uint16) bool {
+		var tl Timeline
+		n := len(arrivals)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		for i := 0; i < n; i++ {
+			at, d := int64(arrivals[i]), int64(durs[i])
+			if end := tl.Reserve(at, d); end < at+d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupMakespanAndSync(t *testing.T) {
+	g := NewGroup(3, 1000)
+	if g.Len() != 3 {
+		t.Fatalf("Len() = %d", g.Len())
+	}
+	g.Clock(0).Advance(10)
+	g.Clock(1).Advance(500)
+	g.Clock(2).Advance(200)
+	if ms := g.Makespan(); ms != 500 {
+		t.Fatalf("Makespan() = %d, want 500", ms)
+	}
+	barrier := g.Sync()
+	if barrier != 1500 {
+		t.Fatalf("Sync() = %d, want 1500", barrier)
+	}
+	for i := 0; i < 3; i++ {
+		if g.Clock(i).Now() != 1500 {
+			t.Fatalf("clock %d = %d after Sync, want 1500", i, g.Clock(i).Now())
+		}
+	}
+}
+
+func TestGroupEmptyMakespan(t *testing.T) {
+	g := NewGroup(0, 50)
+	if ms := g.Makespan(); ms != 0 {
+		t.Fatalf("empty group Makespan() = %d, want 0", ms)
+	}
+}
+
+// Property: ReserveWork never completes before at+dur, accumulates exactly
+// the total work, and never lets a future-time reservation block an earlier
+// arrival beyond the accumulated work.
+func TestReserveWorkProperties(t *testing.T) {
+	f := func(arrivals []uint16, durs []uint8) bool {
+		var tl Timeline
+		n := len(arrivals)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		var totalWork int64
+		for i := 0; i < n; i++ {
+			at, d := int64(arrivals[i]), int64(durs[i])
+			end := tl.ReserveWork(at, d)
+			if end < at+d {
+				return false // completed early
+			}
+			totalWork += d
+			if end > at+totalWork {
+				return false // waited longer than all work ever submitted
+			}
+		}
+		return tl.Peek() == totalWork
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveWorkIdleGap(t *testing.T) {
+	var tl Timeline
+	// A reservation far in the future must not block an earlier arrival.
+	if end := tl.ReserveWork(1_000_000, 10); end != 1_000_010 {
+		t.Fatalf("future reservation end = %d", end)
+	}
+	// An arrival at t=0 sees only the 10ns of accumulated work, not the
+	// future timestamp.
+	if end := tl.ReserveWork(0, 5); end != 15 {
+		t.Fatalf("early arrival end = %d, want 15 (queue behind 10ns of work)", end)
+	}
+}
+
+func TestReserveWorkBacklog(t *testing.T) {
+	var tl Timeline
+	// Saturation: arrivals at time 0 serialize.
+	var end int64
+	for i := 0; i < 100; i++ {
+		end = tl.ReserveWork(0, 7)
+	}
+	if end != 700 {
+		t.Fatalf("backlogged completion = %d, want 700", end)
+	}
+}

@@ -1,0 +1,272 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/pmem"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/xhash"
+)
+
+func newArena(t *testing.T) *pmem.Arena {
+	t.Helper()
+	return pmem.NewArena(device.New(device.OptanePmem), 256<<20)
+}
+
+func entriesN(n, valSize int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		key := []byte(fmt.Sprintf("key-%08d", i))
+		out[i] = Entry{
+			Hash:  xhash.Sum64(key),
+			Key:   key,
+			Value: bytes.Repeat([]byte{byte(i)}, valSize),
+		}
+	}
+	return out
+}
+
+func TestBuildAndGet(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	es := entriesN(500, 32)
+	r, err := Build(c, a, es, BuildOptions{WithFilter: true, SortCost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 500 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for _, e := range es {
+		k, v, tomb, ok := r.Get(c, e.Hash)
+		if !ok || tomb || !bytes.Equal(k, e.Key) || !bytes.Equal(v, e.Value) {
+			t.Fatalf("get %q failed: %q %q %v %v", e.Key, k, v, tomb, ok)
+		}
+	}
+	if _, _, _, ok := r.Get(c, xhash.Sum64([]byte("nope"))); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestBuildDedupNewestFirst(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	key := []byte("dup")
+	h := xhash.Sum64(key)
+	es := []Entry{
+		{Hash: h, Key: key, Value: []byte("new")},
+		{Hash: h, Key: key, Value: []byte("old")},
+	}
+	r, err := Build(c, a, es, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	_, v, _, ok := r.Get(c, h)
+	if !ok || string(v) != "new" {
+		t.Fatalf("dedup kept wrong version: %q", v)
+	}
+}
+
+func TestTombstones(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	key := []byte("gone")
+	h := xhash.Sum64(key)
+	r, err := Build(c, a, []Entry{{Hash: h, Key: key, Tombstone: true}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, tomb, ok := r.Get(c, h)
+	if !ok || !tomb {
+		t.Fatal("tombstone not preserved")
+	}
+}
+
+func TestIterateSorted(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	r, err := Build(c, a, entriesN(300, 8), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	n := 0
+	r.Iterate(func(e Entry) bool {
+		if n > 0 && e.Hash <= prev {
+			t.Fatal("iteration not sorted by hash")
+		}
+		prev = e.Hash
+		n++
+		return true
+	})
+	if n != 300 {
+		t.Fatalf("iterated %d", n)
+	}
+}
+
+func TestMergeNewestWinsAndDropsTombstones(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	key := []byte("k1")
+	h := xhash.Sum64(key)
+	old, err := Build(c, a, []Entry{
+		{Hash: h, Key: key, Value: []byte("v-old")},
+		{Hash: xhash.Sum64([]byte("k2")), Key: []byte("k2"), Value: []byte("keep")},
+	}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newer, err := Build(c, a, []Entry{
+		{Hash: h, Key: key, Value: []byte("v-new")},
+		{Hash: xhash.Sum64([]byte("k3")), Key: []byte("k3"), Tombstone: true},
+	}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(c, a, []*Run{newer, old}, BuildOptions{WithFilter: true}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 2 {
+		t.Fatalf("merged Len = %d, want 2 (tombstone dropped)", merged.Len())
+	}
+	_, v, _, ok := merged.Get(c, h)
+	if !ok || string(v) != "v-new" {
+		t.Fatalf("merge kept wrong version: %q", v)
+	}
+	if _, _, _, ok := merged.Get(c, xhash.Sum64([]byte("k3"))); ok {
+		t.Fatal("dropped tombstone still present")
+	}
+}
+
+func TestMergeKeepsTombstonesWhenAsked(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	key := []byte("k1")
+	h := xhash.Sum64(key)
+	r, err := Build(c, a, []Entry{{Hash: h, Key: key, Tombstone: true}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(c, a, []*Run{r}, BuildOptions{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, tomb, ok := merged.Get(c, h)
+	if !ok || !tomb {
+		t.Fatal("tombstone lost in non-dropping merge")
+	}
+}
+
+func TestValuesRewrittenOnMerge(t *testing.T) {
+	// The defining WA property: merging runs rewrites values. Media writes
+	// during a merge must be at least the merged data bytes.
+	a := newArena(t)
+	c := simclock.New(0)
+	r1, _ := Build(c, a, entriesN(1000, 256), BuildOptions{})
+	es := entriesN(2000, 256)[1000:]
+	r2, _ := Build(c, a, es, BuildOptions{})
+	before := a.Device().Stats().MediaBytesWritten
+	merged, err := Merge(c, a, []*Run{r2, r1}, BuildOptions{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := a.Device().Stats().MediaBytesWritten - before
+	if delta < merged.DataBytes() {
+		t.Fatalf("merge wrote %d media bytes for %d data bytes: values not rewritten",
+			delta, merged.DataBytes())
+	}
+}
+
+func TestMetadataOverheadCharged(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	es := entriesN(1000, 64)
+	plain, _ := Build(c, a, es, BuildOptions{})
+	meta, _ := Build(c, a, es, BuildOptions{MetaBytesPerEntry: 36})
+	if meta.SizeBytes() <= plain.SizeBytes() {
+		t.Fatal("metadata bytes not added to the persisted size")
+	}
+	if meta.SizeBytes()-plain.SizeBytes() != 36*1000 {
+		t.Fatalf("metadata delta = %d, want 36000", meta.SizeBytes()-plain.SizeBytes())
+	}
+}
+
+func TestGetHintedCheaperThanGet(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	r, _ := Build(c, a, entriesN(100000, 8), BuildOptions{})
+	h := xhash.Sum64([]byte(fmt.Sprintf("key-%08d", 55555)))
+	// Both probes continue on one clock so neither queues behind the other's
+	// device-pipe reservations.
+	t0 := c.Now()
+	r.Get(c, h)
+	tGet := c.Now() - t0
+	t1 := c.Now()
+	r.GetHinted(c, h)
+	tHinted := c.Now() - t1
+	if tHinted >= tGet {
+		t.Fatalf("hinted get (%d ns) should be cheaper than binary search (%d ns)", tHinted, tGet)
+	}
+}
+
+func TestFilterSkipsAbsentProbes(t *testing.T) {
+	a := newArena(t)
+	r, _ := Build(simclock.New(0), a, entriesN(10000, 8), BuildOptions{WithFilter: true})
+	reads0 := a.Device().Stats().ReadOps
+	c := simclock.New(0)
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if _, _, _, ok := r.Get(c, xhash.Sum64([]byte(fmt.Sprintf("absent-%d", i)))); !ok {
+			miss++
+		}
+	}
+	if miss != 1000 {
+		t.Fatalf("%d false hits", 1000-miss)
+	}
+	reads := a.Device().Stats().ReadOps - reads0
+	// ~1% false positive rate: almost all misses were filtered without reads.
+	if reads > 300 {
+		t.Fatalf("filter not consulted: %d reads for 1000 absent keys", reads)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	r, _ := Build(c, a, entriesN(100, 8), BuildOptions{})
+	inUse := a.InUse()
+	r.Release()
+	r2, _ := Build(c, a, entriesN(100, 8), BuildOptions{})
+	if a.InUse() != inUse {
+		t.Fatal("released run space not reused")
+	}
+	_ = r2
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	a := newArena(t)
+	c := simclock.New(0)
+	r, err := Build(c, a, nil, BuildOptions{WithFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatal("empty run has entries")
+	}
+	if _, _, _, ok := r.Get(c, 42); ok {
+		t.Fatal("found key in empty run")
+	}
+	if _, _, _, ok := r.GetHinted(c, 42); ok {
+		t.Fatal("hinted get found key in empty run")
+	}
+}

@@ -1,0 +1,486 @@
+// Package wlog implements the storage log every store in the paper shares:
+// KV items are appended in arrival order, buffered in DRAM and written to the
+// Optane Pmem in batches (4 KB by default, Section 2.5), so the log itself
+// never suffers write amplification. The index structures under test differ;
+// the log does not.
+//
+// The log's address space is logical: an LSN is a virtual offset that grows
+// forever, mapped to fixed-size physical segments allocated from the arena
+// on demand. Whole segments can be freed back to the arena once garbage
+// collection (see core.CompactLog) has relocated their live entries — an
+// extension beyond the paper, which leaves log-space reclamation out of
+// scope.
+//
+// Entry layout (8-byte aligned):
+//
+//	[8 B key hash][8 B meta: keyLen(16) | valLen(32) | flags(16)][key][value]
+//
+// A zero meta word marks the end of the used portion of a batch chunk; the
+// scanner skips to the next chunk boundary. Chunks never span segments.
+package wlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"chameleondb/internal/pmem"
+	"chameleondb/internal/simclock"
+)
+
+// FlagTombstone marks a deletion entry.
+const FlagTombstone = 1
+
+// DefaultChunkSize is the DRAM batch size from the paper (Section 2.5).
+const DefaultChunkSize = 4096
+
+// DefaultSegmentSize is the physical allocation unit: segments are acquired
+// from the arena on demand and freed whole by garbage collection.
+const DefaultSegmentSize = 1 << 20
+
+const headerSize = 16
+
+// ErrLogFull is returned when the log's live segments exceed its capacity.
+// Reclaim space with garbage collection (core.CompactLog) or size the region
+// for the workload.
+var ErrLogFull = errors.New("wlog: log region full")
+
+// ErrReclaimed is returned when reading an LSN inside a segment that garbage
+// collection already freed.
+var ErrReclaimed = errors.New("wlog: entry's segment was reclaimed")
+
+// Log is a shared append-only value log over arena-backed segments.
+type Log struct {
+	arena     *pmem.Arena
+	capacity  int64 // max live bytes across segments
+	chunkSize int64
+	segSize   int64
+
+	mu       sync.Mutex
+	next     int64           // next unreserved virtual offset
+	head     int64           // first live virtual offset (below = reclaimed)
+	segments map[int64]int64 // segment index -> arena offset
+
+	apMu      sync.Mutex
+	appenders []*Appender
+
+	entries atomic.Int64
+	bytes   atomic.Int64
+}
+
+// New creates a log with the given live-byte capacity inside arena.
+func New(arena *pmem.Arena, capacity int64) (*Log, error) {
+	if capacity < DefaultSegmentSize {
+		// Small test configurations get a single proportionate segment.
+		if capacity < 4*DefaultChunkSize {
+			return nil, fmt.Errorf("wlog: capacity %d too small", capacity)
+		}
+	}
+	segSize := int64(DefaultSegmentSize)
+	if capacity < 4*segSize {
+		segSize = (capacity / 4 / DefaultChunkSize) * DefaultChunkSize
+		if segSize < DefaultChunkSize {
+			segSize = DefaultChunkSize
+		}
+	}
+	return &Log{
+		arena:     arena,
+		capacity:  capacity,
+		chunkSize: DefaultChunkSize,
+		segSize:   segSize,
+		next:      segSize, // LSN 0 is reserved as "nil" across the stores
+		head:      segSize,
+		segments:  make(map[int64]int64),
+	}, nil
+}
+
+// Base returns the first potentially-live LSN (the GC head).
+func (l *Log) Base() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// Tail returns the high-water LSN: all entries live below it.
+func (l *Log) Tail() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// SegmentSize returns the physical allocation unit.
+func (l *Log) SegmentSize() int64 { return l.segSize }
+
+// LiveBytes returns the bytes currently held in arena segments.
+func (l *Log) LiveBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(len(l.segments)) * l.segSize
+}
+
+// Entries returns the number of appended entries.
+func (l *Log) Entries() int64 { return l.entries.Load() }
+
+// BytesAppended returns the logical bytes appended.
+func (l *Log) BytesAppended() int64 { return l.bytes.Load() }
+
+// EntrySize returns the padded on-log size of an entry.
+func EntrySize(keyLen, valLen int) int64 {
+	sz := int64(headerSize + keyLen + valLen)
+	return (sz + 7) &^ 7
+}
+
+// phys maps a virtual offset to its arena offset, or reports the segment
+// reclaimed/unallocated.
+func (l *Log) phys(v int64) (int64, bool) {
+	l.mu.Lock()
+	off, ok := l.segments[v/l.segSize]
+	l.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return off + v%l.segSize, true
+}
+
+// reserveChunk hands out the next chunk-aligned virtual region of at least
+// size bytes (rounded up to whole chunks), allocating segments as needed.
+// Chunks never span segments; oversized reservations take whole segments.
+func (l *Log) reserveChunk(size int64) (int64, int64, error) {
+	n := (size + l.chunkSize - 1) / l.chunkSize * l.chunkSize
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Pad to the next segment if the chunk would straddle a boundary.
+	if l.next%l.segSize+n > l.segSize {
+		l.next = (l.next/l.segSize + 1) * l.segSize
+	}
+	start := l.next
+	end := start + n
+	for seg := start / l.segSize; seg <= (end-1)/l.segSize; seg++ {
+		if _, ok := l.segments[seg]; ok {
+			continue
+		}
+		if int64(len(l.segments)+1)*l.segSize > l.capacity {
+			return 0, 0, fmt.Errorf("%w: %d live segments of %d bytes", ErrLogFull, len(l.segments), l.segSize)
+		}
+		off, err := l.arena.Alloc(l.segSize)
+		if err != nil {
+			return 0, 0, fmt.Errorf("wlog: segment allocation: %w", err)
+		}
+		l.segments[seg] = off
+	}
+	l.next = end
+	return start, n, nil
+}
+
+// FreeBefore releases every whole segment strictly below LSN v back to the
+// arena and advances the GC head. The caller (core.CompactLog) must have
+// relocated all live entries below v and checkpointed the stores' recovery
+// watermarks above it first.
+func (l *Log) FreeBefore(v int64) (freedBytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lastSeg := v / l.segSize // segments strictly below this index die
+	for seg, off := range l.segments {
+		if seg < lastSeg && (seg+1)*l.segSize <= l.next {
+			l.arena.Free(off, l.segSize)
+			delete(l.segments, seg)
+			freedBytes += l.segSize
+		}
+	}
+	if h := lastSeg * l.segSize; h > l.head {
+		l.head = h
+	}
+	return freedBytes
+}
+
+// Appender is a per-worker handle with a private batch chunk, so appends are
+// contention-free until a chunk seals. An Appender belongs to one worker;
+// the only cross-worker entry point is Log.SyncAll, which the internal mutex
+// serializes against the owner.
+type Appender struct {
+	log *Log
+
+	mu        sync.Mutex
+	chunkOff  int64 // virtual offset of current chunk, 0 if none
+	chunkPhys int64 // arena offset of current chunk
+	chunkLen  int64
+	used      int64 // bytes written into current chunk
+	persisted int64 // prefix of used already persisted
+
+	// nextLSN is the smallest LSN any future Append by this appender can
+	// return (0 = no private chunk, so bounded by the log tail). It is read
+	// concurrently by MinNextLSN for recovery watermarks.
+	nextLSN atomic.Int64
+}
+
+// NewAppender creates an appender for one worker and registers it for
+// recovery-watermark accounting.
+func (l *Log) NewAppender() *Appender {
+	a := &Appender{log: l}
+	l.apMu.Lock()
+	l.appenders = append(l.appenders, a)
+	l.apMu.Unlock()
+	return a
+}
+
+// Release deregisters the appender (after a final Flush) so a retired worker
+// does not hold the recovery watermark back.
+func (a *Appender) Release(c *simclock.Clock) error {
+	if err := a.Flush(c); err != nil {
+		return err
+	}
+	a.log.apMu.Lock()
+	for i, x := range a.log.appenders {
+		if x == a {
+			a.log.appenders = append(a.log.appenders[:i], a.log.appenders[i+1:]...)
+			break
+		}
+	}
+	a.log.apMu.Unlock()
+	return nil
+}
+
+// MinNextLSN returns a conservative lower bound on the LSN of any entry that
+// could still be appended: the minimum over every appender's private-chunk
+// position and the shared tail. Stores persist this value as their recovery
+// watermark — everything below it that matters is already in persisted
+// tables, so recovery scans from here.
+func (l *Log) MinNextLSN() int64 {
+	min := l.Tail()
+	l.apMu.Lock()
+	for _, a := range l.appenders {
+		if n := a.nextLSN.Load(); n != 0 && n < min {
+			min = n
+		}
+	}
+	l.apMu.Unlock()
+	return min
+}
+
+// Append writes one entry and returns its LSN. The entry is immediately
+// visible to readers (it is in the volatile image) but becomes durable only
+// when its chunk seals or Flush is called — the same window a real batched
+// log has.
+func (a *Appender) Append(c *simclock.Clock, hash uint64, key, value []byte, flags uint16) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(key) > 0xffff {
+		return 0, fmt.Errorf("wlog: key too long (%d)", len(key))
+	}
+	if int64(len(value)) > 0xffffffff {
+		return 0, fmt.Errorf("wlog: value too long (%d)", len(value))
+	}
+	sz := EntrySize(len(key), len(value))
+	if a.chunkOff == 0 || a.used+sz > a.chunkLen {
+		if err := a.seal(c); err != nil {
+			return 0, err
+		}
+		off, n, err := a.log.reserveChunk(sz)
+		if err != nil {
+			return 0, err
+		}
+		phys, ok := a.log.phys(off)
+		if !ok {
+			return 0, fmt.Errorf("wlog: fresh chunk unmapped at %d", off)
+		}
+		a.chunkOff, a.chunkPhys, a.chunkLen, a.used, a.persisted = off, phys, n, 0, 0
+		a.nextLSN.Store(off)
+	}
+	lsn := a.chunkOff + a.used
+	buf := a.log.arena.Bytes(a.chunkPhys+a.used, sz)
+	binary.LittleEndian.PutUint64(buf[0:8], hash)
+	meta := uint64(len(key)) | uint64(len(value))<<16 | uint64(flags)<<48
+	binary.LittleEndian.PutUint64(buf[8:16], meta)
+	copy(buf[headerSize:], key)
+	copy(buf[headerSize+len(key):], value)
+	a.used += sz
+	a.nextLSN.Store(a.chunkOff + a.used)
+	a.log.entries.Add(1)
+	a.log.bytes.Add(sz)
+	if a.used == a.chunkLen {
+		if err := a.seal(c); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// AppendSync appends one entry and persists it immediately — no batching.
+// Each call is a small write that the device rounds up to its 256 B access
+// unit with a read-modify-write: the put path of the Pmem-Hash baseline,
+// which "persists KV items with small writes in individual put operations"
+// (Section 3.3).
+func (a *Appender) AppendSync(c *simclock.Clock, hash uint64, key, value []byte, flags uint16) (int64, error) {
+	lsn, err := a.Append(c, hash, key, value, flags)
+	if err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	if a.chunkOff != 0 && a.used > a.persisted {
+		a.log.arena.Persist(c, a.chunkPhys+a.persisted, a.used-a.persisted)
+		a.persisted = a.used
+	}
+	a.mu.Unlock()
+	return lsn, nil
+}
+
+// seal persists the unpersisted part of the current chunk and detaches it.
+func (a *Appender) seal(c *simclock.Clock) error {
+	if a.chunkOff != 0 && a.used > a.persisted {
+		a.log.arena.Persist(c, a.chunkPhys+a.persisted, a.used-a.persisted)
+		a.persisted = a.used
+	}
+	a.chunkOff, a.chunkPhys, a.chunkLen, a.used, a.persisted = 0, 0, 0, 0, 0
+	a.nextLSN.Store(0)
+	return nil
+}
+
+// Flush persists any buffered entries. Called on store Flush/Close and by
+// durability-sensitive tests.
+func (a *Appender) Flush(c *simclock.Clock) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seal(c)
+}
+
+// sync persists the appender's buffered prefix without detaching the chunk,
+// so the owner keeps batching into the remainder.
+func (a *Appender) sync(c *simclock.Clock) {
+	a.mu.Lock()
+	if a.chunkOff != 0 && a.used > a.persisted {
+		a.log.arena.Persist(c, a.chunkPhys+a.persisted, a.used-a.persisted)
+		a.persisted = a.used
+	}
+	a.mu.Unlock()
+}
+
+// SyncAll persists every appender's buffered entries. Index checkpoints
+// (ChameleonDB's MemTable flushes, ABI dumps, and compactions) call this
+// before persisting a table so a durable index can never reference a log
+// entry that a crash would erase — the log is always at least as durable as
+// the index that points into it.
+func (l *Log) SyncAll(c *simclock.Clock) {
+	l.apMu.Lock()
+	aps := make([]*Appender, len(l.appenders))
+	copy(aps, l.appenders)
+	l.apMu.Unlock()
+	for _, a := range aps {
+		a.sync(c)
+	}
+}
+
+// Entry is one decoded log record.
+type Entry struct {
+	LSN   int64
+	Hash  uint64
+	Key   []byte
+	Value []byte
+	Flags uint16
+}
+
+// Tombstone reports whether the entry is a deletion marker.
+func (e Entry) Tombstone() bool { return e.Flags&FlagTombstone != 0 }
+
+func decodeMeta(meta uint64) (keyLen, valLen int, flags uint16) {
+	return int(meta & 0xffff), int(meta >> 16 & 0xffffffff), uint16(meta >> 48)
+}
+
+// Read decodes the entry at lsn, charging one random device read of the
+// entry's size. Reading into a reclaimed segment returns ErrReclaimed.
+func (l *Log) Read(c *simclock.Clock, lsn int64) (Entry, error) {
+	if lsn < l.segSize || lsn >= l.Tail() {
+		return Entry{}, fmt.Errorf("wlog: LSN %d out of range", lsn)
+	}
+	phys, ok := l.phys(lsn)
+	if !ok {
+		return Entry{}, ErrReclaimed
+	}
+	hdr := l.arena.Bytes(phys, headerSize)
+	hash := binary.LittleEndian.Uint64(hdr[0:8])
+	meta := binary.LittleEndian.Uint64(hdr[8:16])
+	if meta == 0 {
+		return Entry{}, fmt.Errorf("wlog: no entry at LSN %d", lsn)
+	}
+	keyLen, valLen, flags := decodeMeta(meta)
+	sz := EntrySize(keyLen, valLen)
+	buf := l.arena.ReadRandom(c, phys, sz)
+	return Entry{
+		LSN:   lsn,
+		Hash:  hash,
+		Key:   buf[headerSize : headerSize+keyLen],
+		Value: buf[headerSize+keyLen : headerSize+keyLen+valLen],
+		Flags: flags,
+	}, nil
+}
+
+// PeekHash reads only the hash and flags of the entry at lsn without
+// charging a device access; index maintenance uses it where a real system
+// would have the information in DRAM already.
+func (l *Log) PeekHash(lsn int64) (uint64, uint16, bool) {
+	if lsn < l.segSize || lsn >= l.Tail() {
+		return 0, 0, false
+	}
+	phys, ok := l.phys(lsn)
+	if !ok {
+		return 0, 0, false
+	}
+	hdr := l.arena.Bytes(phys, headerSize)
+	meta := binary.LittleEndian.Uint64(hdr[8:16])
+	if meta == 0 {
+		return 0, 0, false
+	}
+	_, _, flags := decodeMeta(meta)
+	return binary.LittleEndian.Uint64(hdr[0:8]), flags, true
+}
+
+// Scan iterates entries with LSN >= from in log order, charging sequential
+// reads per chunk, and calls fn for each entry. fn returning false stops the
+// scan. Reclaimed and unallocated segments are skipped. Scan is how stores
+// rebuild volatile indexes after a crash.
+func (l *Log) Scan(c *simclock.Clock, from int64, fn func(Entry) bool) error {
+	if from < l.segSize {
+		from = l.segSize
+	}
+	end := l.Tail()
+	pos := from
+	for pos < end {
+		phys, ok := l.phys(pos)
+		if !ok {
+			// Freed or never-allocated segment: skip it whole.
+			pos = (pos/l.segSize + 1) * l.segSize
+			continue
+		}
+		// Charge the chunk read once when entering a chunk.
+		if pos%l.chunkSize == 0 || pos == from {
+			n := l.chunkSize - pos%l.chunkSize
+			if pos+n > end {
+				n = end - pos
+			}
+			l.arena.ReadSeq(c, phys, n)
+		}
+		hdr := l.arena.Bytes(phys, headerSize)
+		meta := binary.LittleEndian.Uint64(hdr[8:16])
+		if meta == 0 {
+			// End of this chunk's used portion: skip to next chunk boundary.
+			pos = (pos/l.chunkSize + 1) * l.chunkSize
+			continue
+		}
+		keyLen, valLen, flags := decodeMeta(meta)
+		sz := EntrySize(keyLen, valLen)
+		buf := l.arena.Bytes(phys, sz)
+		e := Entry{
+			LSN:   pos,
+			Hash:  binary.LittleEndian.Uint64(buf[0:8]),
+			Key:   buf[headerSize : headerSize+keyLen],
+			Value: buf[headerSize+keyLen : headerSize+keyLen+valLen],
+			Flags: flags,
+		}
+		if !fn(e) {
+			return nil
+		}
+		pos += sz
+	}
+	return nil
+}

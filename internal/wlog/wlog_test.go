@@ -1,0 +1,464 @@
+package wlog
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/pmem"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/xhash"
+)
+
+func newTestLog(t *testing.T, capacity int64) *Log {
+	t.Helper()
+	arena := pmem.NewArena(device.New(device.OptanePmem), capacity+1<<16)
+	l, err := New(arena, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAppendRead(t *testing.T) {
+	l := newTestLog(t, 1<<20)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	key, val := []byte("key-0001"), []byte("value-0001")
+	h := xhash.Sum64(key)
+	lsn, err := ap.Append(c, h, key, val, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := l.Read(c, lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Hash != h || !bytes.Equal(e.Key, key) || !bytes.Equal(e.Value, val) || e.Tombstone() {
+		t.Fatalf("read back %+v", e)
+	}
+}
+
+func TestTombstoneFlag(t *testing.T) {
+	l := newTestLog(t, 1<<20)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	lsn, err := ap.Append(c, 42, []byte("k"), nil, FlagTombstone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := l.Read(c, lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Tombstone() || len(e.Value) != 0 {
+		t.Fatalf("tombstone round trip failed: %+v", e)
+	}
+	hash, flags, ok := l.PeekHash(lsn)
+	if !ok || hash != 42 || flags&FlagTombstone == 0 {
+		t.Fatalf("PeekHash = %d, %d, %v", hash, flags, ok)
+	}
+}
+
+func TestBatchingPersistsAtChunkBoundary(t *testing.T) {
+	l := newTestLog(t, 1<<20)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	dev := l.arena.Device()
+	before := dev.Stats().WriteOps
+	// Entries of 32 bytes: 128 fill one 4 KB chunk.
+	var lastOps int64
+	for i := 0; i < 127; i++ {
+		if _, err := ap.Append(c, uint64(i), []byte("12345678"), []byte("12345678"), 0); err != nil {
+			t.Fatal(err)
+		}
+		lastOps = dev.Stats().WriteOps
+	}
+	if lastOps != before {
+		t.Fatalf("writes persisted before chunk sealed: %d ops", lastOps-before)
+	}
+	if _, err := ap.Append(c, 127, []byte("12345678"), []byte("12345678"), 0); err != nil {
+		t.Fatal(err)
+	}
+	after := dev.Stats()
+	if after.WriteOps != before+1 {
+		t.Fatalf("sealing should be one batched write, got %d", after.WriteOps-before)
+	}
+	if after.WriteAmplification() != 1.0 {
+		t.Fatalf("batched log write should have WA=1, got %v", after.WriteAmplification())
+	}
+}
+
+func TestLargeEntrySpansChunks(t *testing.T) {
+	l := newTestLog(t, 1<<22)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	big := bytes.Repeat([]byte{0x5A}, 64<<10) // 64 KB value, as in Figure 17
+	lsn, err := ap.Append(c, 7, []byte("bigkey"), big, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Flush(c); err != nil {
+		t.Fatal(err)
+	}
+	e, err := l.Read(c, lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e.Value, big) {
+		t.Fatal("large value corrupted")
+	}
+	// A following small entry must still work.
+	lsn2, err := ap.Append(c, 8, []byte("small"), []byte("v"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2, err := l.Read(c, lsn2); err != nil || string(e2.Key) != "small" {
+		t.Fatalf("entry after large entry broken: %v %v", e2, err)
+	}
+}
+
+func TestScanInOrder(t *testing.T) {
+	l := newTestLog(t, 1<<20)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	const n = 500
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		if _, err := ap.Append(c, uint64(i), key, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.Flush(c); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	err := l.Scan(c, l.Base(), func(e Entry) bool {
+		got = append(got, e.Hash)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d entries, want %d", len(got), n)
+	}
+	for i, h := range got {
+		if h != uint64(i) {
+			t.Fatalf("entry %d out of order: hash %d", i, h)
+		}
+	}
+}
+
+func TestScanFromMidpoint(t *testing.T) {
+	l := newTestLog(t, 1<<20)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	var mid int64
+	for i := 0; i < 100; i++ {
+		lsn, err := ap.Append(c, uint64(i), []byte("keykeyke"), []byte("v"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 50 {
+			mid = lsn
+		}
+	}
+	ap.Flush(c)
+	count := 0
+	l.Scan(c, mid, func(e Entry) bool { count++; return true })
+	if count != 50 {
+		t.Fatalf("scan from midpoint returned %d entries, want 50", count)
+	}
+}
+
+func TestScanStops(t *testing.T) {
+	l := newTestLog(t, 1<<20)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	for i := 0; i < 10; i++ {
+		ap.Append(c, uint64(i), []byte("k"), []byte("v"), 0)
+	}
+	ap.Flush(c)
+	count := 0
+	l.Scan(c, l.Base(), func(e Entry) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("scan did not stop early: %d", count)
+	}
+}
+
+func TestCrashLosesUnflushedTail(t *testing.T) {
+	arena := pmem.NewArena(device.New(device.OptanePmem), 1<<21)
+	l, err := New(arena, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	// Fill exactly one chunk (sealed, durable) then a partial chunk.
+	for i := 0; i < 128; i++ {
+		if _, err := ap.Append(c, uint64(i), []byte("12345678"), []byte("12345678"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 128; i < 140; i++ {
+		if _, err := ap.Append(c, uint64(i), []byte("12345678"), []byte("12345678"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arena.Crash()
+	var survivors []uint64
+	l.Scan(c, l.Base(), func(e Entry) bool {
+		survivors = append(survivors, e.Hash)
+		return true
+	})
+	if len(survivors) != 128 {
+		t.Fatalf("%d entries survived crash, want exactly the sealed 128", len(survivors))
+	}
+}
+
+func TestMultipleAppendersInterleave(t *testing.T) {
+	l := newTestLog(t, 1<<22)
+	c1, c2 := simclock.New(0), simclock.New(0)
+	a1, a2 := l.NewAppender(), l.NewAppender()
+	seen := map[uint64]bool{}
+	for i := 0; i < 300; i++ {
+		if _, err := a1.Append(c1, uint64(i), []byte("from-ap1"), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a2.Append(c2, uint64(1000+i), []byte("from-ap2"), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a1.Flush(c1)
+	a2.Flush(c2)
+	count := 0
+	l.Scan(simclock.New(0), l.Base(), func(e Entry) bool {
+		if seen[e.Hash] {
+			t.Fatalf("duplicate hash %d in scan", e.Hash)
+		}
+		seen[e.Hash] = true
+		count++
+		return true
+	})
+	if count != 600 {
+		t.Fatalf("scanned %d entries, want 600", count)
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	l := newTestLog(t, 4*DefaultChunkSize) // minimal capacity: 4 chunk-sized segments
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	var err error
+	for i := 0; i < 10000; i++ {
+		if _, err = ap.Append(c, uint64(i), []byte("12345678"), bytes.Repeat([]byte{1}, 100), 0); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("expected ErrLogFull")
+	}
+}
+
+func TestSegmentReclaim(t *testing.T) {
+	l := newTestLog(t, 1<<20)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	var lsns []int64
+	// Fill several segments.
+	payload := bytes.Repeat([]byte{7}, 1000)
+	for i := 0; l.Tail() < l.SegmentSize()*4; i++ {
+		lsn, err := ap.Append(c, uint64(i), []byte("12345678"), payload, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	ap.Flush(c)
+	live0 := l.LiveBytes()
+	cut := l.SegmentSize() * 3
+	freed := l.FreeBefore(cut)
+	if freed <= 0 {
+		t.Fatal("nothing freed")
+	}
+	if l.LiveBytes() >= live0 {
+		t.Fatal("live bytes did not shrink")
+	}
+	if l.Base() != cut {
+		t.Fatalf("Base = %d, want %d", l.Base(), cut)
+	}
+	// Reads below the cut return ErrReclaimed; above still work.
+	var below, above int64 = -1, -1
+	for _, lsn := range lsns {
+		if lsn < cut && below < 0 {
+			below = lsn
+		}
+		if lsn >= cut {
+			above = lsn
+		}
+	}
+	if _, err := l.Read(c, below); err != ErrReclaimed {
+		t.Fatalf("read below cut: %v, want ErrReclaimed", err)
+	}
+	if e, err := l.Read(c, above); err != nil || !bytes.Equal(e.Value, payload) {
+		t.Fatalf("read above cut failed: %v", err)
+	}
+	// Scan skips the freed region and survives.
+	n := 0
+	l.Scan(c, l.Base()-l.SegmentSize(), func(e Entry) bool { n++; return true })
+	if n == 0 {
+		t.Fatal("scan found nothing above the cut")
+	}
+	for _, lsn := range lsns {
+		if lsn >= cut {
+			// every surviving entry must be scannable
+			break
+		}
+	}
+	// Freed segments are reusable: new appends succeed past the old capacity.
+	for i := 0; i < 200; i++ {
+		if _, err := ap.Append(c, uint64(9000+i), []byte("12345678"), payload, 0); err != nil {
+			t.Fatalf("append after reclaim: %v", err)
+		}
+	}
+}
+
+func TestReclaimRespectsCapacity(t *testing.T) {
+	// Without GC the log fills; after FreeBefore it accepts writes again.
+	l := newTestLog(t, 64*DefaultChunkSize)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	payload := bytes.Repeat([]byte{1}, 512)
+	var err error
+	i := 0
+	for ; i < 100000; i++ {
+		if _, err = ap.Append(c, uint64(i), []byte("12345678"), payload, 0); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("expected log to fill")
+	}
+	l.FreeBefore(l.Tail() - l.SegmentSize()) // drop all but the tail segment(s)
+	if _, err := ap.Append(c, uint64(i), []byte("12345678"), payload, 0); err != nil {
+		t.Fatalf("append after GC: %v", err)
+	}
+}
+
+func TestOversizeFieldsRejected(t *testing.T) {
+	l := newTestLog(t, 1<<20)
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	if _, err := ap.Append(c, 0, bytes.Repeat([]byte{1}, 70000), nil, 0); err == nil {
+		t.Fatal("expected key-too-long error")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	l := newTestLog(t, 1<<20)
+	c := simclock.New(0)
+	if _, err := l.Read(c, -1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := l.Read(c, l.Base()); err == nil {
+		t.Fatal("expected no-entry error for unwritten LSN")
+	}
+}
+
+// Property: any sequence of appends reads back exactly, via both Read and
+// Scan, regardless of entry sizes.
+func TestAppendScanRoundTripProperty(t *testing.T) {
+	f := func(vals [][]byte) bool {
+		l := newTestLog(t, 1<<22)
+		c := simclock.New(0)
+		ap := l.NewAppender()
+		type rec struct {
+			lsn int64
+			val []byte
+		}
+		var recs []rec
+		for i, v := range vals {
+			if len(v) > 1000 {
+				v = v[:1000]
+			}
+			key := []byte(fmt.Sprintf("key-%06d", i))
+			lsn, err := ap.Append(c, xhash.Sum64(key), key, v, 0)
+			if err != nil {
+				return false
+			}
+			recs = append(recs, rec{lsn, v})
+		}
+		ap.Flush(c)
+		for _, r := range recs {
+			e, err := l.Read(c, r.lsn)
+			if err != nil || !bytes.Equal(e.Value, r.val) {
+				return false
+			}
+		}
+		n := 0
+		l.Scan(c, l.Base(), func(e Entry) bool { n++; return true })
+		return n == len(recs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntrySizePadding(t *testing.T) {
+	if EntrySize(0, 0) != 16 {
+		t.Fatalf("EntrySize(0,0) = %d", EntrySize(0, 0))
+	}
+	if EntrySize(1, 0) != 24 {
+		t.Fatalf("EntrySize(1,0) = %d", EntrySize(1, 0))
+	}
+	if EntrySize(8, 8) != 32 {
+		t.Fatalf("EntrySize(8,8) = %d", EntrySize(8, 8))
+	}
+	if EntrySize(8, 9)%8 != 0 {
+		t.Fatal("entry sizes must stay 8-byte aligned")
+	}
+}
+
+// Property: every appended LSN reads back its own entry until its segment is
+// reclaimed, across segment boundaries and chunk padding.
+func TestLSNMappingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		l := newTestLog(t, 4<<20)
+		c := simclock.New(0)
+		ap := l.NewAppender()
+		type rec struct {
+			lsn int64
+			n   int
+		}
+		var recs []rec
+		for i, sz := range sizes {
+			n := int(sz) % 3000
+			key := []byte(fmt.Sprintf("k%06d", i))
+			lsn, err := ap.Append(c, uint64(i), key, bytes.Repeat([]byte{byte(i)}, n), 0)
+			if err != nil {
+				return false
+			}
+			recs = append(recs, rec{lsn, n})
+		}
+		ap.Flush(c)
+		// LSNs must be strictly increasing (logical address space).
+		for i := 1; i < len(recs); i++ {
+			if recs[i].lsn <= recs[i-1].lsn {
+				return false
+			}
+		}
+		for i, r := range recs {
+			e, err := l.Read(c, r.lsn)
+			if err != nil || e.Hash != uint64(i) || len(e.Value) != r.n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

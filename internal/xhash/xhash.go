@@ -1,0 +1,55 @@
+// Package xhash provides the 64-bit key hash used by every index structure
+// in the repository. It is a wyhash-style multiply-xor mixer: fast, well
+// distributed, and dependency-free (the stores cannot use hash/maphash
+// because they need a stable, seedable value that survives process restart —
+// the persistent tables store raw hash values).
+package xhash
+
+import "encoding/binary"
+
+const (
+	p0 = 0xa0761d6478bd642f
+	p1 = 0xe7037ed1a0b428db
+	p2 = 0x8ebc6af09c88c6e3
+	p3 = 0x589965cc75374cc3
+)
+
+func mix(a, b uint64) uint64 {
+	// 64x64 -> 128 multiply folded to 64 bits.
+	hiA, loA := a>>32, a&0xffffffff
+	hiB, loB := b>>32, b&0xffffffff
+	t := loA * loB
+	lo := t & 0xffffffff
+	t = hiA*loB + t>>32
+	mid1 := t & 0xffffffff
+	hi := t >> 32
+	t = loA*hiB + mid1
+	hi += t >> 32
+	hi += hiA * hiB
+	lo |= (t & 0xffffffff) << 32
+	return hi ^ lo
+}
+
+// Sum64 hashes key with the default seed.
+func Sum64(key []byte) uint64 { return Seeded(0, key) }
+
+// Seeded hashes key with the given seed. The same (seed, key) pair always
+// produces the same value, across processes and architectures.
+func Seeded(seed uint64, key []byte) uint64 {
+	h := seed ^ p0
+	n := len(key)
+	h ^= uint64(n) * p3
+	for len(key) >= 8 {
+		h = mix(h^binary.LittleEndian.Uint64(key), p1)
+		key = key[8:]
+	}
+	if len(key) > 0 {
+		var tail [8]byte
+		copy(tail[:], key)
+		h = mix(h^binary.LittleEndian.Uint64(tail[:])^uint64(len(key)), p2)
+	}
+	return mix(h, h^p2)
+}
+
+// Uint64 mixes a raw integer; used for derived probe sequences.
+func Uint64(x uint64) uint64 { return mix(x^p0, p1) }

@@ -1,0 +1,81 @@
+package xhash
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	if Sum64([]byte("hello")) != Sum64([]byte("hello")) {
+		t.Fatal("hash not deterministic")
+	}
+	if Seeded(1, []byte("hello")) == Seeded(2, []byte("hello")) {
+		t.Fatal("seeds should change the hash")
+	}
+}
+
+func TestEmptyAndShortKeys(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, k := range []string{"", "a", "b", "ab", "ba", "abc", "abcdefgh", "abcdefghi"} {
+		h := Sum64([]byte(k))
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision between %q and %q", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestLengthExtensionDistinct(t *testing.T) {
+	// A key and the same key zero-padded must hash differently.
+	a := Sum64([]byte{1, 2, 3})
+	b := Sum64([]byte{1, 2, 3, 0})
+	if a == b {
+		t.Fatal("zero padding should change the hash")
+	}
+}
+
+func TestNoCollisionsSequentialKeys(t *testing.T) {
+	// The stores hash 8-byte little-endian counters; make sure the mixer
+	// spreads them (no collisions, decent bucket balance).
+	const n = 200000
+	seen := make(map[uint64]struct{}, n)
+	var buckets [256]int
+	var k [8]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(k[:], uint64(i))
+		h := Sum64(k[:])
+		if _, dup := seen[h]; dup {
+			t.Fatalf("collision at i=%d", i)
+		}
+		seen[h] = struct{}{}
+		buckets[h>>56]++
+	}
+	want := n / 256
+	for b, c := range buckets {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("bucket %d badly unbalanced: %d (expected ~%d)", b, c, want)
+		}
+	}
+}
+
+func TestQuickNoTrivialCollisions(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if string(a) == string(b) {
+			return true
+		}
+		return Sum64(a) != Sum64(b) // collisions astronomically unlikely here
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64Mixes(t *testing.T) {
+	if Uint64(1) == Uint64(2) {
+		t.Fatal("Uint64 mixer collision on adjacent inputs")
+	}
+	if Uint64(0) == 0 {
+		t.Fatal("Uint64(0) should not be 0")
+	}
+}

@@ -1,0 +1,216 @@
+// Package ycsb implements the Yahoo Cloud Serving Benchmark workload
+// generators used in the paper's Section 3.4 (Table 5): LOAD, A, B, C, D,
+// and F. Workload E (range scan) is excluded, as in the paper, because the
+// stores are organized by hashed keys.
+//
+// Key choosers follow the YCSB reference: zipfian with theta 0.99 over the
+// inserted keyspace for A/B/C/F, and a "latest" distribution skewed toward
+// recently inserted keys for D.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is the type of one generated operation.
+type OpKind int
+
+const (
+	// OpInsert adds a new key.
+	OpInsert OpKind = iota
+	// OpRead fetches an existing key.
+	OpRead
+	// OpUpdate overwrites an existing key.
+	OpUpdate
+	// OpReadModifyWrite reads then writes one key.
+	OpReadModifyWrite
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  []byte
+}
+
+// Workload identifies one of the paper's YCSB workloads.
+type Workload string
+
+// The paper's Table 5 workloads.
+const (
+	Load Workload = "YCSB_LOAD" // 100% insert
+	A    Workload = "YCSB_A"    // 50% read / 50% update
+	B    Workload = "YCSB_B"    // 95% read / 5% update
+	C    Workload = "YCSB_C"    // 100% read
+	D    Workload = "YCSB_D"    // read most recently inserted keys
+	F    Workload = "YCSB_F"    // 50% read / 50% read-modify-write
+)
+
+// Workloads lists the paper's six workloads in presentation order.
+var Workloads = []Workload{Load, A, B, C, D, F}
+
+// Generator produces operations for one worker. Not safe for concurrent
+// use; give each worker its own (seeded differently).
+type Generator struct {
+	workload Workload
+	rng      *rand.Rand
+	zipf     *zipfian
+	inserted int64 // keys already in the store (shared keyspace bound)
+	next     int64 // next key index this worker inserts
+	stride   int64
+}
+
+// NewGenerator creates a generator for the given workload over a store
+// preloaded with `inserted` keys. Workers insert disjoint keys by (worker,
+// stride) striding.
+func NewGenerator(w Workload, inserted int64, worker, workers int, seed int64) *Generator {
+	g := &Generator{
+		workload: w,
+		rng:      rand.New(rand.NewSource(seed ^ int64(worker)*0x5851F42D4C957F2D)),
+		inserted: inserted,
+		next:     inserted + int64(worker),
+		stride:   int64(workers),
+	}
+	if inserted > 0 {
+		g.zipf = newZipfian(inserted, 0.99, g.rng)
+	}
+	return g
+}
+
+// Key renders key index i in the fixed 8-byte format the paper evaluates
+// (Section 3.2: 8 B keys).
+func Key(i int64) []byte {
+	return []byte(fmt.Sprintf("%08x", uint32(i))[:8])
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	switch g.workload {
+	case Load:
+		return g.insert()
+	case A:
+		if g.rng.Intn(100) < 50 {
+			return g.read()
+		}
+		return g.update()
+	case B:
+		if g.rng.Intn(100) < 95 {
+			return g.read()
+		}
+		return g.update()
+	case C:
+		return g.read()
+	case D:
+		return Op{Kind: OpRead, Key: Key(g.latest())}
+	case F:
+		if g.rng.Intn(100) < 50 {
+			return g.read()
+		}
+		return Op{Kind: OpReadModifyWrite, Key: Key(g.existing())}
+	default:
+		return g.read()
+	}
+}
+
+func (g *Generator) insert() Op {
+	k := g.next
+	g.next += g.stride
+	return Op{Kind: OpInsert, Key: Key(k)}
+}
+
+func (g *Generator) read() Op   { return Op{Kind: OpRead, Key: Key(g.existing())} }
+func (g *Generator) update() Op { return Op{Kind: OpUpdate, Key: Key(g.existing())} }
+
+// existing picks a zipfian-distributed existing key.
+func (g *Generator) existing() int64 {
+	if g.zipf == nil {
+		return 0
+	}
+	return g.zipf.next()
+}
+
+// latest picks a recently inserted key: zipfian distance from the newest
+// key, the YCSB "latest" distribution.
+func (g *Generator) latest() int64 {
+	if g.zipf == nil {
+		return 0
+	}
+	d := g.zipf.next()
+	return g.inserted - 1 - d
+}
+
+// zipfian implements the Gray et al. incremental zipfian generator used by
+// the YCSB reference implementation.
+type zipfian struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+func newZipfian(n int64, theta float64, rng *rand.Rand) *zipfian {
+	z := &zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int64, theta float64) float64 {
+	// Exact up to a cutoff, then the integral approximation: the generators
+	// are created per worker per phase, so an O(n) sum at the paper's
+	// billion-key scale would dominate runtime.
+	const cutoff = 1 << 20
+	if n <= cutoff {
+		var sum float64
+		for i := int64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	sum := zeta(cutoff, theta)
+	// integral of x^-theta from cutoff to n
+	sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(cutoff), 1-theta)) / (1 - theta)
+	return sum
+}
+
+func (z *zipfian) next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// Mix describes a workload's operation mix for documentation and reports.
+func Mix(w Workload) string {
+	switch w {
+	case Load:
+		return "100% insert"
+	case A:
+		return "50% read / 50% update"
+	case B:
+		return "95% read / 5% update"
+	case C:
+		return "100% read"
+	case D:
+		return "read latest inserts"
+	case F:
+		return "50% read / 50% read-modify-write"
+	}
+	return "unknown"
+}

@@ -1,0 +1,158 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLoadInsertsDisjointStrided(t *testing.T) {
+	const workers = 4
+	seen := map[string]int{}
+	for w := 0; w < workers; w++ {
+		g := NewGenerator(Load, 100, w, workers, 7)
+		for i := 0; i < 50; i++ {
+			op := g.Next()
+			if op.Kind != OpInsert {
+				t.Fatalf("LOAD produced %v", op.Kind)
+			}
+			seen[string(op.Key)]++
+		}
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("key %q inserted %d times across workers", k, n)
+		}
+	}
+	if len(seen) != workers*50 {
+		t.Fatalf("expected %d distinct keys, got %d", workers*50, len(seen))
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	k := Key(255)
+	if len(k) != 8 {
+		t.Fatalf("key length %d, want 8 (paper's 8 B keys)", len(k))
+	}
+	if string(Key(1)) == string(Key(2)) {
+		t.Fatal("distinct indices produced equal keys")
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	const n = 100000
+	cases := []struct {
+		w         Workload
+		wantReads float64
+		wantRMW   float64
+		tol       float64
+	}{
+		{A, 0.50, 0, 0.02},
+		{B, 0.95, 0, 0.02},
+		{C, 1.00, 0, 0},
+		{F, 0.50, 0.50, 0.02},
+	}
+	for _, tc := range cases {
+		g := NewGenerator(tc.w, 10000, 0, 1, 42)
+		var reads, updates, rmw int
+		for i := 0; i < n; i++ {
+			switch g.Next().Kind {
+			case OpRead:
+				reads++
+			case OpUpdate:
+				updates++
+			case OpReadModifyWrite:
+				rmw++
+			case OpInsert:
+				t.Fatalf("%s produced an insert", tc.w)
+			}
+		}
+		if r := float64(reads) / n; math.Abs(r-tc.wantReads) > tc.tol {
+			t.Errorf("%s read ratio = %v, want ~%v", tc.w, r, tc.wantReads)
+		}
+		if r := float64(rmw) / n; math.Abs(r-tc.wantRMW) > tc.tol {
+			t.Errorf("%s rmw ratio = %v, want ~%v", tc.w, r, tc.wantRMW)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := NewGenerator(C, 100000, 0, 1, 1)
+	counts := map[int64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		_ = op
+	}
+	z := g.zipf
+	for i := 0; i < n; i++ {
+		counts[z.next()]++
+	}
+	// Zipf 0.99: rank 0 should dominate; the top-10 ranks should carry a
+	// large share.
+	top := 0
+	for r := int64(0); r < 10; r++ {
+		top += counts[r]
+	}
+	if float64(top)/n < 0.15 {
+		t.Fatalf("top-10 share %v too small for zipf(0.99)", float64(top)/n)
+	}
+	if counts[0] < counts[1000] {
+		t.Fatal("rank 0 less popular than rank 1000")
+	}
+}
+
+func TestZipfianBounds(t *testing.T) {
+	g := NewGenerator(C, 1000, 0, 1, 3)
+	for i := 0; i < 100000; i++ {
+		k := g.zipf.next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("zipfian out of range: %d", k)
+		}
+	}
+}
+
+func TestLatestSkewsRecent(t *testing.T) {
+	g := NewGenerator(D, 100000, 0, 1, 5)
+	recent := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			t.Fatalf("D produced %v", op.Kind)
+		}
+	}
+	// Sample the underlying latest distribution directly.
+	for i := 0; i < n; i++ {
+		k := g.latest()
+		if k < 0 || k >= 100000 {
+			t.Fatalf("latest key out of range: %d", k)
+		}
+		if k >= 99000 {
+			recent++
+		}
+	}
+	if float64(recent)/n < 0.2 {
+		t.Fatalf("latest distribution not recent-skewed: %v in newest 1%%", float64(recent)/n)
+	}
+}
+
+func TestZetaApproximationContinuity(t *testing.T) {
+	// The integral approximation must be close to the exact sum around the
+	// cutoff.
+	exact := zeta(1<<20, 0.99)
+	approx := zeta(1<<20+1000, 0.99)
+	if approx <= exact {
+		t.Fatal("zeta not increasing across cutoff")
+	}
+	if (approx-exact)/exact > 0.001 {
+		t.Fatalf("zeta discontinuity too large: %v vs %v", exact, approx)
+	}
+}
+
+func TestMixStrings(t *testing.T) {
+	for _, w := range Workloads {
+		if Mix(w) == "unknown" {
+			t.Errorf("no mix description for %s", w)
+		}
+	}
+}
