@@ -11,8 +11,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"chameleondb"
+	"chameleondb/internal/core"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/storetest"
 )
 
 const help = `commands:
@@ -28,7 +32,70 @@ const help = `commands:
   help                  this text
   quit                  exit`
 
+// crashSweepCmd runs the exhaustive crash-point conformance sweep from the
+// command line: a scripted workload is run once to count persist events, then
+// re-run crashing (and optionally tearing) at every persist index, recovering,
+// and checking durability invariants. Exits non-zero on the first violation.
+func crashSweepCmd(args []string) {
+	fs := flag.NewFlagSet("crashsweep", flag.ExitOnError)
+	var (
+		seed   = fs.Int64("seed", 1, "workload script seed")
+		mode   = fs.String("mode", "direct", "compaction mode: direct, lbl, or wim")
+		ops    = fs.Int("ops", 1500, "scripted operations")
+		keys   = fs.Int("keys", 96, "key-space size")
+		stride = fs.Int("stride", 1, "test every stride-th crash point")
+		tear   = fs.Bool("tear", true, "also replay each point with torn persists")
+	)
+	fs.Parse(args)
+
+	cfg := core.TestConfig()
+	cfg.Shards = 4
+	cfg.MemTableSlots = 32
+	cfg.Levels = 3
+	cfg.Ratio = 2
+	cfg.ArenaBytes = 2 << 20
+	cfg.LogBytes = 128 << 10
+	switch *mode {
+	case "direct":
+	case "lbl":
+		cfg.CompactionMode = core.LevelByLevel
+	case "wim":
+		cfg.WriteIntensive = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want direct, lbl, or wim)\n", *mode)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res, err := storetest.CrashSweep(
+		func() (kvstore.Store, error) { return core.Open(cfg) },
+		storetest.SweepConfig{
+			Seed:          *seed,
+			Ops:           *ops,
+			Keys:          *keys,
+			MaxValueLen:   120,
+			FlushEvery:    20,
+			MaintainEvery: 50,
+			Maintenance:   storetest.StandardMaintenance(),
+			Stride:        *stride,
+			Tear:          *tear,
+			Logf: func(format string, a ...any) {
+				fmt.Printf(format+"\n", a...)
+			},
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashsweep FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("crashsweep OK (mode=%s seed=%d): %s in %.1fs\n",
+		*mode, *seed, res, time.Since(start).Seconds())
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "crashsweep" {
+		crashSweepCmd(os.Args[2:])
+		return
+	}
 	var (
 		shards = flag.Int("shards", 64, "index shards (power of two)")
 	)

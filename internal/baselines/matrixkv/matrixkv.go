@@ -248,6 +248,13 @@ func (s *Store) flushLocked(c *simclock.Clock, st *stripe) error {
 	if err != nil {
 		return err
 	}
+	// The stripe's row/level directory plays the role of a durable manifest
+	// (it survives Crash): committing a row whose build was interrupted by
+	// power failure would present partially-written data as durable.
+	if s.dev.PowerFailed() {
+		row.Release()
+		return device.ErrPowerFailed
+	}
 	st.rows = append(st.rows, row)
 	st.mem = make(map[uint64]*memEntry)
 	st.memBytes, st.memSeq = 0, 0
@@ -273,6 +280,10 @@ func (s *Store) compactLocked(c *simclock.Clock, st *stripe) error {
 	if err != nil {
 		return err
 	}
+	if s.dev.PowerFailed() {
+		merged.Release()
+		return device.ErrPowerFailed
+	}
 	for _, r := range inputs {
 		r.Release()
 	}
@@ -294,6 +305,10 @@ func (s *Store) compactLocked(c *simclock.Clock, st *stripe) error {
 		merged, err := sstable.Merge(c, s.arena, inputs, sstable.BuildOptions{WithFilter: true}, drop)
 		if err != nil {
 			return err
+		}
+		if s.dev.PowerFailed() {
+			merged.Release()
+			return device.ErrPowerFailed
 		}
 		for _, in := range inputs {
 			in.Release()

@@ -248,6 +248,14 @@ func (s *Store) flushLocked(c *simclock.Clock, st *stripe) error {
 	if err != nil {
 		return err
 	}
+	// The stripe's run directory survives Crash (it models durable LSM
+	// metadata): never commit a run whose build a power failure interrupted,
+	// and never reset the persistent MemTable afterwards — its contents would
+	// be the only surviving copy.
+	if s.dev.PowerFailed() {
+		run.Release()
+		return device.ErrPowerFailed
+	}
 	st.l0 = append(st.l0, run)
 	st.mem.Reset(c)
 	st.memBytes = 0
@@ -287,6 +295,10 @@ func (s *Store) compactLocked(c *simclock.Clock, st *stripe) error {
 	if err != nil {
 		return err
 	}
+	if s.dev.PowerFailed() {
+		merged.Release()
+		return device.ErrPowerFailed
+	}
 	for _, r := range inputs {
 		r.Release()
 	}
@@ -309,6 +321,10 @@ func (s *Store) compactLocked(c *simclock.Clock, st *stripe) error {
 		merged, err := sstable.Merge(c, s.arena, inputs, sstable.BuildOptions{WithFilter: true}, drop)
 		if err != nil {
 			return err
+		}
+		if s.dev.PowerFailed() {
+			merged.Release()
+			return device.ErrPowerFailed
 		}
 		for _, in := range inputs {
 			in.Release()

@@ -132,7 +132,8 @@ func chameleonConfig(keys int64, valueSize int) core.Config {
 	cfg.Shards = 64
 	cfg.MemTableSlots = 64
 	cfg.ABISlots = 0 // derive from geometry
-	entry := int64(32 + valueSize)
+	// 24 B log-entry header plus a ~16 B key.
+	entry := int64(40 + valueSize)
 	logNeed := 6 * keys * entry
 	if logNeed < 16<<20 {
 		logNeed = 16 << 20
@@ -161,7 +162,7 @@ func OpenStore(kind StoreKind, opt Options) (kvstore.Store, error) {
 		cfg := pmemhash.DefaultConfig()
 		cfg.Stripes = 64
 		cfg.InitialDepth = 2
-		entry := int64(32 + opt.ValueSize)
+		entry := int64(40 + opt.ValueSize)
 		cfg.LogBytes = 6 * opt.Keys * entry
 		if cfg.LogBytes < 16<<20 {
 			cfg.LogBytes = 16 << 20
@@ -175,7 +176,7 @@ func OpenStore(kind StoreKind, opt Options) (kvstore.Store, error) {
 		// (Table 2). More stripes would dilute the spike.
 		cfg.Stripes = 16
 		cfg.InitialCapacity = 1024
-		entry := int64(32 + opt.ValueSize)
+		entry := int64(40 + opt.ValueSize)
 		cfg.LogBytes = 6 * opt.Keys * entry
 		if cfg.LogBytes < 16<<20 {
 			cfg.LogBytes = 16 << 20

@@ -75,9 +75,20 @@ func (c *Cache) Put(key uint64, val []byte) {
 		el.Value = entry{key: key, val: append([]byte(nil), val...)}
 		c.used += bytes
 		c.order.MoveToFront(el)
+		// A larger replacement can overshoot the budget; evict from the
+		// back (the replaced entry is at the front, so it is never its own
+		// victim).
+		c.evictOver(c.capacity)
 		return
 	}
-	for c.used+bytes > c.capacity {
+	c.evictOver(c.capacity - bytes)
+	c.items[key] = c.order.PushFront(entry{key: key, val: append([]byte(nil), val...)})
+	c.used += bytes
+}
+
+// evictOver drops least-recently-used items until used <= budget.
+func (c *Cache) evictOver(budget int64) {
+	for c.used > budget {
 		back := c.order.Back()
 		if back == nil {
 			break
@@ -87,8 +98,6 @@ func (c *Cache) Put(key uint64, val []byte) {
 		delete(c.items, ev.key)
 		c.order.Remove(back)
 	}
-	c.items[key] = c.order.PushFront(entry{key: key, val: append([]byte(nil), val...)})
-	c.used += bytes
 }
 
 // Invalidate drops the item under key (it was overwritten or deleted).

@@ -142,7 +142,8 @@ func DefaultConfig() Config {
 func ScaledConfig(shards int, keys int64, valueSize int) Config {
 	cfg := DefaultConfig()
 	cfg.Shards = shards
-	entryBytes := int64(32 + valueSize)
+	// 24 B log-entry header plus a ~16 B key.
+	entryBytes := int64(40 + valueSize)
 	logNeed := 4 * keys * entryBytes // updates and compaction slack
 	if logNeed < 8<<20 {
 		logNeed = 8 << 20

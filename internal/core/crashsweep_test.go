@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/storetest"
+)
+
+// sweepConfig is TestConfig shrunk until one scripted run issues few enough
+// persist events that crashing at every single one stays fast: 4 shards of
+// 32-slot MemTables over 3 levels at ratio 2, a 2 MB arena and a 128 KB log
+// (32 KB segments, so the log-GC maintenance phase actually reclaims).
+func sweepConfig() Config {
+	cfg := TestConfig()
+	cfg.Shards = 4
+	cfg.MemTableSlots = 32
+	cfg.Levels = 3
+	cfg.Ratio = 2
+	cfg.ArenaBytes = 2 << 20
+	cfg.LogBytes = 128 << 10
+	return cfg
+}
+
+func sweepOpen(mutate func(*Config)) func() (kvstore.Store, error) {
+	return func() (kvstore.Store, error) {
+		cfg := sweepConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		s, err := Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func sweepWorkload() storetest.SweepConfig {
+	return storetest.SweepConfig{
+		Seed:          1,
+		Ops:           1500,
+		Keys:          96,
+		MaxValueLen:   120,
+		FlushEvery:    20,
+		MaintainEvery: 50,
+		Maintenance:   storetest.StandardMaintenance(),
+		Tear:          true,
+	}
+}
+
+// TestCrashSweepDirect sweeps every persist event of the scripted workload in
+// the default Direct-compaction mode, with a torn-write variant per point.
+func TestCrashSweepDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	storetest.RunCrashSweep(t, "ChameleonDB-Direct", sweepOpen(nil), sweepWorkload())
+}
+
+// TestCrashSweepLevelByLevel covers the Level-by-Level compaction cascade
+// (Figure 5a), whose table lifecycle differs from Direct's.
+func TestCrashSweepLevelByLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	storetest.RunCrashSweep(t, "ChameleonDB-LbL", sweepOpen(func(c *Config) {
+		c.CompactionMode = LevelByLevel
+	}), sweepWorkload())
+}
+
+// TestCrashSweepWriteIntensive covers Write-Intensive Mode, where MemTables
+// spill into the volatile ABI instead of persisting L0 tables — the mode with
+// the most acknowledged-but-volatile state at any crash point.
+func TestCrashSweepWriteIntensive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	storetest.RunCrashSweep(t, "ChameleonDB-WIM", sweepOpen(func(c *Config) {
+		c.WriteIntensive = true
+	}), sweepWorkload())
+}
+
+// TestCrashSoak layers randomized workloads over the fixed sweep script:
+// transient allocation-error tolerance plus one random torn crash point per
+// iteration.
+func TestCrashSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized soak")
+	}
+	storetest.RunCrashSoak(t, "ChameleonDB", sweepOpen(nil), storetest.SoakConfig{
+		Seed:        7,
+		Iterations:  6,
+		Ops:         300,
+		Keys:        48,
+		MaxValueLen: 100,
+		FlushEvery:  20,
+		ErrorProb:   0.01,
+	})
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"chameleondb/internal/simclock"
+)
+
+// fuzzStore opens a small store with a little flushed data, so manifests and
+// tables exist for the fuzzed input to collide with.
+func fuzzStore(t testing.TB) *Store {
+	t.Helper()
+	s, err := Open(sweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := s.NewSession(simclock.New(0))
+	for i := 0; i < 64; i++ {
+		if err := se.Put([]byte(fmt.Sprintf("fz-%04d", i)), []byte(fmt.Sprintf("value-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := se.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// FuzzManifestDecode feeds arbitrary bytes to the shard manifest decoder. Any
+// input must produce a clean error or a consistent directory — never a panic,
+// and never a table that points outside the arena.
+func FuzzManifestDecode(f *testing.F) {
+	seedStore := fuzzStore(f)
+	for _, sh := range seedStore.shards {
+		sh.mu.Lock()
+		f.Add(sh.encodeManifest(sh.recoverLSN))
+		sh.mu.Unlock()
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 7))
+	huge := binary.LittleEndian.AppendUint64(nil, 1<<40)
+	f.Add(append(huge, huge...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Open(sweepConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := s.shards[0]
+		sh.mu.Lock()
+		decodeErr := sh.decodeManifest(data)
+		sh.mu.Unlock()
+		if decodeErr != nil {
+			return
+		}
+		// The decoder accepted the directory: every table it opened must lie
+		// inside the arena, so reads through it cannot fault.
+		check := func(p *ptable) {
+			if p == nil {
+				return
+			}
+			if p.t.Offset() <= 0 || p.t.Offset()+p.t.SizeBytes() > s.arena.Capacity() {
+				t.Fatalf("decoded table [%d, +%d) outside arena", p.t.Offset(), p.t.SizeBytes())
+			}
+		}
+		check(sh.last)
+		for _, d := range sh.dumped {
+			check(d)
+		}
+		for _, lvl := range sh.levels {
+			for _, p := range lvl {
+				check(p)
+			}
+		}
+	})
+}
+
+// FuzzRecover tampers with the durable image at fuzz-chosen offsets, crashes,
+// and recovers. Recovery must either fail with an error or come back to a
+// store that serves reads — a corrupted medium must never panic the engine.
+func FuzzRecover(f *testing.F) {
+	f.Add(int64(0), []byte{0xff})
+	f.Add(int64(4096), []byte{0x00, 0x00, 0x00, 0x00})
+	f.Add(int64(128<<10), []byte("garbage-garbage-garbage"))
+
+	f.Fuzz(func(t *testing.T, off int64, junk []byte) {
+		if len(junk) == 0 || len(junk) > 4096 {
+			return
+		}
+		s := fuzzStore(t)
+		if off < 0 {
+			off = -off
+		}
+		off %= s.arena.Capacity()
+		s.arena.TamperDurable(off, junk)
+		s.Crash()
+		if err := s.Recover(simclock.New(0)); err != nil {
+			return // a clean refusal is a valid outcome
+		}
+		se := s.NewSession(simclock.New(0))
+		for i := 0; i < 64; i += 7 {
+			// Values may be lost or stale depending on what was smashed; the
+			// read path just must not panic or fault.
+			if _, _, err := se.Get([]byte(fmt.Sprintf("fz-%04d", i))); err != nil {
+				return
+			}
+		}
+	})
+}

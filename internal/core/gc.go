@@ -31,11 +31,26 @@ func (s *Store) CompactLog(c *simclock.Clock, reclaimBytes int64) (int64, error)
 	if s.crashed.Load() {
 		return 0, ErrCrashed
 	}
+	// Seal every session's private batch chunk first: relocation re-appends
+	// live entries at the tail, and any session append that later landed in a
+	// still-open chunk below the tail would carry a lower LSN than the
+	// relocated copy of an older version — recovery's LSN-ordered replay
+	// would then resurrect the old version over it (found by the crash-point
+	// sweep).
+	if err := s.log.SealAll(c); err != nil {
+		return 0, err
+	}
 	head := s.log.Base()
 	seg := s.log.SegmentSize()
 	target := head + (reclaimBytes+seg-1)/seg*seg
-	// Never reclaim into the segment the tail is appending to.
-	if maxTarget := s.log.Tail() / seg * seg; target > maxTarget {
+	// Never reclaim into a segment an appender may still write: the tail
+	// segment, or below it a session's unsealed private batch chunk.
+	// MinNextLSN is the conservative bound over both. (Capping at Tail alone
+	// is not enough: when a session's unsealed chunk ends exactly at a
+	// segment boundary the tail sits on the boundary too, and the chunk's
+	// segment would be freed while the session keeps appending into it
+	// through its cached arena offset — found by the crash-point sweep.)
+	if maxTarget := s.log.MinNextLSN() / seg * seg; target > maxTarget {
 		target = maxTarget
 	}
 	if target <= head {

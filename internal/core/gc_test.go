@@ -187,6 +187,107 @@ func TestCompactLogEnablesReuse(t *testing.T) {
 	t.Logf("ran 400k overwrites in an 8 MB log with %d GCs", gcs)
 }
 
+func TestCompactLogSparesUnsealedBatchChunk(t *testing.T) {
+	// Regression: when a session's unsealed batch chunk ends exactly at a
+	// segment boundary, the log tail sits on the boundary too, and GC capped
+	// only by Tail() would free the segment the chunk lives in — the session
+	// then keeps appending through its cached arena offset into freed (and
+	// reused) space, and reads of those entries fail with "segment was
+	// reclaimed". GC must cap reclamation at MinNextLSN instead.
+	cfg := TestConfig()
+	cfg.ArenaBytes = 4 << 20
+	cfg.LogBytes = 128 << 10 // 32 KB segments, 4 KB chunks
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := s.NewSession(simclock.New(0))
+	segSize := s.Log().SegmentSize()
+	// Append until the session's (unsealed) chunk is the last chunk of a
+	// segment: the tail is then exactly on the segment boundary.
+	n := 0
+	for ; n < 100000; n++ {
+		if err := se.Put(key(n), []byte("0123456789abcdefghijkl")); err != nil {
+			t.Fatal(err)
+		}
+		if s.Log().Tail()%segSize == 0 {
+			break
+		}
+	}
+	if s.Log().Tail()%segSize != 0 {
+		t.Fatal("never reached a segment-boundary tail; test is vacuous")
+	}
+	if _, err := s.CompactLog(simclock.New(0), cfg.LogBytes); err != nil {
+		t.Fatal(err)
+	}
+	// The session's batch chunk must still be writable and durable.
+	if err := se.Put(key(n+1), []byte("after-gc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, n, n + 1} {
+		if got, ok, err := se.Get(key(i)); err != nil || !ok {
+			t.Fatalf("key %d lost after boundary GC: %q %v %v", i, got, ok, err)
+		}
+	}
+}
+
+func TestCompactLogSealsBeforeRelocating(t *testing.T) {
+	// Regression: GC re-appends live entries at the log tail. If a session
+	// still held an open batch chunk below the tail, its NEXT put would take
+	// a lower LSN than the relocated copy of the key's OLD version — and
+	// recovery's LSN-ordered replay would resurrect the old version over the
+	// newer, flushed one. GC must seal all private chunks first.
+	cfg := TestConfig()
+	cfg.ArenaBytes = 4 << 20
+	cfg.LogBytes = 128 << 10 // 32 KB segments, 4 KB chunks
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := s.NewSession(simclock.New(0))
+	victim := []byte("victim-key")
+	if err := se.Put(victim, []byte("old-version")); err != nil {
+		t.Fatal(err)
+	}
+	// Push the session's open chunk two segments past the victim's, leaving
+	// it unsealed mid-chunk (GC never reclaims the open chunk's own segment,
+	// so the victim must sit strictly below it).
+	segSize := s.Log().SegmentSize()
+	firstSeg := s.Log().Tail() / segSize
+	for i := 0; s.Log().Tail()/segSize < firstSeg+2 && i < 100000; i++ {
+		if err := se.Put(key(i), []byte("filler-filler-filler-filler")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := se.Put(key(100001), []byte("keep chunk open")); err != nil {
+		t.Fatal(err)
+	}
+	// GC relocates the victim's live old version to the tail.
+	if _, err := s.CompactLog(simclock.New(0), cfg.LogBytes); err != nil {
+		t.Fatal(err)
+	}
+	// The newer version, acknowledged after GC and explicitly flushed, must
+	// win recovery over the relocated old copy.
+	if err := se.Put(victim, []byte("new-version")); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	if err := s.Recover(simclock.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	se2 := s.NewSession(simclock.New(0))
+	got, ok, err := se2.Get(victim)
+	if err != nil || !ok || string(got) != "new-version" {
+		t.Fatalf("victim after GC+overwrite+crash = %q %v %v, want %q", got, ok, err, "new-version")
+	}
+}
+
 func TestCompactLogCrashedStore(t *testing.T) {
 	s := openGC(t)
 	s.Crash()

@@ -138,6 +138,11 @@ func (sh *shard) readManifest(c *simclock.Clock) error {
 
 func (sh *shard) decodeManifest(b []byte) error {
 	pos := 0
+	// Reject directories larger than persistManifest's sized slot: a
+	// corrupted (but checksum-colliding or tampered) manifest must fail
+	// recovery here rather than panic on the next checkpoint.
+	maxTables := sh.store.cfg.Ratio*(sh.store.cfg.Levels-1) + sh.store.cfg.GetProtect.MaxDumps + 4
+	decoded := 0
 	u64 := func() (uint64, error) {
 		if pos+8 > len(b) {
 			return 0, fmt.Errorf("core: truncated manifest in shard %d", sh.id)
@@ -147,6 +152,9 @@ func (sh *shard) decodeManifest(b []byte) error {
 		return v, nil
 	}
 	table := func() (*ptable, error) {
+		if decoded++; decoded > maxTables {
+			return nil, fmt.Errorf("core: manifest in shard %d lists more than %d tables", sh.id, maxTables)
+		}
 		off, err := u64()
 		if err != nil {
 			return nil, err

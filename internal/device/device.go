@@ -26,6 +26,9 @@ type Device struct {
 	wWinStart atomic.Int64
 	wWinWork  atomic.Int64
 
+	// fault is the installed fault-injection plan, nil when none.
+	fault atomic.Pointer[FaultPlan]
+
 	stats StatCounters
 }
 

@@ -1,0 +1,143 @@
+package device
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultPlanCountsPersists(t *testing.T) {
+	p := &FaultPlan{}
+	for i := 0; i < 5; i++ {
+		keep, normal := p.NotePersist(256, int64(i)*256, 100)
+		if !normal || keep != 100 {
+			t.Fatalf("persist %d: keep=%d normal=%v", i, keep, normal)
+		}
+	}
+	if p.Persists() != 5 {
+		t.Fatalf("Persists() = %d, want 5", p.Persists())
+	}
+	if p.Triggered() {
+		t.Fatal("count-only plan must never trigger")
+	}
+}
+
+func TestFaultPlanTriggersAtIndex(t *testing.T) {
+	p := &FaultPlan{CrashAtPersist: 3}
+	for i := 0; i < 2; i++ {
+		if _, normal := p.NotePersist(256, 0, 10); !normal {
+			t.Fatalf("persist %d triggered early", i+1)
+		}
+	}
+	keep, normal := p.NotePersist(256, 0, 10)
+	if normal || keep != 0 {
+		t.Fatalf("crash persist: keep=%d normal=%v, want 0,false", keep, normal)
+	}
+	if !p.Triggered() {
+		t.Fatal("plan did not report triggered")
+	}
+	// All later persists are frozen no-ops and not counted.
+	if keep, normal := p.NotePersist(256, 0, 10); normal || keep != 0 {
+		t.Fatalf("post-trigger persist: keep=%d normal=%v", keep, normal)
+	}
+	if p.Persists() != 3 {
+		t.Fatalf("Persists() = %d, want 3", p.Persists())
+	}
+}
+
+func TestFaultPlanTearModes(t *testing.T) {
+	// A persist of [300, 1200) touches lines 1..4 (256 B units): 4 lines.
+	const off, size = 300, 900
+	cases := []struct {
+		mode TearMode
+		keep int64
+	}{
+		{TearNone, 0},
+		// First line is [256, 512): keep = 512 - 300 = 212 bytes.
+		{TearFirstLine, 212},
+		// Half of 4 lines = 2: keep = 768 - 300 = 468 bytes.
+		{TearHalf, 468},
+	}
+	for _, tc := range cases {
+		p := &FaultPlan{CrashAtPersist: 1, Tear: tc.mode}
+		keep, normal := p.NotePersist(256, off, size)
+		if normal {
+			t.Fatalf("mode %d: persist proceeded normally", tc.mode)
+		}
+		if keep != tc.keep {
+			t.Fatalf("mode %d: keep = %d, want %d", tc.mode, keep, tc.keep)
+		}
+	}
+}
+
+func TestFaultPlanTearNeverCommitsAll(t *testing.T) {
+	// Whatever the mode and geometry, the crashing persist must commit
+	// strictly fewer bytes than requested: a fully-committed persist is the
+	// same durable state as crashing cleanly before the next persist.
+	for seed := int64(0); seed < 20; seed++ {
+		for _, mode := range []TearMode{TearNone, TearFirstLine, TearHalf, TearRandom} {
+			p := &FaultPlan{CrashAtPersist: 1, Tear: mode, Seed: seed}
+			keep, _ := p.NotePersist(256, 128, 1000)
+			if keep >= 1000 {
+				t.Fatalf("mode %d seed %d: keep %d >= size", mode, seed, keep)
+			}
+		}
+	}
+}
+
+func TestFaultPlanSingleLinePersistIsAtomic(t *testing.T) {
+	for _, mode := range []TearMode{TearFirstLine, TearHalf, TearRandom} {
+		p := &FaultPlan{CrashAtPersist: 1, Tear: mode, Seed: 7}
+		keep, normal := p.NotePersist(256, 512, 64)
+		if normal || keep != 0 {
+			t.Fatalf("mode %d: single-line tear keep=%d normal=%v, want 0,false", mode, keep, normal)
+		}
+	}
+}
+
+func TestFaultPlanAllocError(t *testing.T) {
+	p := &FaultPlan{ErrorProb: 1.0, Seed: 1}
+	if err := p.AllocError(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("AllocError with prob 1 = %v, want ErrInjected", err)
+	}
+	p2 := &FaultPlan{}
+	if err := p2.AllocError(); err != nil {
+		t.Fatalf("AllocError with prob 0 = %v, want nil", err)
+	}
+}
+
+func TestFaultPlanAllocErrorDeterministic(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		p := &FaultPlan{ErrorProb: 0.5, Seed: seed}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, p.AllocError() != nil)
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeviceInstallFaultPlan(t *testing.T) {
+	d := New(OptanePmem)
+	if d.FaultPlan() != nil || d.PowerFailed() {
+		t.Fatal("fresh device must have no plan")
+	}
+	p := &FaultPlan{CrashAtPersist: 1}
+	d.InstallFaultPlan(p)
+	if d.FaultPlan() != p {
+		t.Fatal("plan not installed")
+	}
+	p.NotePersist(256, 0, 10)
+	if !d.PowerFailed() {
+		t.Fatal("PowerFailed must reflect the triggered plan")
+	}
+	d.InstallFaultPlan(nil)
+	if d.FaultPlan() != nil || d.PowerFailed() {
+		t.Fatal("nil install must remove the plan")
+	}
+}

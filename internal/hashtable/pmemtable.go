@@ -40,10 +40,18 @@ func NewPmemTable(arena *pmem.Arena, capacity int) (*PmemTable, error) {
 }
 
 // OpenPmemTable reattaches to a persisted table at a known offset (recovery
-// path). count is restored from the manifest.
+// path). count is restored from the manifest. The geometry comes from durable
+// bytes that a torn manifest write could have corrupted, so every field is
+// validated before it can index the arena.
 func OpenPmemTable(arena *pmem.Arena, off int64, capacity, count int) (*PmemTable, error) {
 	if capacity&(capacity-1) != 0 || capacity < 8 {
 		return nil, fmt.Errorf("hashtable: invalid persisted capacity %d", capacity)
+	}
+	if count < 0 || count > capacity {
+		return nil, fmt.Errorf("hashtable: persisted count %d out of range for capacity %d", count, capacity)
+	}
+	if off <= 0 || off+int64(capacity)*SlotSize > arena.Capacity() {
+		return nil, fmt.Errorf("hashtable: persisted table [%d, +%d slots] outside arena", off, capacity)
 	}
 	return &PmemTable{arena: arena, off: off, cap: capacity, count: count, mask: uint64(capacity - 1)}, nil
 }

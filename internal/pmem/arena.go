@@ -75,6 +75,11 @@ func (a *Arena) Alloc(size int64) (int64, error) {
 	}
 	unit := a.dev.Profile().AccessUnit
 	size = (size + unit - 1) / unit * unit
+	if p := a.dev.FaultPlan(); p != nil {
+		if err := p.AllocError(); err != nil {
+			return 0, err
+		}
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if list := a.free[size]; len(list) > 0 {
@@ -101,7 +106,12 @@ func (a *Arena) Free(off, size int64) {
 	unit := a.dev.Profile().AccessUnit
 	size = (size + unit - 1) / unit * unit
 	clear(a.volatile[off : off+size])
-	clear(a.durable[off : off+size])
+	// After a simulated power failure the process is as good as dead: its
+	// deferred durable zeroing never happens, and the durable image must stay
+	// exactly as the crash left it for recovery to observe.
+	if !a.dev.PowerFailed() {
+		clear(a.durable[off : off+size])
+	}
 	a.mu.Lock()
 	a.free[size] = append(a.free[size], off)
 	a.mu.Unlock()
@@ -134,6 +144,20 @@ func (a *Arena) Persist(c *simclock.Clock, off, size int64) {
 	if size <= 0 {
 		return
 	}
+	if p := a.dev.FaultPlan(); p != nil {
+		keep, normal := p.NotePersist(a.dev.Profile().AccessUnit, off, size)
+		if !normal {
+			// The power failed on (or before) this persist: only the first
+			// keep bytes — a whole-line prefix of the touched range — reach
+			// media, and the device is not charged (the timeline ends here).
+			if keep > 0 {
+				a.crashMu.RLock()
+				copy(a.durable[off:off+keep], a.volatile[off:off+keep])
+				a.crashMu.RUnlock()
+			}
+			return
+		}
+	}
 	a.crashMu.RLock()
 	copy(a.durable[off:off+size], a.volatile[off:off+size])
 	a.crashMu.RUnlock()
@@ -156,11 +180,33 @@ func (a *Arena) StorePersist(c *simclock.Clock, off int64, data []byte) {
 }
 
 // Crash simulates a power failure: the volatile image is replaced by the
-// durable image, discarding every write that was not persisted. The caller
-// must guarantee no concurrent access (stores stop their workers first).
+// durable image, discarding every write that was not persisted. The free list
+// is discarded too — it is host allocator state, and after a mid-operation
+// crash it can hold blocks the durable metadata still references (a table
+// released after a manifest persist that never committed); reusing those
+// would overwrite live recovered data. The post-recovery allocator instead
+// carves fresh space, modeling an allocator that rebuilds its metadata
+// conservatively. The caller must guarantee no concurrent access (stores stop
+// their workers first).
 func (a *Arena) Crash() {
 	a.crashMu.Lock()
 	copy(a.volatile, a.durable)
+	a.crashMu.Unlock()
+	a.mu.Lock()
+	a.free = make(map[int64][]int64)
+	a.mu.Unlock()
+}
+
+// TamperDurable overwrites bytes of the durable image directly, bypassing the
+// volatile image and the device model. It exists for fault-injection tests
+// (fuzzing recovery with corrupted durable state) and must not be used by
+// store code.
+func (a *Arena) TamperDurable(off int64, data []byte) {
+	if off < 0 || off+int64(len(data)) > int64(len(a.durable)) {
+		return
+	}
+	a.crashMu.Lock()
+	copy(a.durable[off:off+int64(len(data))], data)
 	a.crashMu.Unlock()
 }
 

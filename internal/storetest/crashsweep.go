@@ -1,0 +1,506 @@
+// Crash-point sweep: the exhaustive crash-consistency harness built on the
+// device fault-injection layer (internal/device.FaultPlan).
+//
+// The harness runs a deterministic scripted workload twice over. A first
+// "count run" executes the script on a fresh store with a pure-counter fault
+// plan installed, yielding the total number of persist events N the workload
+// issues. Then, for every crash point i in [1, N], a fresh store replays the
+// same script with a plan that simulates a power failure at the i-th persist
+// (optionally tearing it at a 256 B media-line boundary), crashes the store,
+// recovers it, and checks the recovered state against a durability oracle:
+//
+//   - every key's recovered value must be either the value it had at the last
+//     successful (un-triggered) Flush, or one of the values acknowledged for
+//     it since — never an older or invented value;
+//   - a key may only be absent if it was absent at the last successful Flush
+//     or a delete was acknowledged since;
+//   - recovery itself must succeed, the store's own integrity verifier (when
+//     it exposes one) must pass, and the store must accept new writes.
+//
+// Because persist events are driven purely by sizes and 256 B alignment, the
+// count is reproducible across runs — the sweep treats a script that fails to
+// reach its crash point as an error rather than skipping it.
+package storetest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/simclock"
+)
+
+// NewStoreFunc builds a fresh store on a fresh simulated device. The sweep
+// opens one store per crash point, so the function must be cheap and must not
+// share device state between calls.
+type NewStoreFunc func() (kvstore.Store, error)
+
+// MaintenanceFunc runs one maintenance phase against a quiesced store —
+// forced flushes, index dumps, log GC. Phase numbers increase monotonically
+// through the script; implementations typically rotate over their entry
+// points with phase % n. Errors are tolerated only after the fault plan has
+// triggered.
+type MaintenanceFunc func(st kvstore.Store, c *simclock.Clock, phase int) error
+
+// SweepConfig sizes the scripted workload and the sweep.
+type SweepConfig struct {
+	Seed        int64 // seeds the script generator and per-point tear RNGs
+	Ops         int   // scripted operations (puts/deletes/gets)
+	Keys        int   // key-space size
+	MaxValueLen int   // value lengths are 1..MaxValueLen (plus occasional empty)
+	FlushEvery  int   // a session Flush every this many ops (0 = only the final one)
+
+	// MaintainEvery inserts a maintenance phase every this many ops (0 =
+	// none). Maintenance must then be non-nil.
+	MaintainEvery int
+	Maintenance   MaintenanceFunc
+
+	// Stride tests every Stride-th crash point (0 or 1 = exhaustive).
+	Stride int
+	// Tear additionally replays each tested point with a TearRandom plan, so
+	// every persist is also exercised as a torn write.
+	Tear bool
+
+	// Logf receives progress lines (pass t.Logf); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// SweepResult summarizes a completed sweep.
+type SweepResult struct {
+	PersistEvents int64 // persist events in one clean run of the script
+	Points        int   // crash points tested
+	Runs          int   // total crash/recover cycles executed
+	TornRuns      int   // runs that used a tearing plan
+}
+
+func (r SweepResult) String() string {
+	return fmt.Sprintf("%d persist events, %d crash points tested (%d runs, %d torn)",
+		r.PersistEvents, r.Points, r.Runs, r.TornRuns)
+}
+
+// CrashSweep runs the exhaustive crash-point sweep. It returns an error
+// describing the first violated invariant, annotated with the crash point and
+// tear mode so the failure is reproducible.
+func CrashSweep(newStore NewStoreFunc, cfg SweepConfig) (SweepResult, error) {
+	var res SweepResult
+	if cfg.Ops <= 0 || cfg.Keys <= 0 {
+		return res, fmt.Errorf("crashsweep: Ops and Keys must be positive")
+	}
+	if cfg.MaintainEvery > 0 && cfg.Maintenance == nil {
+		return res, fmt.Errorf("crashsweep: MaintainEvery set without a Maintenance func")
+	}
+	script := buildScript(cfg)
+
+	total, err := countPersists(newStore, script, cfg)
+	if err != nil {
+		return res, fmt.Errorf("crashsweep: clean run: %w", err)
+	}
+	res.PersistEvents = total
+	logf(cfg.Logf, "crashsweep: script issues %d persist events", total)
+
+	stride := cfg.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	for i := int64(1); i <= total; i += int64(stride) {
+		modes := []device.TearMode{device.TearNone}
+		if cfg.Tear {
+			modes = append(modes, device.TearRandom)
+		}
+		for _, mode := range modes {
+			if err := runCrashPoint(newStore, script, cfg, i, mode); err != nil {
+				return res, fmt.Errorf("crashsweep: point %d/%d (tear=%v): %w", i, total, mode, err)
+			}
+			res.Runs++
+			if mode != device.TearNone {
+				res.TornRuns++
+			}
+		}
+		res.Points++
+		if res.Points%64 == 0 {
+			logf(cfg.Logf, "crashsweep: %d/%d points done", i, total)
+		}
+	}
+	logf(cfg.Logf, "crashsweep: %s", res)
+	return res, nil
+}
+
+// --- scripted workload -----------------------------------------------------
+
+type opKind uint8
+
+const (
+	opPut opKind = iota
+	opDelete
+	opGet
+	opFlush
+	opMaint
+)
+
+type scriptOp struct {
+	kind  opKind
+	key   int
+	val   []byte
+	phase int // opMaint only
+}
+
+func sweepKey(i int) []byte { return []byte(fmt.Sprintf("sk-%06d", i)) }
+
+// buildScript generates the deterministic op sequence for cfg.Seed: ~60%
+// puts, ~20% deletes, ~20% exact-checked gets, periodic session flushes and
+// maintenance phases, and a final flush so the clean run ends fully durable.
+func buildScript(cfg SweepConfig) []scriptOp {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxVal := cfg.MaxValueLen
+	if maxVal <= 0 {
+		maxVal = 64
+	}
+	var script []scriptOp
+	phase := 0
+	for i := 0; i < cfg.Ops; i++ {
+		if cfg.MaintainEvery > 0 && i > 0 && i%cfg.MaintainEvery == 0 {
+			script = append(script, scriptOp{kind: opMaint, phase: phase})
+			phase++
+		}
+		if cfg.FlushEvery > 0 && i > 0 && i%cfg.FlushEvery == 0 {
+			script = append(script, scriptOp{kind: opFlush})
+		}
+		key := rng.Intn(cfg.Keys)
+		switch r := rng.Intn(10); {
+		case r < 6:
+			n := rng.Intn(maxVal) + 1
+			if rng.Intn(32) == 0 {
+				n = 0 // empty values ride along
+			}
+			val := make([]byte, n)
+			rng.Read(val)
+			script = append(script, scriptOp{kind: opPut, key: key, val: val})
+		case r < 8:
+			script = append(script, scriptOp{kind: opDelete, key: key})
+		default:
+			script = append(script, scriptOp{kind: opGet, key: key})
+		}
+	}
+	script = append(script, scriptOp{kind: opFlush})
+	return script
+}
+
+// --- durability oracle -----------------------------------------------------
+
+type sinceVal struct {
+	val string
+	del bool
+}
+
+// runState tracks the three views of the key space the legality check needs:
+// durable (state at the last successful un-triggered Flush), since
+// (everything acknowledged per key after that Flush, in order), and applied
+// (the exact state all acknowledged ops produce — what a clean run must
+// serve). pending records the single ambiguous op: the one in flight when the
+// fault plan triggered, whose effects may be partially durable whether or not
+// it returned an error.
+type runState struct {
+	durable map[int]string
+	since   map[int][]sinceVal
+	applied map[int]string
+
+	pendingValid bool
+	pendingKey   int
+	pending      sinceVal
+}
+
+func newRunState() *runState {
+	return &runState{
+		durable: make(map[int]string),
+		since:   make(map[int][]sinceVal),
+		applied: make(map[int]string),
+	}
+}
+
+func (rs *runState) ack(key int, v sinceVal) {
+	rs.since[key] = append(rs.since[key], v)
+	if v.del {
+		delete(rs.applied, key)
+	} else {
+		rs.applied[key] = v.val
+	}
+}
+
+func (rs *runState) promote() {
+	rs.durable = make(map[int]string, len(rs.applied))
+	for k, v := range rs.applied {
+		rs.durable[k] = v
+	}
+	rs.since = make(map[int][]sinceVal)
+}
+
+// legal reports whether the recovered (got, ok) for key is consistent with
+// the crash-durability contract, and if not, a description of why.
+func (rs *runState) legal(key int, got []byte, ok bool) (bool, string) {
+	durVal, durOK := rs.durable[key]
+	if ok {
+		if durOK && string(got) == durVal {
+			return true, ""
+		}
+		for _, c := range rs.since[key] {
+			if !c.del && c.val == string(got) {
+				return true, ""
+			}
+		}
+		if rs.pendingValid && rs.pendingKey == key && !rs.pending.del && rs.pending.val == string(got) {
+			return true, ""
+		}
+		if durOK {
+			return false, fmt.Sprintf("recovered value %q matches neither the flushed value (%d bytes) nor any acknowledged write since", trunc(got), len(durVal))
+		}
+		return false, fmt.Sprintf("recovered value %q for a key with no flushed value matches no acknowledged write", trunc(got))
+	}
+	if !durOK {
+		return true, "" // base absent: unflushed writes may be lost
+	}
+	for _, c := range rs.since[key] {
+		if c.del {
+			return true, "" // the acknowledged delete may have persisted
+		}
+	}
+	if rs.pendingValid && rs.pendingKey == key && rs.pending.del {
+		return true, ""
+	}
+	return false, fmt.Sprintf("flushed value (%d bytes) lost: key absent after recovery with no delete acknowledged since the flush", len(durVal))
+}
+
+func trunc(b []byte) []byte {
+	if len(b) > 24 {
+		return b[:24]
+	}
+	return b
+}
+
+// --- execution -------------------------------------------------------------
+
+func deviceOf(st kvstore.Store) (*device.Device, error) {
+	d, ok := st.(interface{ Device() *device.Device })
+	if !ok {
+		return nil, fmt.Errorf("store %T does not expose Device()", st)
+	}
+	return d.Device(), nil
+}
+
+// executeScript drives the script through one session, maintaining the
+// oracle. With a triggering plan installed it stops at the first op during
+// which the plan fired (recording it as the pending ambiguous op); op errors
+// are tolerated only then. With a pure-counter plan it runs to completion,
+// exact-checking every scripted get against the applied state.
+func executeScript(st kvstore.Store, plan *device.FaultPlan, script []scriptOp, cfg SweepConfig) (*runState, error) {
+	c := simclock.New(0)
+	se := st.NewSession(c)
+	rs := newRunState()
+	for n, op := range script {
+		if plan.Triggered() {
+			return rs, nil
+		}
+		var err error
+		switch op.kind {
+		case opPut:
+			err = se.Put(sweepKey(op.key), op.val)
+		case opDelete:
+			err = se.Delete(sweepKey(op.key))
+		case opFlush:
+			err = se.Flush()
+		case opMaint:
+			err = cfg.Maintenance(st, c, op.phase)
+		case opGet:
+			var got []byte
+			var ok bool
+			got, ok, err = se.Get(sweepKey(op.key))
+			if err == nil && !plan.Triggered() {
+				want, wantOK := rs.applied[op.key]
+				if ok != wantOK || (ok && string(got) != want) {
+					return rs, fmt.Errorf("op %d: pre-crash get key %d = %q,%v want %q,%v",
+						n, op.key, trunc(got), ok, trunc([]byte(want)), wantOK)
+				}
+			}
+		}
+		if plan.Triggered() {
+			// The op in flight when power failed: its effects are ambiguous
+			// regardless of its return value.
+			switch op.kind {
+			case opPut:
+				rs.pendingValid, rs.pendingKey, rs.pending = true, op.key, sinceVal{val: string(op.val)}
+			case opDelete:
+				rs.pendingValid, rs.pendingKey, rs.pending = true, op.key, sinceVal{del: true}
+			}
+			return rs, nil
+		}
+		if err != nil {
+			return rs, fmt.Errorf("op %d (%v): %w", n, op.kind, err)
+		}
+		switch op.kind {
+		case opPut:
+			rs.ack(op.key, sinceVal{val: string(op.val)})
+		case opDelete:
+			rs.ack(op.key, sinceVal{del: true})
+		case opFlush:
+			rs.promote()
+		}
+	}
+	return rs, nil
+}
+
+// countPersists runs the script cleanly under a pure-counter plan, verifies
+// the final state exactly, and returns the persist-event total.
+func countPersists(newStore NewStoreFunc, script []scriptOp, cfg SweepConfig) (int64, error) {
+	st, err := newStore()
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	dev, err := deviceOf(st)
+	if err != nil {
+		return 0, err
+	}
+	plan := &device.FaultPlan{} // CrashAtPersist=0: count, never trigger
+	dev.InstallFaultPlan(plan)
+	rs, err := executeScript(st, plan, script, cfg)
+	if err != nil {
+		return 0, err
+	}
+	se := st.NewSession(simclock.New(0))
+	for key := 0; key < cfg.Keys; key++ {
+		got, ok, err := se.Get(sweepKey(key))
+		if err != nil {
+			return 0, fmt.Errorf("final get key %d: %w", key, err)
+		}
+		want, wantOK := rs.applied[key]
+		if ok != wantOK || (ok && string(got) != want) {
+			return 0, fmt.Errorf("final state: key %d = %q,%v want %q,%v",
+				key, trunc(got), ok, trunc([]byte(want)), wantOK)
+		}
+	}
+	return plan.Persists(), nil
+}
+
+// runCrashPoint replays the script on a fresh store, crashing at persist
+// event `point` with the given tear mode, then recovers and checks every
+// durability invariant. Every 7th point additionally exercises a second
+// crash+recover cycle to check that recovery is idempotent.
+func runCrashPoint(newStore NewStoreFunc, script []scriptOp, cfg SweepConfig, point int64, mode device.TearMode) error {
+	st, err := newStore()
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	dev, err := deviceOf(st)
+	if err != nil {
+		return err
+	}
+	plan := &device.FaultPlan{
+		CrashAtPersist: point,
+		Tear:           mode,
+		Seed:           cfg.Seed + point*7919,
+	}
+	dev.InstallFaultPlan(plan)
+	rs, err := executeScript(st, plan, script, cfg)
+	if err != nil {
+		return err
+	}
+	if !plan.Triggered() {
+		return fmt.Errorf("script completed with only %d persists — persist count is not deterministic", plan.Persists())
+	}
+
+	st.Crash()
+	dev.InstallFaultPlan(nil)
+	if err := recoverAndCheck(st, rs, cfg); err != nil {
+		return err
+	}
+	if point%7 == 0 {
+		// A crash immediately after recovery must recover to an equally legal
+		// state: nothing recovery persisted may depend on volatile leftovers.
+		st.Crash()
+		if err := recoverAndCheck(st, rs, cfg); err != nil {
+			return fmt.Errorf("second crash/recover cycle: %w", err)
+		}
+	}
+	return nil
+}
+
+// recoverAndCheck recovers the store and asserts the post-crash contract:
+// recovery succeeds, the store's own integrity verifier passes, every key's
+// state is legal per the oracle, and the store accepts and flushes new
+// writes.
+func recoverAndCheck(st kvstore.Store, rs *runState, cfg SweepConfig) error {
+	if err := st.Recover(simclock.New(0)); err != nil {
+		return fmt.Errorf("recovery failed: %w", err)
+	}
+	if v, ok := st.(interface {
+		VerifyIntegrity(*simclock.Clock) error
+	}); ok {
+		if err := v.VerifyIntegrity(simclock.New(0)); err != nil {
+			return fmt.Errorf("integrity check after recovery: %w", err)
+		}
+	}
+	se := st.NewSession(simclock.New(0))
+	for key := 0; key < cfg.Keys; key++ {
+		got, ok, err := se.Get(sweepKey(key))
+		if err != nil {
+			return fmt.Errorf("post-recovery get key %d: %w", key, err)
+		}
+		if legal, why := rs.legal(key, got, ok); !legal {
+			return fmt.Errorf("key %d: %s", key, why)
+		}
+	}
+	// Writability probe: the recovered store must function as a store.
+	probeKey := sweepKey(cfg.Keys + 999983)
+	probeVal := []byte("post-recovery-probe")
+	if err := se.Put(probeKey, probeVal); err != nil {
+		return fmt.Errorf("post-recovery put: %w", err)
+	}
+	got, ok, err := se.Get(probeKey)
+	if err != nil || !ok || !bytes.Equal(got, probeVal) {
+		return fmt.Errorf("post-recovery probe readback = %q,%v,%v", trunc(got), ok, err)
+	}
+	if err := se.Flush(); err != nil {
+		return fmt.Errorf("post-recovery flush: %w", err)
+	}
+	return nil
+}
+
+// StandardMaintenance returns a MaintenanceFunc that rotates over the
+// maintenance entry points the core-based stores expose — forced MemTable
+// flushes, Get-Protect ABI dumps, and log garbage collection — discovered by
+// interface assertion so the same script drives any store (phases a store
+// does not implement are no-ops).
+func StandardMaintenance() MaintenanceFunc {
+	return func(st kvstore.Store, c *simclock.Clock, phase int) error {
+		switch phase % 3 {
+		case 0:
+			if f, ok := st.(interface {
+				FlushAll(*simclock.Clock) error
+			}); ok {
+				return f.FlushAll(c)
+			}
+		case 1:
+			if d, ok := st.(interface {
+				DumpABIs(*simclock.Clock) error
+			}); ok {
+				return d.DumpABIs(c)
+			}
+		case 2:
+			if g, ok := st.(interface {
+				CompactLog(*simclock.Clock, int64) (int64, error)
+			}); ok {
+				_, err := g.CompactLog(c, 64<<10)
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func logf(f func(string, ...any), format string, args ...any) {
+	if f != nil {
+		f(format, args...)
+	}
+}

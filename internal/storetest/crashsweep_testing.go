@@ -1,0 +1,33 @@
+package storetest
+
+import (
+	"testing"
+
+	"chameleondb/internal/kvstore"
+)
+
+// RunCrashSweep executes the exhaustive crash-point sweep as a subtest and
+// logs the sweep counts (persist events, points, torn runs).
+func RunCrashSweep(t *testing.T, name string, open func() (kvstore.Store, error), cfg SweepConfig) {
+	t.Run(name+"/CrashSweep", func(t *testing.T) {
+		cfg.Logf = t.Logf
+		res, err := CrashSweep(open, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s crash sweep: %s", name, res)
+	})
+}
+
+// RunCrashSoak executes the randomized crash soak as a subtest.
+func RunCrashSoak(t *testing.T, name string, open func() (kvstore.Store, error), cfg SoakConfig) {
+	t.Run(name+"/CrashSoak", func(t *testing.T) {
+		cfg.Logf = t.Logf
+		res, err := CrashSoak(open, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s crash soak: %d iterations, %d crash points, %d persist events, %d retries",
+			name, res.Iterations, res.CrashPoints, res.PersistEvents, res.Retries)
+	})
+}

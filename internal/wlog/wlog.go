@@ -13,10 +13,15 @@
 //
 // Entry layout (8-byte aligned):
 //
-//	[8 B key hash][8 B meta: keyLen(16) | valLen(32) | flags(16)][key][value]
+//	[8 B key hash][8 B meta: keyLen(16) | valLen(32) | flags(16)][8 B sum][key][value]
 //
-// A zero meta word marks the end of the used portion of a batch chunk; the
-// scanner skips to the next chunk boundary. Chunks never span segments.
+// sum is a seeded hash chained over the header words, key, and value. The
+// device commits 256 B lines, so a batch persist interrupted by power failure
+// can leave a durable prefix of its lines: entries beyond the cut have their
+// payload (or header) missing, and the checksum is what lets recovery detect
+// the torn tail instead of replaying corrupted values. A zero meta word marks
+// the end of the used portion of a batch chunk; the scanner skips to the next
+// chunk boundary. Chunks never span segments.
 package wlog
 
 import (
@@ -28,6 +33,7 @@ import (
 
 	"chameleondb/internal/pmem"
 	"chameleondb/internal/simclock"
+	"chameleondb/internal/xhash"
 )
 
 // FlagTombstone marks a deletion entry.
@@ -40,12 +46,29 @@ const DefaultChunkSize = 4096
 // from the arena on demand and freed whole by garbage collection.
 const DefaultSegmentSize = 1 << 20
 
-const headerSize = 16
+const headerSize = 24
 
 // ErrLogFull is returned when the log's live segments exceed its capacity.
 // Reclaim space with garbage collection (core.CompactLog) or size the region
 // for the workload.
 var ErrLogFull = errors.New("wlog: log region full")
+
+// ErrCorrupt is returned when an entry's stored checksum does not match its
+// contents or its declared size is impossible — the durable signature of a
+// torn batch persist.
+var ErrCorrupt = errors.New("wlog: entry corrupt (torn write)")
+
+// entrySum computes the per-entry checksum: a seeded hash chained over the
+// header words and both byte fields, forced non-zero so an all-zero region
+// can never pass as a valid entry.
+func entrySum(hash, meta uint64, key, value []byte) uint64 {
+	s := xhash.Seeded(hash^meta, key)
+	s = xhash.Seeded(s, value)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
 
 // ErrReclaimed is returned when reading an LSN inside a segment that garbage
 // collection already freed.
@@ -179,6 +202,14 @@ func (l *Log) reserveChunk(size int64) (int64, int64, error) {
 // relocated all live entries below v and checkpointed the stores' recovery
 // watermarks above it first.
 func (l *Log) FreeBefore(v int64) (freedBytes int64) {
+	// After a simulated power failure the checkpoint that raised the
+	// watermark above v never became durable: the durable manifests may still
+	// reference entries below v, so freeing (and durably zeroing) their
+	// segments would destroy data recovery needs. The dying process frees
+	// nothing.
+	if l.arena.Device().PowerFailed() {
+		return 0
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lastSeg := v / l.segSize // segments strictly below this index die
@@ -293,6 +324,7 @@ func (a *Appender) Append(c *simclock.Clock, hash uint64, key, value []byte, fla
 	binary.LittleEndian.PutUint64(buf[0:8], hash)
 	meta := uint64(len(key)) | uint64(len(value))<<16 | uint64(flags)<<48
 	binary.LittleEndian.PutUint64(buf[8:16], meta)
+	binary.LittleEndian.PutUint64(buf[16:24], entrySum(hash, meta, key, value))
 	copy(buf[headerSize:], key)
 	copy(buf[headerSize+len(key):], value)
 	a.used += sz
@@ -371,6 +403,25 @@ func (l *Log) SyncAll(c *simclock.Clock) {
 	}
 }
 
+// SealAll persists and detaches every appender's private batch chunk, so all
+// future appends draw fresh LSNs from the shared tail. Log GC must call this
+// before relocating entries: a relocated copy takes an LSN at the tail, and
+// if a session later appended a newer version into a still-open chunk below
+// the tail, recovery's LSN-ordered replay would resurrect the relocated old
+// copy over the newer flushed one.
+func (l *Log) SealAll(c *simclock.Clock) error {
+	l.apMu.Lock()
+	aps := make([]*Appender, len(l.appenders))
+	copy(aps, l.appenders)
+	l.apMu.Unlock()
+	for _, a := range aps {
+		if err := a.Flush(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Entry is one decoded log record.
 type Entry struct {
 	LSN   int64
@@ -388,7 +439,9 @@ func decodeMeta(meta uint64) (keyLen, valLen int, flags uint16) {
 }
 
 // Read decodes the entry at lsn, charging one random device read of the
-// entry's size. Reading into a reclaimed segment returns ErrReclaimed.
+// entry's size. Reading into a reclaimed segment returns ErrReclaimed; an
+// entry whose checksum or declared size is wrong (a torn batch persist)
+// returns ErrCorrupt.
 func (l *Log) Read(c *simclock.Clock, lsn int64) (Entry, error) {
 	if lsn < l.segSize || lsn >= l.Tail() {
 		return Entry{}, fmt.Errorf("wlog: LSN %d out of range", lsn)
@@ -397,20 +450,33 @@ func (l *Log) Read(c *simclock.Clock, lsn int64) (Entry, error) {
 	if !ok {
 		return Entry{}, ErrReclaimed
 	}
+	segRem := l.segSize - lsn%l.segSize
+	if segRem < headerSize {
+		return Entry{}, fmt.Errorf("%w: header at LSN %d crosses segment end", ErrCorrupt, lsn)
+	}
 	hdr := l.arena.Bytes(phys, headerSize)
 	hash := binary.LittleEndian.Uint64(hdr[0:8])
 	meta := binary.LittleEndian.Uint64(hdr[8:16])
+	sum := binary.LittleEndian.Uint64(hdr[16:24])
 	if meta == 0 {
 		return Entry{}, fmt.Errorf("wlog: no entry at LSN %d", lsn)
 	}
 	keyLen, valLen, flags := decodeMeta(meta)
 	sz := EntrySize(keyLen, valLen)
+	if sz > segRem {
+		return Entry{}, fmt.Errorf("%w: entry at LSN %d claims %d bytes past segment end", ErrCorrupt, lsn, sz)
+	}
 	buf := l.arena.ReadRandom(c, phys, sz)
+	key := buf[headerSize : headerSize+keyLen]
+	value := buf[headerSize+keyLen : headerSize+keyLen+valLen]
+	if entrySum(hash, meta, key, value) != sum {
+		return Entry{}, fmt.Errorf("%w: checksum mismatch at LSN %d", ErrCorrupt, lsn)
+	}
 	return Entry{
 		LSN:   lsn,
 		Hash:  hash,
-		Key:   buf[headerSize : headerSize+keyLen],
-		Value: buf[headerSize+keyLen : headerSize+keyLen+valLen],
+		Key:   key,
+		Value: value,
 		Flags: flags,
 	}, nil
 }
@@ -424,6 +490,9 @@ func (l *Log) PeekHash(lsn int64) (uint64, uint16, bool) {
 	}
 	phys, ok := l.phys(lsn)
 	if !ok {
+		return 0, 0, false
+	}
+	if l.segSize-lsn%l.segSize < headerSize {
 		return 0, 0, false
 	}
 	hdr := l.arena.Bytes(phys, headerSize)
@@ -460,6 +529,13 @@ func (l *Log) Scan(c *simclock.Clock, from int64, fn func(Entry) bool) error {
 			}
 			l.arena.ReadSeq(c, phys, n)
 		}
+		segRem := l.segSize - pos%l.segSize
+		if segRem < headerSize {
+			// Not enough room for a header before the segment end: whatever
+			// is here is padding.
+			pos = (pos/l.chunkSize + 1) * l.chunkSize
+			continue
+		}
 		hdr := l.arena.Bytes(phys, headerSize)
 		meta := binary.LittleEndian.Uint64(hdr[8:16])
 		if meta == 0 {
@@ -469,12 +545,29 @@ func (l *Log) Scan(c *simclock.Clock, from int64, fn func(Entry) bool) error {
 		}
 		keyLen, valLen, flags := decodeMeta(meta)
 		sz := EntrySize(keyLen, valLen)
+		if sz > segRem {
+			// Entries never span segments, so a size reaching past the
+			// segment end means the header itself is torn garbage: the rest
+			// of this chunk never became durable.
+			pos = (pos/l.chunkSize + 1) * l.chunkSize
+			continue
+		}
 		buf := l.arena.Bytes(phys, sz)
+		hash := binary.LittleEndian.Uint64(buf[0:8])
+		sum := binary.LittleEndian.Uint64(buf[16:24])
+		key := buf[headerSize : headerSize+keyLen]
+		value := buf[headerSize+keyLen : headerSize+keyLen+valLen]
+		if entrySum(hash, meta, key, value) != sum {
+			// Torn batch persist: the entry's lines beyond the committed
+			// prefix are gone, and so is everything after it in the chunk.
+			pos = (pos/l.chunkSize + 1) * l.chunkSize
+			continue
+		}
 		e := Entry{
 			LSN:   pos,
-			Hash:  binary.LittleEndian.Uint64(buf[0:8]),
-			Key:   buf[headerSize : headerSize+keyLen],
-			Value: buf[headerSize+keyLen : headerSize+keyLen+valLen],
+			Hash:  hash,
+			Key:   key,
+			Value: value,
 			Flags: flags,
 		}
 		if !fn(e) {

@@ -1,0 +1,143 @@
+package wlog
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/pmem"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/xhash"
+)
+
+// TestTornChunkPersistDetected is the regression test for the torn-write bug
+// the crash sweep surfaced: a batch (chunk) persist interrupted by power
+// failure commits only a prefix of its 256 B media lines, so entries past the
+// cut keep a durable header but lose their payload. Before entries carried a
+// checksum, recovery's Scan replayed those entries with zeroed values —
+// acknowledged data silently corrupted into different data. With the checksum
+// the torn tail is detected and dropped.
+func TestTornChunkPersistDetected(t *testing.T) {
+	arena := pmem.NewArena(device.New(device.OptanePmem), 1<<21)
+	l, err := New(arena, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := simclock.New(0)
+	ap := l.NewAppender()
+
+	// e1 fills [0, 232) of the chunk — entirely inside media line 0.
+	// e2 starts at 232: its 24 B header lands in line 0 but its payload is
+	// all in line 1.
+	k1, v1 := []byte("key-aaaa"), bytes.Repeat([]byte{0xA1}, 200)
+	k2, v2 := []byte("key-bbbb"), bytes.Repeat([]byte{0xB2}, 100)
+	lsn1, err := ap.Append(c, xhash.Sum64(k1), k1, v1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := ap.Append(c, xhash.Sum64(k2), k2, v2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Power fails on the seal persist, committing only the first line.
+	arena.Device().InstallFaultPlan(&device.FaultPlan{CrashAtPersist: 1, Tear: device.TearFirstLine})
+	if err := ap.Flush(c); err != nil {
+		t.Fatal(err)
+	}
+	arena.Device().InstallFaultPlan(nil)
+	arena.Crash()
+
+	// e1 survived intact.
+	e, err := l.Read(c, lsn1)
+	if err != nil {
+		t.Fatalf("reading intact entry: %v", err)
+	}
+	if !bytes.Equal(e.Value, v1) {
+		t.Fatal("intact entry corrupted")
+	}
+	// e2's durable header is valid but its payload never committed: reading
+	// it must fail loudly, not return zeroed bytes.
+	if _, err := l.Read(c, lsn2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reading torn entry = %v, want ErrCorrupt", err)
+	}
+	// Recovery's scan must replay exactly the intact prefix.
+	var got []int64
+	if err := l.Scan(c, l.Base(), func(e Entry) bool {
+		got = append(got, e.LSN)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != lsn1 {
+		t.Fatalf("scan after torn persist returned %v, want [%d]", got, lsn1)
+	}
+}
+
+// TestTornPersistMidEntry tears the cut through the middle of a single large
+// entry: the committed part passes no checksum, so nothing survives.
+func TestTornPersistMidEntry(t *testing.T) {
+	arena := pmem.NewArena(device.New(device.OptanePmem), 1<<21)
+	l, err := New(arena, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	key, val := []byte("bigkey"), bytes.Repeat([]byte{0xEE}, 3000) // ~12 lines
+	lsn, err := ap.Append(c, xhash.Sum64(key), key, val, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena.Device().InstallFaultPlan(&device.FaultPlan{CrashAtPersist: 1, Tear: device.TearHalf})
+	ap.Flush(c)
+	arena.Device().InstallFaultPlan(nil)
+	arena.Crash()
+	if _, err := l.Read(c, lsn); !errors.Is(err, ErrCorrupt) {
+		// A fully-lost header reads as "no entry"; either way it must error.
+		if err == nil {
+			t.Fatal("torn entry read back successfully")
+		}
+	}
+	n := 0
+	l.Scan(c, l.Base(), func(Entry) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("scan replayed %d torn entries", n)
+	}
+}
+
+// TestFreeBeforeFrozenAfterPowerFailure: a dying process must not free (and
+// durably zero) log segments — the durable manifests may still point there.
+func TestFreeBeforeFrozenAfterPowerFailure(t *testing.T) {
+	arena := pmem.NewArena(device.New(device.OptanePmem), 1<<21)
+	l, err := New(arena, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := simclock.New(0)
+	ap := l.NewAppender()
+	payload := bytes.Repeat([]byte{7}, 1000)
+	var first int64 = -1
+	for i := 0; l.Tail() < l.SegmentSize()*3; i++ {
+		lsn, err := ap.Append(c, uint64(i), []byte("12345678"), payload, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first < 0 {
+			first = lsn
+		}
+	}
+	ap.Flush(c)
+	plan := &device.FaultPlan{CrashAtPersist: 1}
+	arena.Device().InstallFaultPlan(plan)
+	arena.Persist(c, 0, 1) // trigger the failure
+	if freed := l.FreeBefore(l.Tail()); freed != 0 {
+		t.Fatalf("post-failure FreeBefore freed %d bytes", freed)
+	}
+	arena.Device().InstallFaultPlan(nil)
+	arena.Crash()
+	if e, err := l.Read(c, first); err != nil || !bytes.Equal(e.Value, payload) {
+		t.Fatalf("entry lost to post-failure GC: %v", err)
+	}
+}

@@ -68,10 +68,12 @@ func TestBatchingPersistsAtChunkBoundary(t *testing.T) {
 	ap := l.NewAppender()
 	dev := l.arena.Device()
 	before := dev.Stats().WriteOps
-	// Entries of 32 bytes: 128 fill one 4 KB chunk.
+	// Entries of 64 bytes (24 B header + 8 B key + 32 B value): 64 fill one
+	// 4 KB chunk.
+	val := bytes.Repeat([]byte{0x11}, 32)
 	var lastOps int64
-	for i := 0; i < 127; i++ {
-		if _, err := ap.Append(c, uint64(i), []byte("12345678"), []byte("12345678"), 0); err != nil {
+	for i := 0; i < 63; i++ {
+		if _, err := ap.Append(c, uint64(i), []byte("12345678"), val, 0); err != nil {
 			t.Fatal(err)
 		}
 		lastOps = dev.Stats().WriteOps
@@ -79,7 +81,7 @@ func TestBatchingPersistsAtChunkBoundary(t *testing.T) {
 	if lastOps != before {
 		t.Fatalf("writes persisted before chunk sealed: %d ops", lastOps-before)
 	}
-	if _, err := ap.Append(c, 127, []byte("12345678"), []byte("12345678"), 0); err != nil {
+	if _, err := ap.Append(c, 63, []byte("12345678"), val, 0); err != nil {
 		t.Fatal(err)
 	}
 	after := dev.Stats()
@@ -197,14 +199,16 @@ func TestCrashLosesUnflushedTail(t *testing.T) {
 	}
 	c := simclock.New(0)
 	ap := l.NewAppender()
-	// Fill exactly one chunk (sealed, durable) then a partial chunk.
-	for i := 0; i < 128; i++ {
-		if _, err := ap.Append(c, uint64(i), []byte("12345678"), []byte("12345678"), 0); err != nil {
+	// Fill exactly one chunk (sealed, durable) then a partial chunk: 64-byte
+	// entries, 64 per 4 KB chunk.
+	val := bytes.Repeat([]byte{0x22}, 32)
+	for i := 0; i < 64; i++ {
+		if _, err := ap.Append(c, uint64(i), []byte("12345678"), val, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for i := 128; i < 140; i++ {
-		if _, err := ap.Append(c, uint64(i), []byte("12345678"), []byte("12345678"), 0); err != nil {
+	for i := 64; i < 76; i++ {
+		if _, err := ap.Append(c, uint64(i), []byte("12345678"), val, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -214,8 +218,8 @@ func TestCrashLosesUnflushedTail(t *testing.T) {
 		survivors = append(survivors, e.Hash)
 		return true
 	})
-	if len(survivors) != 128 {
-		t.Fatalf("%d entries survived crash, want exactly the sealed 128", len(survivors))
+	if len(survivors) != 64 {
+		t.Fatalf("%d entries survived crash, want exactly the sealed 64", len(survivors))
 	}
 }
 
@@ -408,13 +412,13 @@ func TestAppendScanRoundTripProperty(t *testing.T) {
 }
 
 func TestEntrySizePadding(t *testing.T) {
-	if EntrySize(0, 0) != 16 {
+	if EntrySize(0, 0) != 24 {
 		t.Fatalf("EntrySize(0,0) = %d", EntrySize(0, 0))
 	}
-	if EntrySize(1, 0) != 24 {
+	if EntrySize(1, 0) != 32 {
 		t.Fatalf("EntrySize(1,0) = %d", EntrySize(1, 0))
 	}
-	if EntrySize(8, 8) != 32 {
+	if EntrySize(8, 8) != 40 {
 		t.Fatalf("EntrySize(8,8) = %d", EntrySize(8, 8))
 	}
 	if EntrySize(8, 9)%8 != 0 {
