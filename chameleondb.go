@@ -257,14 +257,15 @@ func (db *DB) Recover() (readyNanos, fullNanos int64, err error) {
 
 // Stats reports operation and device counters.
 type Stats struct {
-	// Puts is the number of completed writes; Flushes/Spills the MemTable
-	// flush and Write-Intensive spill counts; UpperCompactions and
-	// LastCompactions the compaction counts; Dumps the Get-Protect ABI
-	// dumps.
-	Puts, Flushes, Spills                    int64
+	// Puts is the number of completed value writes and Deletes the number of
+	// tombstone appends (kept apart so puts+deletes reconciles against log
+	// entries appended); Flushes/Spills the MemTable flush and
+	// Write-Intensive spill counts; UpperCompactions and LastCompactions the
+	// compaction counts; Dumps the Get-Protect ABI dumps.
+	Puts, Deletes, Flushes, Spills           int64
 	UpperCompactions, LastCompactions, Dumps int64
 	// Gets served per index structure (paper Figure 6's three-probe path).
-	GetMemTable, GetABI, GetLast, GetMiss int64
+	GetMemTable, GetABI, GetDumped, GetUpper, GetLast, GetMiss int64
 	// Log garbage collection activity (CompactLog).
 	LogGCs, LogGCRelocated, LogGCDropped int64
 	// Device-level media accounting (the simulated ipmwatch).
@@ -278,9 +279,10 @@ func (db *DB) Stats() Stats {
 	s := db.store.Stats()
 	d := db.store.DeviceStats()
 	return Stats{
-		Puts: s.Puts, Flushes: s.Flushes, Spills: s.Spills,
+		Puts: s.Puts, Deletes: s.Deletes, Flushes: s.Flushes, Spills: s.Spills,
 		UpperCompactions: s.UpperCompactions, LastCompactions: s.LastCompactions, Dumps: s.Dumps,
-		GetMemTable: s.GetMemTable, GetABI: s.GetABI, GetLast: s.GetLast, GetMiss: s.GetMiss,
+		GetMemTable: s.GetMemTable, GetABI: s.GetABI, GetDumped: s.GetDumped,
+		GetUpper: s.GetUpper, GetLast: s.GetLast, GetMiss: s.GetMiss,
 		LogGCs: s.LogGCs, LogGCRelocated: s.LogGCRelocated, LogGCDropped: s.LogGCDropped,
 		LogicalBytesWritten: d.LogicalBytesWritten,
 		MediaBytesWritten:   d.MediaBytesWritten,

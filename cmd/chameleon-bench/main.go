@@ -4,6 +4,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -13,12 +14,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1, fig2, fig3, fig10, fig11tab2, fig12, fig13tab3, tab4, fig14tab5, fig15, fig16, fig17, ablations) or 'all' or 'list'")
+		experiment = flag.String("experiment", "all", "experiment id (fig1, fig2, fig3, fig6, fig10, fig11tab2, fig12, fig13tab3, tab4, fig14tab5, fig15, fig16, fig17, ablations) or 'all' or 'list'")
 		keys       = flag.Int64("keys", 1_000_000, "dataset size (keys loaded)")
 		ops        = flag.Int64("ops", 1_000_000, "measured-phase operations")
 		threads    = flag.Int("threads", 16, "maximum worker count")
 		valueSize  = flag.Int("value-size", 8, "value size in bytes")
 		seed       = flag.Int64("seed", 1, "random seed")
+		asJSON     = flag.Bool("json", false, "emit reports as JSON (including the store's metrics snapshot) instead of text tables")
 	)
 	flag.Parse()
 
@@ -41,14 +43,27 @@ func main() {
 		}
 		exps = []bench.Experiment{e}
 	}
+	var all []*bench.Report
 	for _, e := range exps {
 		reports, err := e.Run(opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		if *asJSON {
+			all = append(all, reports...)
+			continue
+		}
 		for _, r := range reports {
 			r.Print(os.Stdout)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -96,6 +96,10 @@ func main() {
 		crashSweepCmd(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		statsCmd(os.Args[2:])
+		return
+	}
 	var (
 		shards = flag.Int("shards", 64, "index shards (power of two)")
 	)
@@ -198,10 +202,10 @@ func main() {
 			fmt.Println("ok")
 		case "stats":
 			st := db.Stats()
-			fmt.Printf("puts=%d flushes=%d spills=%d upperCompactions=%d lastCompactions=%d dumps=%d\n",
-				st.Puts, st.Flushes, st.Spills, st.UpperCompactions, st.LastCompactions, st.Dumps)
-			fmt.Printf("gets: memtable=%d abi=%d last=%d miss=%d\n",
-				st.GetMemTable, st.GetABI, st.GetLast, st.GetMiss)
+			fmt.Printf("puts=%d deletes=%d flushes=%d spills=%d upperCompactions=%d lastCompactions=%d dumps=%d\n",
+				st.Puts, st.Deletes, st.Flushes, st.Spills, st.UpperCompactions, st.LastCompactions, st.Dumps)
+			fmt.Printf("gets: memtable=%d abi=%d dumped=%d upper=%d last=%d miss=%d\n",
+				st.GetMemTable, st.GetABI, st.GetDumped, st.GetUpper, st.GetLast, st.GetMiss)
 			fmt.Printf("media: written=%.1fMB read=%.1fMB writeAmp=%.2f dram=%.1fMB\n",
 				float64(st.MediaBytesWritten)/(1<<20), float64(st.MediaBytesRead)/(1<<20),
 				st.WriteAmplification(), float64(st.DRAMFootprintBytes)/(1<<20))

@@ -13,6 +13,7 @@ import (
 
 	"chameleondb/internal/device"
 	"chameleondb/internal/kvstore"
+	"chameleondb/internal/obs"
 	"chameleondb/internal/pmem"
 	"chameleondb/internal/robinhood"
 	"chameleondb/internal/simclock"
@@ -53,6 +54,9 @@ type Store struct {
 	stripes []*stripe
 	shift   uint
 
+	ops obs.OpCounters
+	reg *obs.Registry
+
 	crashed   bool
 	crashMu   sync.Mutex
 	recoverNs int64
@@ -79,6 +83,10 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{cfg: cfg, dev: dev, arena: arena, log: log, shift: 64 - uint(intLog2(cfg.Stripes))}
+	s.reg = obs.NewRegistry("dramhash")
+	s.ops.Register(s.reg)
+	obs.RegisterDevice(s.reg, dev)
+	obs.RegisterLog(s.reg, log)
 	s.stripes = make([]*stripe, cfg.Stripes)
 	for i := range s.stripes {
 		s.stripes[i] = &stripe{rh: robinhood.New(cfg.InitialCapacity)}
@@ -97,6 +105,10 @@ func intLog2(v int) int {
 
 // Name implements kvstore.Store.
 func (s *Store) Name() string { return "Dram-Hash" }
+
+// Registry returns the store's metrics registry (generic op, device, and log
+// counters).
+func (s *Store) Registry() *obs.Registry { return s.reg }
 
 // DeviceStats implements kvstore.Store.
 func (s *Store) DeviceStats() device.Stats { return s.dev.Stats() }
@@ -217,6 +229,9 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 	dur := c.Now() - opStart
 	st.mu.Unlock()
 	c.AdvanceTo(st.tl.Reserve(opStart, dur))
+	if err == nil {
+		se.store.ops.CountWrite(flags&wlog.FlagTombstone != 0)
+	}
 	return err
 }
 
@@ -244,17 +259,21 @@ func (se *Session) Get(key []byte) ([]byte, bool, error) {
 	st.mu.Unlock()
 	c.AdvanceTo(st.tl.Reserve(opStart, dur))
 	if !ok {
+		se.store.ops.CountGet(false)
 		return nil, false, nil
 	}
 	e, err := se.store.log.Read(c, int64(ref))
 	if err != nil {
+		se.store.ops.CountGet(false)
 		return nil, false, err
 	}
 	if !bytes.Equal(e.Key, key) {
+		se.store.ops.CountGet(false)
 		return nil, false, nil // full hash collision; see core/session.go
 	}
 	val := make([]byte, len(e.Value))
 	copy(val, e.Value)
+	se.store.ops.CountGet(true)
 	return val, true, nil
 }
 

@@ -12,10 +12,12 @@ import (
 	"bytes"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"chameleondb/internal/blockcache"
 	"chameleondb/internal/device"
 	"chameleondb/internal/kvstore"
+	"chameleondb/internal/obs"
 	"chameleondb/internal/pmem"
 	"chameleondb/internal/simclock"
 	"chameleondb/internal/sstable"
@@ -92,7 +94,12 @@ type Store struct {
 	mu      sync.Mutex
 	crashed bool
 
-	compactions int64
+	// compactions is atomic: stripes compact independently under their own
+	// locks, so a plain counter would race when Stripes > 1.
+	compactions atomic.Int64
+
+	ops obs.OpCounters
+	reg *obs.Registry
 }
 
 var _ kvstore.Store = (*Store)(nil)
@@ -119,6 +126,11 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{cfg: cfg, dev: dev, arena: arena, wal: wal}
+	s.reg = obs.NewRegistry("matrixkv")
+	s.ops.Register(s.reg)
+	obs.RegisterDevice(s.reg, dev)
+	obs.RegisterLog(s.reg, wal)
+	s.reg.CounterFunc("compactions", s.compactions.Load)
 	s.stripes = make([]*stripe, cfg.Stripes)
 	for i := range s.stripes {
 		s.stripes[i] = &stripe{
@@ -142,7 +154,11 @@ func (s *Store) DeviceStats() device.Stats { return s.dev.Stats() }
 func (s *Store) Device() *device.Device { return s.dev }
 
 // Compactions reports how many compactions have run.
-func (s *Store) Compactions() int64 { return s.compactions }
+func (s *Store) Compactions() int64 { return s.compactions.Load() }
+
+// Registry returns the store's metrics registry (generic op, device, WAL,
+// and compaction counters).
+func (s *Store) Registry() *obs.Registry { return s.reg }
 
 // DRAMFootprint implements kvstore.Store: the DRAM MemTables plus filters.
 func (s *Store) DRAMFootprint() int64 {
@@ -268,7 +284,7 @@ func (s *Store) flushLocked(c *simclock.Clock, st *stripe) error {
 // compactLocked merges the matrix rows with L1 (fine-grained column
 // compactions are modeled in aggregate), then cascades leveled compactions.
 func (s *Store) compactLocked(c *simclock.Clock, st *stripe) error {
-	s.compactions++
+	s.compactions.Add(1)
 	inputs := make([]*sstable.Run, 0, len(st.rows)+1)
 	for i := len(st.rows) - 1; i >= 0; i-- {
 		inputs = append(inputs, st.rows[i])
@@ -315,7 +331,7 @@ func (s *Store) compactLocked(c *simclock.Clock, st *stripe) error {
 		}
 		st.levels[lvl] = nil
 		st.levels[lvl+1] = merged
-		s.compactions++
+		s.compactions.Add(1)
 	}
 	return nil
 }
@@ -358,6 +374,9 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 	dur := c.Now() - opStart
 	st.mu.Unlock()
 	c.AdvanceTo(st.tl.Reserve(opStart, dur))
+	if err == nil {
+		se.store.ops.CountWrite(flags&wlog.FlagTombstone != 0)
+	}
 	return err
 }
 
@@ -370,6 +389,14 @@ func (se *Session) Delete(key []byte) error { return se.write(key, nil, wlog.Fla
 // Get implements kvstore.Session: DRAM MemTable, then the matrix rows one by
 // one (hint + probe each, newest first), then the filtered levels.
 func (se *Session) Get(key []byte) ([]byte, bool, error) {
+	v, ok, err := se.get(key)
+	if err == nil {
+		se.store.ops.CountGet(ok)
+	}
+	return v, ok, err
+}
+
+func (se *Session) get(key []byte) ([]byte, bool, error) {
 	if se.store.isCrashed() {
 		return nil, false, ErrCrashed
 	}

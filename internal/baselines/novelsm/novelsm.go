@@ -12,10 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"chameleondb/internal/blockcache"
 	"chameleondb/internal/device"
 	"chameleondb/internal/kvstore"
+	"chameleondb/internal/obs"
 	"chameleondb/internal/pmem"
 	"chameleondb/internal/simclock"
 	"chameleondb/internal/skiplist"
@@ -78,7 +80,12 @@ type Store struct {
 	mu      sync.Mutex
 	crashed bool
 
-	compactions int64
+	// compactions is atomic: stripes compact independently under their own
+	// locks, so a plain counter would race when Stripes > 1.
+	compactions atomic.Int64
+
+	ops obs.OpCounters
+	reg *obs.Registry
 }
 
 var _ kvstore.Store = (*Store)(nil)
@@ -101,6 +108,10 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 	}
 	arena := pmem.NewArena(dev, cfg.ArenaBytes)
 	s := &Store{cfg: cfg, dev: dev, arena: arena, slab: pmem.NewSlab(arena, 1<<20)}
+	s.reg = obs.NewRegistry("novelsm")
+	s.ops.Register(s.reg)
+	obs.RegisterDevice(s.reg, dev)
+	s.reg.CounterFunc("compactions", s.compactions.Load)
 	s.stripes = make([]*stripe, cfg.Stripes)
 	for i := range s.stripes {
 		l, err := skiplist.New(arena, s.slab, int64(i)+1)
@@ -127,7 +138,11 @@ func (s *Store) DeviceStats() device.Stats { return s.dev.Stats() }
 func (s *Store) Device() *device.Device { return s.dev }
 
 // Compactions reports how many compactions have run.
-func (s *Store) Compactions() int64 { return s.compactions }
+func (s *Store) Compactions() int64 { return s.compactions.Load() }
+
+// Registry returns the store's metrics registry (generic op, device, and
+// compaction counters).
+func (s *Store) Registry() *obs.Registry { return s.reg }
 
 // DRAMFootprint implements kvstore.Store: NoveLSM's structures are in Pmem;
 // only the bloom filters are volatile.
@@ -280,7 +295,7 @@ func (s *Store) readPayloadVolatile(ref uint64) (key, value []byte, tomb bool) {
 // reads and rewrites whole runs including their values — the write
 // amplification the paper measures with ipmwatch in Figure 17(b).
 func (s *Store) compactLocked(c *simclock.Clock, st *stripe) error {
-	s.compactions++
+	s.compactions.Add(1)
 	// L0 (+ L1) -> new L1, newest first: L0 runs from newest to oldest,
 	// then the old L1.
 	inputs := make([]*sstable.Run, 0, len(st.l0)+1)
@@ -331,7 +346,7 @@ func (s *Store) compactLocked(c *simclock.Clock, st *stripe) error {
 		}
 		st.levels[lvl] = nil
 		st.levels[lvl+1] = merged
-		s.compactions++
+		s.compactions.Add(1)
 	}
 	return nil
 }
@@ -376,6 +391,9 @@ func (se *Session) write(key, value []byte, tomb bool) error {
 	dur := c.Now() - opStart
 	st.mu.Unlock()
 	c.AdvanceTo(st.tl.Reserve(opStart, dur))
+	if err == nil {
+		se.store.ops.CountWrite(tomb)
+	}
 	return err
 }
 
@@ -389,6 +407,14 @@ func (se *Session) Delete(key []byte) error { return se.write(key, nil, true) }
 // then L0 runs newest-first, then the levels — filters, binary searches,
 // and block reads all the way down (Section 3.7).
 func (se *Session) Get(key []byte) ([]byte, bool, error) {
+	v, ok, err := se.get(key)
+	if err == nil {
+		se.store.ops.CountGet(ok)
+	}
+	return v, ok, err
+}
+
+func (se *Session) get(key []byte) ([]byte, bool, error) {
 	if se.store.isCrashed() {
 		return nil, false, ErrCrashed
 	}

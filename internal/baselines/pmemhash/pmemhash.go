@@ -17,6 +17,7 @@ import (
 	"chameleondb/internal/cceh"
 	"chameleondb/internal/device"
 	"chameleondb/internal/kvstore"
+	"chameleondb/internal/obs"
 	"chameleondb/internal/pmem"
 	"chameleondb/internal/simclock"
 	"chameleondb/internal/wlog"
@@ -55,6 +56,9 @@ type Store struct {
 	stripes []*stripe
 	shift   uint
 
+	ops obs.OpCounters
+	reg *obs.Registry
+
 	mu        sync.Mutex
 	crashed   bool
 	recoverNs int64
@@ -81,6 +85,10 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{cfg: cfg, dev: dev, arena: arena, log: log, shift: 64 - uint(intLog2(cfg.Stripes))}
+	s.reg = obs.NewRegistry("pmemhash")
+	s.ops.Register(s.reg)
+	obs.RegisterDevice(s.reg, dev)
+	obs.RegisterLog(s.reg, log)
 	s.stripes = make([]*stripe, cfg.Stripes)
 	for i := range s.stripes {
 		t, err := cceh.New(arena, cfg.InitialDepth)
@@ -103,6 +111,10 @@ func intLog2(v int) int {
 
 // Name implements kvstore.Store.
 func (s *Store) Name() string { return "Pmem-Hash" }
+
+// Registry returns the store's metrics registry (generic op, device, and log
+// counters).
+func (s *Store) Registry() *obs.Registry { return s.reg }
 
 // DeviceStats implements kvstore.Store.
 func (s *Store) DeviceStats() device.Stats { return s.dev.Stats() }
@@ -214,6 +226,9 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 	dur := c.Now() - opStart
 	st.mu.Unlock()
 	c.AdvanceTo(st.tl.Reserve(opStart, dur))
+	if err == nil {
+		se.store.ops.CountWrite(flags&wlog.FlagTombstone != 0)
+	}
 	return err
 }
 
@@ -240,19 +255,23 @@ func (se *Session) Get(key []byte) ([]byte, bool, error) {
 	st.mu.Unlock()
 	c.AdvanceTo(st.tl.Reserve(opStart, dur))
 	if !ok {
+		se.store.ops.CountGet(false)
 		return nil, false, nil
 	}
 	e, err := se.store.log.Read(c, int64(ref))
 	if err != nil {
 		// Dangling slot: the index persisted ahead of a log entry that a
 		// crash erased. Treat as missing.
+		se.store.ops.CountGet(false)
 		return nil, false, nil
 	}
 	if !bytes.Equal(e.Key, key) {
+		se.store.ops.CountGet(false)
 		return nil, false, nil
 	}
 	val := make([]byte, len(e.Value))
 	copy(val, e.Value)
+	se.store.ops.CountGet(true)
 	return val, true, nil
 }
 

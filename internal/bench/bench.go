@@ -21,6 +21,7 @@ import (
 	"chameleondb/internal/device"
 	"chameleondb/internal/histogram"
 	"chameleondb/internal/kvstore"
+	"chameleondb/internal/obs"
 )
 
 // Options tune an experiment run.
@@ -66,11 +67,15 @@ func (o Options) withDefaults() Options {
 
 // Report is one regenerated table or figure series.
 type Report struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string `json:"notes,omitempty"`
+	// Metrics is the store's observability snapshot at the end of the
+	// experiment phase, when the store exposes a registry (chameleon-bench
+	// -json emits it into the figure JSON).
+	Metrics []obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Print renders the report as an aligned text table.
@@ -185,6 +190,16 @@ func OpenStore(kind StoreKind, opt Options) (kvstore.Store, error) {
 		return dramhash.Open(cfg)
 	}
 	return nil, fmt.Errorf("bench: unknown store kind %d", kind)
+}
+
+// attachMetrics appends the store's registry snapshot to the report when the
+// store exposes one (ChameleonDB and every baseline with generic counters).
+func attachMetrics(rep *Report, s kvstore.Store) {
+	if p, ok := s.(obs.Provider); ok {
+		if r := p.Registry(); r != nil {
+			rep.Metrics = append(rep.Metrics, r.Snapshot())
+		}
+	}
 }
 
 // setConcurrency positions the store's device on its contention curve.

@@ -61,7 +61,7 @@ func TestLookupAndRegistry(t *testing.T) {
 			t.Fatalf("experiment %s has no title", e.ID)
 		}
 	}
-	for _, want := range []string{"fig1", "fig2", "fig3", "fig10", "fig11tab2", "fig12", "fig13tab3", "tab4", "fig14tab5", "fig15", "fig16", "fig17", "ablations", "gpmdumps"} {
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig10", "fig11tab2", "fig12", "fig13tab3", "tab4", "fig14tab5", "fig15", "fig16", "fig17", "ablations", "gpmdumps", "fig6"} {
 		if !ids[want] {
 			t.Fatalf("experiment %s missing from registry", want)
 		}

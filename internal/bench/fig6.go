@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"chameleondb/internal/histogram"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/ycsb"
+)
+
+func init() {
+	register("fig6", "Get latency breakdown by resolving structure (MemTable/ABI/dumped/upper/last/miss)", runFig6)
+}
+
+// latencySourced is implemented by stores that keep per-source get-latency
+// histograms (ChameleonDB and the Pmem-LSM variants built on the core engine).
+type latencySourced interface {
+	GetLatencyBySource() map[string]*histogram.Histogram
+	PutLatency() *histogram.Histogram
+}
+
+// fig6SourceOrder is the structure probe order of Figure 6: the fastest
+// structures are consulted first, so rows read top-to-bottom as the get path.
+var fig6SourceOrder = []string{"memtable", "abi", "dumped", "upper", "last", "miss"}
+
+// runFig6 reproduces the Figure 6 breakdown from the live store: after a load
+// and a mixed measured phase (gets over the loaded keyspace with a slice of
+// updates and deliberate misses), every get's latency has been recorded into
+// the histogram of the structure that resolved it. The rows show where gets
+// land and what each structure costs — ChameleonDB resolves almost everything
+// in the ABI or last level, while Pmem-LSM-NF walks the persisted levels.
+func runFig6(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	var reports []*Report
+	for _, kind := range []StoreKind{Chameleon, PmemLSMNF} {
+		s, err := OpenStore(kind, opt)
+		if err != nil {
+			return nil, err
+		}
+		ls, ok := s.(latencySourced)
+		if !ok {
+			s.Close()
+			return nil, fmt.Errorf("bench: %s does not expose per-source latency histograms", kind)
+		}
+		loadDur, err := loadMeasured(s, opt, opt.Threads, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s load: %w", kind, err)
+		}
+		// Reset the per-source histograms after the load so the breakdown
+		// reflects the measured phase only. Resetting is safe here: the load
+		// workers have all retired.
+		for _, h := range ls.GetLatencyBySource() {
+			h.Reset()
+		}
+		if _, err := fig6Phase(s, opt, loadDur); err != nil {
+			return nil, fmt.Errorf("%s measured phase: %w", kind, err)
+		}
+		rep := &Report{
+			ID:      "fig6",
+			Title:   fmt.Sprintf("%s get latency by resolving structure (measured phase)", kind),
+			Columns: []string{"source", "gets", "share(%)", "mean(ns)", "p50(ns)", "p99(ns)", "p99.9(ns)"},
+			Notes: []string{
+				"expect: ChameleonDB resolves gets in the ABI/last level at flat latency;",
+				"Pmem-LSM-NF spreads gets across upper levels with a long last-level tail",
+			},
+		}
+		bySource := ls.GetLatencyBySource()
+		var total int64
+		for _, src := range fig6SourceOrder {
+			if h := bySource[src]; h != nil {
+				total += h.Count()
+			}
+		}
+		for _, src := range fig6SourceOrder {
+			h := bySource[src]
+			if h == nil || h.Count() == 0 {
+				continue
+			}
+			n := h.Count()
+			mean := float64(h.Sum()) / float64(n)
+			rep.Rows = append(rep.Rows, []string{
+				src,
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1f", 100*float64(n)/float64(total)),
+				fmt.Sprintf("%.0f", mean),
+				fmt.Sprintf("%d", h.Percentile(50)),
+				fmt.Sprintf("%d", h.Percentile(99)),
+				fmt.Sprintf("%d", h.Percentile(99.9)),
+			})
+		}
+		attachMetrics(rep, s)
+		reports = append(reports, rep)
+		s.Close()
+		runtime.GC()
+	}
+	return reports, nil
+}
+
+// fig6Phase drives the measured mix: 80% gets of loaded keys, 10% updates
+// (keeping the MemTables and ABI populated so the fast sources appear in the
+// breakdown), 10% gets of absent keys (populating the miss row).
+func fig6Phase(s kvstore.Store, opt Options, start int64) (int64, error) {
+	setConcurrency(s, opt.Threads)
+	per := opt.Ops / int64(opt.Threads)
+	val := make([]byte, opt.ValueSize)
+	g, err := workers(s, opt.Threads, start, func(w int, se kvstore.Session) stepper {
+		rng := rand.New(rand.NewSource(opt.Seed + int64(w)*104729))
+		return countingStepper(per, func(i int64) error {
+			switch r := rng.Intn(10); {
+			case r == 0:
+				return se.Put(ycsb.Key(rng.Int63n(opt.Keys)), val)
+			case r == 1:
+				// A key beyond the loaded range: a guaranteed miss.
+				_, ok, err := se.Get(ycsb.Key(opt.Keys + rng.Int63n(opt.Keys)))
+				if err != nil {
+					return err
+				}
+				if ok {
+					return fmt.Errorf("bench: unloaded key unexpectedly present")
+				}
+				return nil
+			default:
+				key := ycsb.Key(rng.Int63n(opt.Keys))
+				if _, _, err := se.Get(key); err != nil {
+					return err
+				}
+				return nil
+			}
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return g.Makespan() - start, nil
+}

@@ -46,14 +46,38 @@ func (h *workerHeap) Pop() any {
 // workers simulates `threads` concurrent workers over the store, each built
 // by mk with its own session. All clocks start at `start`; the returned
 // group's makespan is the phase's virtual duration.
-func workers(s kvstore.Store, threads int, start int64, mk func(w int, se kvstore.Session) stepper) (*simclock.Group, error) {
+func workers(s kvstore.Store, threads int, start int64, mk func(w int, se kvstore.Session) stepper) (_ *simclock.Group, err error) {
 	g := simclock.NewGroup(threads, start)
 	sessions := make([]kvstore.Session, threads)
 	steps := make([]stepper, threads)
+	drained := make([]bool, threads)
 	for w := 0; w < threads; w++ {
 		sessions[w] = s.NewSession(g.Clock(w))
 		steps[w] = mk(w, sessions[w])
 	}
+	// Every session must be drained on every exit path: a stepper error
+	// abandons the remaining workers, and an abandoned session's half-full
+	// batch chunk would pin the log's MinNextLSN watermark (and thus every
+	// shard's recovery watermark) for the rest of the run. Release detaches
+	// the appender entirely where the session supports it; Flush is the
+	// fallback. The first drain error surfaces unless a stepper already
+	// failed.
+	defer func() {
+		for w, se := range sessions {
+			if drained[w] {
+				continue
+			}
+			var derr error
+			if rel, ok := se.(interface{ Release() error }); ok {
+				derr = rel.Release()
+			} else {
+				derr = se.Flush()
+			}
+			if err == nil {
+				err = derr
+			}
+		}
+	}()
 	h := &workerHeap{clocks: make([]*simclock.Clock, threads)}
 	for w := 0; w < threads; w++ {
 		h.clocks[w] = g.Clock(w)
@@ -62,9 +86,9 @@ func workers(s kvstore.Store, threads int, start int64, mk func(w int, se kvstor
 	heap.Init(h)
 	for h.Len() > 0 {
 		w := h.ids[0]
-		more, err := steps[w]()
-		if err != nil {
-			return g, err
+		more, serr := steps[w]()
+		if serr != nil {
+			return g, serr
 		}
 		if more {
 			heap.Fix(h, 0)
@@ -72,9 +96,9 @@ func workers(s kvstore.Store, threads int, start int64, mk func(w int, se kvstor
 		}
 		heap.Pop(h)
 		// Flush the finished worker's session immediately: a retired
-		// worker's half-full batch chunk must not pin the log's
-		// MinNextLSN watermark (and thus every shard's recovery
-		// watermark) while the remaining workers keep running.
+		// worker must not hold the watermark back while the remaining
+		// workers keep running.
+		drained[w] = true
 		if err := sessions[w].Flush(); err != nil {
 			return g, err
 		}

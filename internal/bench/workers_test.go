@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/kvstore"
+)
+
+// TestWorkersDrainSessionsOnError is the regression for the appender leak: a
+// stepper error used to abandon every other worker's session un-flushed,
+// leaving their half-full batch chunks pinning the log's MinNextLSN watermark
+// (and with it every shard's recovery watermark) for the rest of the run.
+func TestWorkersDrainSessionsOnError(t *testing.T) {
+	cfg := core.TestConfig()
+	s, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	boom := errors.New("boom")
+	_, werr := workers(s, 4, 0, func(w int, se kvstore.Session) stepper {
+		i := 0
+		return func() (bool, error) {
+			// Every worker appends a few entries; worker 2 then fails while
+			// the others still have more to do.
+			if w == 2 && i == 3 {
+				return false, boom
+			}
+			i++
+			if err := se.Put([]byte(fmt.Sprintf("w%d-%04d", w, i)), []byte("v")); err != nil {
+				return false, err
+			}
+			return i < 100, nil
+		}
+	})
+	if !errors.Is(werr, boom) {
+		t.Fatalf("workers err = %v, want the stepper error", werr)
+	}
+	// All sessions must have been drained: no appender may still hold the
+	// recovery watermark below the log tail.
+	log := s.Log()
+	if got, tail := log.MinNextLSN(), log.Tail(); got != tail {
+		t.Errorf("MinNextLSN = %d, Tail = %d: a session still pins the watermark", got, tail)
+	}
+}
+
+// TestWorkersDrainOnSuccess checks the normal path still flushes every
+// retiring worker (the pre-existing behaviour the fix must not regress).
+func TestWorkersDrainOnSuccess(t *testing.T) {
+	cfg := core.TestConfig()
+	s, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	g, err := workers(s, 3, 0, func(w int, se kvstore.Session) stepper {
+		return countingStepper(50, func(i int64) error {
+			return se.Put([]byte(fmt.Sprintf("w%d-%04d", w, i)), []byte("v"))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Makespan() <= 0 {
+		t.Error("zero makespan for non-empty phase")
+	}
+	log := s.Log()
+	if got, tail := log.MinNextLSN(), log.Tail(); got != tail {
+		t.Errorf("MinNextLSN = %d, Tail = %d after clean finish", got, tail)
+	}
+	if st := s.Stats(); st.Puts != 150 {
+		t.Errorf("Puts = %d, want 150", st.Puts)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"chameleondb/internal/device"
 	"chameleondb/internal/hashtable"
+	"chameleondb/internal/obs"
 	"chameleondb/internal/simclock"
 )
 
@@ -15,6 +16,7 @@ func (sh *shard) flush(c *simclock.Clock) error {
 	if sh.mem.Len() == 0 {
 		return nil
 	}
+	flushed := int64(sh.mem.Len())
 	// If the ABI cannot absorb this MemTable, clear it with a last-level
 	// compaction first (geometry normally prevents this; dynamic last-level
 	// growth keeps it a safety valve, not the steady state).
@@ -45,6 +47,7 @@ func (sh *shard) flush(c *simclock.Clock) error {
 	sh.memMinLSN = 0
 	sh.memMaxLSN = 0
 	sh.store.stats.Flushes.Add(1)
+	sh.store.trace.Emit(c.Now(), obs.EvFlush, sh.id, flushed)
 	sh.persistManifest(c)
 
 	if len(sh.levels[0]) >= sh.store.cfg.Ratio {
@@ -84,6 +87,7 @@ func (sh *shard) spillToABI(c *simclock.Clock) error {
 	if sh.memMaxLSN > sh.spillMaxLSN {
 		sh.spillMaxLSN = sh.memMaxLSN
 	}
+	spilled := int64(sh.mem.Len())
 	sh.mem.Iterate(func(s hashtable.Slot) bool {
 		probes, _ := sh.abi.Insert(s.Hash, s.Ref)
 		c.Advance(device.DRAMProbeCost(probes))
@@ -93,6 +97,7 @@ func (sh *shard) spillToABI(c *simclock.Clock) error {
 	sh.memMinLSN = 0
 	sh.memMaxLSN = 0
 	sh.store.stats.Spills.Add(1)
+	sh.store.trace.Emit(c.Now(), obs.EvSpill, sh.id, spilled)
 	return nil
 }
 
@@ -117,6 +122,7 @@ func (sh *shard) dumpABI(c *simclock.Clock) error {
 	sh.spillMinLSN = 0
 	sh.spillMaxLSN = 0
 	sh.store.stats.Dumps.Add(1)
+	sh.store.trace.Emit(c.Now(), obs.EvDump, sh.id, int64(table.Len()))
 	sh.persistManifest(c)
 	return nil
 }
@@ -156,6 +162,7 @@ func (sh *shard) compactDirect(c *simclock.Clock) error {
 		sh.levels[lvl] = nil
 	}
 	sh.store.stats.UpperCompactions.Add(1)
+	sh.store.trace.Emit(c.Now(), obs.EvUpperCompact, sh.id, int64(merged.Len()))
 	sh.persistManifest(c)
 	for _, p := range old {
 		p.release()
@@ -189,6 +196,7 @@ func (sh *shard) compactLevelByLevel(c *simclock.Clock) error {
 		sh.levels[lvl+1] = append(sh.levels[lvl+1], sh.wrapUpper(c, merged))
 		sh.levels[lvl] = nil
 		sh.store.stats.UpperCompactions.Add(1)
+		sh.store.trace.Emit(c.Now(), obs.EvUpperCompact, sh.id, int64(merged.Len()))
 		sh.persistManifest(c)
 		for _, p := range tables {
 			p.release()
@@ -325,6 +333,7 @@ func (sh *shard) lastLevelCompaction(c *simclock.Clock) error {
 	sh.spillMinLSN = 0
 	sh.spillMaxLSN = 0
 	sh.store.stats.LastCompactions.Add(1)
+	sh.store.trace.Emit(c.Now(), obs.EvLastCompact, sh.id, int64(live))
 	sh.persistManifest(c)
 	for _, p := range released {
 		p.release()

@@ -104,6 +104,11 @@ type Config struct {
 	// load factors exist to prevent.
 	UniformLoadFactor bool
 
+	// TraceEvents is the capacity of the in-DRAM structured event trace ring
+	// (flushes, spills, compactions, GPM transitions, GC, crash/recovery).
+	// Zero disables tracing; events then cost nothing at all.
+	TraceEvents int
+
 	// Seed drives the load-factor randomization.
 	Seed int64
 }

@@ -5,6 +5,7 @@ import (
 
 	"chameleondb/internal/device"
 	"chameleondb/internal/hashtable"
+	"chameleondb/internal/obs"
 	"chameleondb/internal/simclock"
 	"chameleondb/internal/wlog"
 )
@@ -135,5 +136,6 @@ func (s *Store) CompactLog(c *simclock.Clock, reclaimBytes int64) (int64, error)
 	s.stats.LogGCs.Add(1)
 	s.stats.LogGCRelocated.Add(relocated)
 	s.stats.LogGCDropped.Add(dropped)
+	s.trace.Emit(c.Now(), obs.EvLogGC, -1, freed)
 	return freed, nil
 }

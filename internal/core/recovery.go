@@ -3,6 +3,7 @@ package core
 import (
 	"chameleondb/internal/device"
 	"chameleondb/internal/hashtable"
+	"chameleondb/internal/obs"
 	"chameleondb/internal/simclock"
 	"chameleondb/internal/wlog"
 )
@@ -87,6 +88,7 @@ func (s *Store) Recover(c *simclock.Clock) error {
 	}
 	s.crashed.Store(false)
 	s.lastRecoverReadyNs = c.Now() - start
+	s.trace.Emit(c.Now(), obs.EvRecoverReady, -1, s.lastRecoverReadyNs)
 
 	// Step 3: rebuild the ABIs from the upper levels, newest table first so
 	// the newest version of each key wins; entries replayed from the log
@@ -132,6 +134,7 @@ func (s *Store) Recover(c *simclock.Clock) error {
 		}
 	}
 	s.lastRecoverFullNs = c.Now() - start
+	s.trace.Emit(c.Now(), obs.EvRecoverFull, -1, s.lastRecoverFullNs)
 	return nil
 }
 

@@ -49,6 +49,7 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 		return ErrCrashed
 	}
 	c := se.clock
+	arrive := c.Now()
 	c.Advance(device.CostHash64)
 	h := xhash.Sum64(key)
 	// Copying the entry into the DRAM batch buffer.
@@ -87,7 +88,14 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 	if err != nil {
 		return err
 	}
-	se.store.stats.Puts.Add(1)
+	// Tombstones are deletes, not puts: keeping the two apart lets reports
+	// reconcile puts+deletes against log entries appended.
+	if flags&wlog.FlagTombstone != 0 {
+		se.store.stats.Deletes.Add(1)
+	} else {
+		se.store.stats.Puts.Add(1)
+	}
+	se.store.lat.put.Record(c.Now() - arrive)
 	return nil
 }
 
@@ -111,26 +119,37 @@ func (se *Session) Get(key []byte) ([]byte, bool, error) {
 	sh.mu.Unlock()
 	c.AdvanceTo(sh.tl.Reserve(opStart, dur))
 
-	se.store.stats.countGet(src)
+	// The source is counted once the outcome is known, so the per-source
+	// counters (and their latency histograms) always sum consistently with
+	// what callers observed. A tombstone is a definitive answer from its
+	// structure and counts there even though the get reports absence.
+	finish := func(src getSource) {
+		se.store.stats.countGet(src)
+		now := c.Now()
+		se.store.lat.get[src].Record(now - arrive)
+		se.store.recordGetLatency(now, now-arrive)
+	}
 	if !ok || slot.Tombstone() {
-		se.store.recordGetLatency(c.Now() - arrive)
+		finish(src)
 		return nil, false, nil
 	}
 	e, err := se.store.log.Read(c, slot.LSN())
 	if err != nil {
+		finish(src)
 		return nil, false, err
 	}
 	if !bytes.Equal(e.Key, key) {
 		// A full 64-bit hash collision between distinct keys: the hashed
 		// index cannot tell them apart (the same limitation every
-		// hash-keyed store in the paper shares). Report a miss and count it.
+		// hash-keyed store in the paper shares). The get reports a miss, so
+		// it counts as one — the index structure did not produce a hit.
 		se.store.stats.HashMismatches.Add(1)
-		se.store.recordGetLatency(c.Now() - arrive)
+		finish(srcMiss)
 		return nil, false, nil
 	}
 	val := make([]byte, len(e.Value))
 	copy(val, e.Value)
-	se.store.recordGetLatency(c.Now() - arrive)
+	finish(src)
 	return val, true, nil
 }
 

@@ -162,7 +162,7 @@ func (sh *shard) insertMem(c *simclock.Clock, h uint64, ref uint64) error {
 //     persisting an L0 table (Sections 2.3, 2.4).
 //   - Normal: flush to L0 (Figure 7) and run compactions as needed.
 func (sh *shard) memTableFull(c *simclock.Clock) error {
-	if sh.store.cfg.WriteIntensive || sh.store.gpmActive.Load() {
+	if sh.store.writeIntensive.Load() || sh.store.gpmActive.Load() {
 		return sh.async(c, func() error { return sh.spillToABI(c) })
 	}
 	return sh.async(c, func() error { return sh.flush(c) })
@@ -221,4 +221,21 @@ const (
 	srcUpper
 	srcLast
 	srcMiss
+	numGetSources = int(srcMiss) + 1
 )
+
+func (g getSource) String() string {
+	switch g {
+	case srcMemTable:
+		return "memtable"
+	case srcABI:
+		return "abi"
+	case srcDumped:
+		return "dumped"
+	case srcUpper:
+		return "upper"
+	case srcLast:
+		return "last"
+	}
+	return "miss"
+}

@@ -1,11 +1,16 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"chameleondb/internal/histogram"
+)
 
 // Stats aggregates the store's operation counters (atomics; snapshot with
 // Snapshot).
 type Stats struct {
 	Puts             atomic.Int64
+	Deletes          atomic.Int64
 	Flushes          atomic.Int64
 	Spills           atomic.Int64
 	UpperCompactions atomic.Int64
@@ -43,9 +48,20 @@ func (st *Stats) countGet(src getSource) {
 	}
 }
 
+// latencies holds the per-operation latency histograms (virtual nanoseconds).
+// Gets are keyed by the structure that resolved them, so the Figure 6
+// per-structure breakdown and the Figure 9-11 tails come from the live store.
+// Recording is atomic increments only — it never touches a virtual clock, so
+// benchmark timings are unaffected.
+type latencies struct {
+	put histogram.Histogram
+	get [numGetSources]histogram.Histogram
+}
+
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
 	Puts             int64
+	Deletes          int64
 	Flushes          int64
 	Spills           int64
 	UpperCompactions int64
@@ -69,6 +85,7 @@ type StatsSnapshot struct {
 func (s *Store) Stats() StatsSnapshot {
 	return StatsSnapshot{
 		Puts:             s.stats.Puts.Load(),
+		Deletes:          s.stats.Deletes.Load(),
 		Flushes:          s.stats.Flushes.Load(),
 		Spills:           s.stats.Spills.Load(),
 		UpperCompactions: s.stats.UpperCompactions.Load(),

@@ -8,6 +8,7 @@ import (
 	"chameleondb/internal/device"
 	"chameleondb/internal/histogram"
 	"chameleondb/internal/kvstore"
+	"chameleondb/internal/obs"
 	"chameleondb/internal/pmem"
 	"chameleondb/internal/simclock"
 	"chameleondb/internal/wlog"
@@ -31,7 +32,15 @@ type Store struct {
 	gpmWindow *histogram.Windowed
 	gpmTick   atomic.Int64
 
+	// writeIntensive is the runtime Write-Intensive Mode switch. It lives
+	// outside cfg because SetWriteIntensive may race with sessions reading
+	// the mode in memTableFull; cfg stays immutable after Open.
+	writeIntensive atomic.Bool
+
 	stats Stats
+	lat   latencies
+	reg   *obs.Registry
+	trace *obs.Trace
 
 	crashed atomic.Bool
 
@@ -73,6 +82,11 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 		shardShift: 64 - uint(log2(cfg.Shards)),
 	}
 	s.replayPos.Store(int64(1) << 62)
+	s.writeIntensive.Store(cfg.WriteIntensive)
+	if cfg.TraceEvents > 0 {
+		s.trace = obs.NewTrace(cfg.TraceEvents)
+	}
+	s.buildRegistry()
 	if cfg.GetProtect.Enabled {
 		s.gpmWindow = histogram.NewWindowed(cfg.GetProtect.WindowSize)
 	}
@@ -100,8 +114,13 @@ func log2(v int) int {
 // Name implements kvstore.Store.
 func (s *Store) Name() string { return "ChameleonDB" }
 
-// Config returns the store's configuration.
-func (s *Store) Config() Config { return s.cfg }
+// Config returns the store's configuration. WriteIntensive reflects the
+// current runtime mode, which SetWriteIntensive may have toggled since Open.
+func (s *Store) Config() Config {
+	cfg := s.cfg
+	cfg.WriteIntensive = s.writeIntensive.Load()
+	return cfg
+}
 
 // Device returns the simulated pmem device (for harness stats).
 func (s *Store) Device() *device.Device { return s.dev }
@@ -152,6 +171,7 @@ func (s *Store) DRAMFootprint() int64 {
 // Crash implements kvstore.Store: power loss. All sessions must be quiesced.
 func (s *Store) Crash() {
 	s.crashed.Store(true)
+	s.trace.Emit(0, obs.EvCrash, -1, 0)
 	s.arena.Crash()
 	// Power loss clears the device pipes: recovery does not queue behind
 	// pre-crash in-flight transfers, and its clock starts fresh.
@@ -170,17 +190,18 @@ func (s *Store) Crash() {
 func (s *Store) Close() error { return nil }
 
 // SetWriteIntensive toggles Write-Intensive Mode at runtime (Section 2.3
-// describes it as a user option).
+// describes it as a user option). Safe to call while sessions are running.
 func (s *Store) SetWriteIntensive(on bool) {
-	s.cfg.WriteIntensive = on
+	s.writeIntensive.Store(on)
 }
 
 // GPMActive reports whether Get-Protect Mode is currently engaged.
 func (s *Store) GPMActive() bool { return s.gpmActive.Load() }
 
 // recordGetLatency feeds the dynamic Get-Protect monitor (Section 2.4) and
-// flips the mode when the windowed tail crosses the thresholds.
-func (s *Store) recordGetLatency(ns int64) {
+// flips the mode when the windowed tail crosses the thresholds. now is the
+// worker's virtual timestamp (for trace events); ns the get's latency.
+func (s *Store) recordGetLatency(now, ns int64) {
 	gp := s.cfg.GetProtect
 	if !gp.Enabled {
 		return
@@ -203,10 +224,12 @@ func (s *Store) recordGetLatency(ns int64) {
 	if p99 > gp.EnterThresholdNs {
 		if s.gpmActive.CompareAndSwap(false, true) {
 			s.stats.GPMEntries.Add(1)
+			s.trace.Emit(now, obs.EvGPMEnter, -1, p99)
 		}
 	} else if p99 < gp.ExitThresholdNs {
 		if s.gpmActive.CompareAndSwap(true, false) {
 			s.stats.GPMExits.Add(1)
+			s.trace.Emit(now, obs.EvGPMExit, -1, p99)
 			// Dumped ABIs are merged back lazily: mark every shard so its
 			// next put triggers the postponed last-level compaction if it
 			// actually holds a dump (checked under the shard lock).

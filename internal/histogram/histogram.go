@@ -84,6 +84,9 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
+// Sum returns the total of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // Max returns the largest recorded sample.
 func (h *Histogram) Max() int64 { return h.max.Load() }
 

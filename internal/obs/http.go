@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves a registry (and optionally a trace) over HTTP:
+//
+//	/stats.json   expvar-style JSON snapshot
+//	/metrics      Prometheus text exposition format
+//	/trace.jsonl  retained event trace, one JSON object per line
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// snapshot is called per request, so handlers always serve live values.
+func Handler(snapshot func() Snapshot, trace *Trace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snapshot().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace.jsonl", func(w http.ResponseWriter, req *http.Request) {
+		if trace == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		if err := trace.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "%s observability\n\n/stats.json\n/metrics\n/trace.jsonl\n/debug/pprof/\n", snapshot().Name)
+	})
+	return mux
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"chameleondb/internal/histogram"
+)
+
+func testHandler(trace *Trace) (http.Handler, *atomic.Int64) {
+	r := NewRegistry("chameleondb")
+	var puts atomic.Int64
+	r.CounterFunc("puts", puts.Load)
+	var h histogram.Histogram
+	h.Record(123)
+	r.Histogram("put_latency_ns", &h)
+	return Handler(r.Snapshot, trace), &puts
+}
+
+func TestHandlerStatsJSON(t *testing.T) {
+	h, puts := testHandler(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	puts.Store(9)
+	resp, err := http.Get(srv.URL + "/stats.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["puts"] != 9 {
+		t.Errorf("served puts = %d, want 9 (handler must snapshot per request)", s.Counters["puts"])
+	}
+	if s.Histograms["put_latency_ns"].Count != 1 {
+		t.Errorf("histogram missing from served snapshot: %+v", s.Histograms)
+	}
+}
+
+func TestHandlerPrometheus(t *testing.T) {
+	h, puts := testHandler(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	puts.Store(5)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content-type = %q, want prometheus text format", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{"chameleondb_puts 5", "# TYPE chameleondb_put_latency_ns summary"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerTrace(t *testing.T) {
+	// No trace: 404.
+	h, _ := testHandler(nil)
+	srv := httptest.NewServer(h)
+	resp, err := http.Get(srv.URL + "/trace.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("trace status without trace = %d, want 404", resp.StatusCode)
+	}
+
+	// With a trace: the retained events as JSONL.
+	tr := NewTrace(16)
+	tr.Emit(10, EvFlush, 2, 64)
+	h2, _ := testHandler(tr)
+	srv2 := httptest.NewServer(h2)
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/trace.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var ev Event
+	if err := json.NewDecoder(resp2.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != EvFlush || ev.Shard != 2 || ev.N != 64 {
+		t.Errorf("served event = %+v", ev)
+	}
+}
+
+func TestHandlerPprofIndex(t *testing.T) {
+	h, _ := testHandler(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+}

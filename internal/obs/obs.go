@@ -1,0 +1,212 @@
+// Package obs is the store-wide observability layer: a typed metrics
+// registry (counters, gauges, latency histograms), a structured event trace
+// (package trace.go), and HTTP surfacing (http.go) in expvar-style JSON and
+// Prometheus text format.
+//
+// The registry does not own the hot-path counters: stores keep their cheap
+// per-operation atomics (core.Stats, device.StatCounters, wlog's totals) and
+// register read functions over them, so adding observability costs nothing on
+// the operation path and virtual-time results stay bit-identical. What the
+// registry adds is one coherent snapshot API over all of them — the
+// per-structure get breakdowns of the paper's Figure 6, the latency tails of
+// Figures 9-11, and the media write-amplification counters of Figures 1/17b
+// all come from the same place.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"chameleondb/internal/histogram"
+)
+
+// Registry is a named collection of metrics. Registration happens at store
+// construction; reads (Snapshot) may run concurrently with the store's
+// operations — every registered read function must be safe to call from any
+// goroutine.
+type Registry struct {
+	name string
+
+	mu       sync.Mutex
+	counters map[string]func() int64
+	gauges   map[string]func() int64
+	hists    map[string]*histogram.Histogram
+}
+
+// NewRegistry creates a registry; name prefixes every metric in Prometheus
+// output (e.g. "chameleondb" -> chameleondb_puts).
+func NewRegistry(name string) *Registry {
+	return &Registry{
+		name:     name,
+		counters: make(map[string]func() int64),
+		gauges:   make(map[string]func() int64),
+		hists:    make(map[string]*histogram.Histogram),
+	}
+}
+
+// Name returns the registry's name.
+func (r *Registry) Name() string { return r.name }
+
+// CounterFunc registers a monotonically non-decreasing metric read from fn.
+// Atomic counter Load methods can be passed directly.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.counters[name] = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a point-in-time metric read from fn.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram registers h under name. The histogram stays owned by the caller,
+// which records into it on its hot path.
+func (r *Registry) Histogram(name string, h *histogram.Histogram) {
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// HistSnapshot summarizes one latency histogram: the windowless percentiles
+// the paper's tables report plus count/sum/mean for rate math.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	P9999 int64   `json:"p9999"`
+	Max   int64   `json:"max"`
+}
+
+// SummarizeHistogram produces the snapshot summary of h.
+func SummarizeHistogram(h *histogram.Histogram) HistSnapshot {
+	t := h.Tails()
+	return HistSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		P50:   t.P50,
+		P99:   t.P99,
+		P999:  t.P999,
+		P9999: t.P9999,
+		Max:   t.Max,
+	}
+}
+
+// Snapshot is a point-in-time copy of every registered metric.
+type Snapshot struct {
+	Name       string                  `json:"name"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every registered metric. Counters and gauges are read under
+// the registry lock but not atomically with respect to each other — the same
+// guarantee a /metrics scrape of any live system has.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Name:       r.name,
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, fn := range r.counters {
+		s.Counters[name] = fn()
+	}
+	for name, fn := range r.gauges {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = SummarizeHistogram(h)
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented expvar-style JSON. Map keys are
+// emitted sorted, so the output is deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// promName sanitizes a metric name for Prometheus exposition.
+func promName(prefix, name string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, name)
+	if prefix == "" {
+		return clean
+	}
+	return strings.Map(func(r rune) rune {
+		if r == '-' || r == ' ' {
+			return '_'
+		}
+		return r
+	}, strings.ToLower(prefix)) + "_" + clean
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format: counters and gauges as scalars, histograms as summaries with
+// quantile labels plus _count and _sum series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(s.Name, name)
+		writef(&b, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(s.Name, name)
+		writef(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		pn := promName(s.Name, name)
+		h := s.Histograms[name]
+		writef(&b, "# TYPE %s summary\n", pn)
+		for _, q := range []struct {
+			label string
+			v     int64
+		}{
+			{"0.5", h.P50}, {"0.99", h.P99}, {"0.999", h.P999}, {"0.9999", h.P9999},
+		} {
+			writef(&b, "%s{quantile=%q} %d\n", pn, q.label, q.v)
+		}
+		writef(&b, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+		writef(&b, "# TYPE %s_max gauge\n%s_max %d\n", pn, pn, h.Max)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writef(b *strings.Builder, format string, args ...any) {
+	// strings.Builder never errors; the helper keeps the call sites short.
+	_, _ = fmt.Fprintf(b, format, args...)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"chameleondb/internal/histogram"
+)
+
+func TestRegistrySnapshotReadsLiveValues(t *testing.T) {
+	r := NewRegistry("test")
+	var puts atomic.Int64
+	var depth atomic.Int64
+	r.CounterFunc("puts", puts.Load)
+	r.GaugeFunc("depth", depth.Load)
+	var h histogram.Histogram
+	r.Histogram("lat", &h)
+
+	s := r.Snapshot()
+	if s.Name != "test" {
+		t.Fatalf("snapshot name = %q, want test", s.Name)
+	}
+	if s.Counters["puts"] != 0 || s.Gauges["depth"] != 0 {
+		t.Fatalf("fresh snapshot not zero: %+v", s)
+	}
+
+	puts.Add(7)
+	depth.Store(-3)
+	h.Record(100)
+	h.Record(300)
+
+	s = r.Snapshot()
+	if s.Counters["puts"] != 7 {
+		t.Errorf("puts = %d, want 7", s.Counters["puts"])
+	}
+	if s.Gauges["depth"] != -3 {
+		t.Errorf("depth = %d, want -3", s.Gauges["depth"])
+	}
+	hs := s.Histograms["lat"]
+	if hs.Count != 2 || hs.Sum != 400 {
+		t.Errorf("lat count/sum = %d/%d, want 2/400", hs.Count, hs.Sum)
+	}
+	if hs.Max != 300 {
+		t.Errorf("lat max = %d, want 300", hs.Max)
+	}
+}
+
+// TestSnapshotConsistentSums checks the property the per-source breakdown
+// relies on: a snapshot's parts sum to its whole even while writers advance
+// the counters concurrently with the read.
+func TestSnapshotConsistentSums(t *testing.T) {
+	r := NewRegistry("test")
+	var a, b atomic.Int64
+	// total is derived from the same atomics, so parts can never exceed it
+	// within one snapshot if each part is read before the derived total.
+	r.CounterFunc("a", a.Load)
+	r.CounterFunc("b", b.Load)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10000; i++ {
+			a.Add(1)
+			b.Add(1)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s := r.Snapshot()
+		if s.Counters["a"] < 0 || s.Counters["b"] < 0 {
+			t.Fatalf("counter went negative: %+v", s.Counters)
+		}
+	}
+	<-done
+	s := r.Snapshot()
+	if s.Counters["a"] != 10000 || s.Counters["b"] != 10000 {
+		t.Fatalf("final counters = %+v, want 10000 each", s.Counters)
+	}
+}
+
+// TestHistogramMergeSummaries checks that merged histograms summarize as the
+// union of their inputs — the property the bench harness relies on when it
+// aggregates per-phase histograms into one report.
+func TestHistogramMergeSummaries(t *testing.T) {
+	var h1, h2, merged histogram.Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h1.Record(i)
+	}
+	for i := int64(1001); i <= 2000; i++ {
+		h2.Record(i)
+	}
+	merged.Merge(&h1)
+	merged.Merge(&h2)
+
+	s1, s2, sm := SummarizeHistogram(&h1), SummarizeHistogram(&h2), SummarizeHistogram(&merged)
+	if sm.Count != s1.Count+s2.Count {
+		t.Errorf("merged count = %d, want %d", sm.Count, s1.Count+s2.Count)
+	}
+	if sm.Sum != s1.Sum+s2.Sum {
+		t.Errorf("merged sum = %d, want %d", sm.Sum, s1.Sum+s2.Sum)
+	}
+	if sm.Max != s2.Max {
+		t.Errorf("merged max = %d, want %d", sm.Max, s2.Max)
+	}
+	// The merged median must sit between the two inputs' medians.
+	if sm.P50 < s1.P50 || sm.P50 > s2.P50 {
+		t.Errorf("merged p50 = %d, want within [%d, %d]", sm.P50, s1.P50, s2.P50)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry("chameleondb")
+	var n atomic.Int64
+	n.Store(42)
+	r.CounterFunc("puts", n.Load)
+	r.GaugeFunc("gpm-active", func() int64 { return 1 })
+	var h histogram.Histogram
+	h.Record(500)
+	r.Histogram("put_latency_ns", &h)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE chameleondb_puts counter",
+		"chameleondb_puts 42",
+		"# TYPE chameleondb_gpm_active gauge", // '-' sanitized to '_'
+		"chameleondb_gpm_active 1",
+		"# TYPE chameleondb_put_latency_ns summary",
+		`chameleondb_put_latency_ns{quantile="0.5"}`,
+		"chameleondb_put_latency_ns_count 1",
+		"chameleondb_put_latency_ns_sum 500",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpCounters(t *testing.T) {
+	var ops OpCounters
+	r := NewRegistry("x")
+	ops.Register(r)
+	ops.CountWrite(false)
+	ops.CountWrite(false)
+	ops.CountWrite(true)
+	ops.CountGet(true)
+	ops.CountGet(false)
+
+	s := r.Snapshot()
+	want := map[string]int64{"puts": 2, "deletes": 1, "gets": 2, "get_hits": 1, "get_misses": 1}
+	for name, v := range want {
+		if s.Counters[name] != v {
+			t.Errorf("%s = %d, want %d", name, s.Counters[name], v)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// EventType names one kind of engine event.
+type EventType string
+
+// The engine event vocabulary: everything that changes the shape of the
+// store's structures or its operating mode. Events are rare relative to
+// operations (one per flush/compaction, not one per put), so tracing them
+// costs nothing measurable.
+const (
+	EvFlush        EventType = "flush"         // MemTable persisted as an L0 table
+	EvSpill        EventType = "spill"         // MemTable spilled into the ABI (WIM/GPM)
+	EvDump         EventType = "dump"          // ABI dumped unmerged to Pmem (GPM)
+	EvUpperCompact EventType = "compact-upper" // upper-level compaction
+	EvLastCompact  EventType = "compact-last"  // last-level compaction
+	EvGPMEnter     EventType = "gpm-enter"     // Get-Protect Mode engaged
+	EvGPMExit      EventType = "gpm-exit"      // Get-Protect Mode released
+	EvLogGC        EventType = "log-gc"        // log garbage collection completed
+	EvCrash        EventType = "crash"         // simulated power failure
+	EvRecoverReady EventType = "recover-ready" // recovery: store serving again
+	EvRecoverFull  EventType = "recover-full"  // recovery: ABI rebuild complete
+)
+
+// Event is one structured trace record. VNanos is the virtual timestamp of
+// the emitting worker's clock; Shard is the shard the event happened on, or
+// -1 for store-wide events; N carries the event's magnitude (entries merged,
+// bytes freed, nanoseconds elapsed — see the emit site).
+type Event struct {
+	Seq    int64     `json:"seq"`
+	VNanos int64     `json:"vns"`
+	Type   EventType `json:"type"`
+	Shard  int       `json:"shard"`
+	N      int64     `json:"n"`
+}
+
+// Trace is a bounded in-DRAM ring of engine events with an optional JSONL
+// sink. All methods are safe on a nil *Trace (they no-op), so stores thread
+// a possibly-nil trace through without guards.
+type Trace struct {
+	enabled atomic.Bool
+
+	mu      sync.Mutex
+	seq     int64
+	ring    []Event
+	next    int
+	wrapped bool
+	sink    io.Writer
+	sinkErr error
+}
+
+// NewTrace creates an enabled trace ring holding the last capacity events.
+func NewTrace(capacity int) *Trace {
+	if capacity < 16 {
+		capacity = 16
+	}
+	t := &Trace{ring: make([]Event, capacity)}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether events are currently recorded.
+func (t *Trace) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled toggles recording without discarding the ring.
+func (t *Trace) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// SetSink installs an optional JSONL writer that receives every event as it
+// is emitted. The first write error stops further sink writes (the ring keeps
+// recording); Err reports it.
+func (t *Trace) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = w
+	t.sinkErr = nil
+	t.mu.Unlock()
+}
+
+// Err returns the first sink write error, if any.
+func (t *Trace) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// Emit records one event.
+func (t *Trace) Emit(vnanos int64, typ EventType, shard int, n int64) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	ev := Event{Seq: t.seq, VNanos: vnanos, Type: typ, Shard: shard, N: n}
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	if t.sink != nil && t.sinkErr == nil {
+		line, err := json.Marshal(ev)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = t.sink.Write(line)
+		}
+		if err != nil {
+			t.sinkErr = err
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// WriteJSONL writes the retained events oldest-first, one JSON object per
+// line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	for _, ev := range t.Events() {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

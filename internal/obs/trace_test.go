@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Emit(1, EvFlush, 0, 1) // must not panic
+	if tr.Enabled() {
+		t.Error("nil trace reports enabled")
+	}
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil trace retains events")
+	}
+	if err := tr.Err(); err != nil {
+		t.Errorf("nil trace err = %v", err)
+	}
+	tr.SetEnabled(true)
+	tr.SetSink(&strings.Builder{})
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	tr := NewTrace(16)
+	for i := 0; i < 40; i++ {
+		tr.Emit(int64(i), EvFlush, i%4, int64(i))
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("len = %d, want 16", tr.Len())
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("events len = %d, want 16", len(evs))
+	}
+	// Oldest-first, the last 16 of the 40 emitted, consecutive seq.
+	for i, ev := range evs {
+		wantSeq := int64(25 + i) // seq is 1-based: events 25..40 survive
+		if ev.Seq != wantSeq {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+	}
+}
+
+func TestTraceDisabledEmitsNothing(t *testing.T) {
+	tr := NewTrace(16)
+	tr.SetEnabled(false)
+	tr.Emit(1, EvFlush, 0, 1)
+	if tr.Len() != 0 {
+		t.Fatalf("disabled trace recorded %d events", tr.Len())
+	}
+	tr.SetEnabled(true)
+	tr.Emit(2, EvSpill, 1, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("re-enabled trace has %d events, want 1", tr.Len())
+	}
+}
+
+func TestTraceSinkJSONL(t *testing.T) {
+	tr := NewTrace(16)
+	var sink strings.Builder
+	tr.SetSink(&sink)
+	tr.Emit(100, EvUpperCompact, 3, 256)
+	tr.Emit(200, EvLastCompact, 3, 1024)
+
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink lines = %d, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if ev.Type != EvLastCompact || ev.Shard != 3 || ev.N != 1024 || ev.VNanos != 200 {
+		t.Fatalf("decoded event = %+v", ev)
+	}
+
+	// WriteJSONL must round-trip the same events from the ring.
+	var out strings.Builder
+	if err := tr.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != sink.String() {
+		t.Errorf("WriteJSONL differs from sink:\n%q\n%q", out.String(), sink.String())
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+func TestTraceSinkErrorStopsSinkNotRing(t *testing.T) {
+	tr := NewTrace(16)
+	fw := &failingWriter{}
+	tr.SetSink(fw)
+	tr.Emit(1, EvFlush, 0, 1)
+	tr.Emit(2, EvFlush, 0, 2)
+	if tr.Err() == nil {
+		t.Fatal("sink error not reported")
+	}
+	if fw.n != 1 {
+		t.Errorf("sink written %d times after error, want 1", fw.n)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("ring stopped recording after sink error: len = %d, want 2", tr.Len())
+	}
+}
