@@ -21,6 +21,7 @@ func main() {
 		valueSize  = flag.Int("value-size", 8, "value size in bytes")
 		seed       = flag.Int64("seed", 1, "random seed")
 		asJSON     = flag.Bool("json", false, "emit reports as JSON (including the store's metrics snapshot) instead of text tables")
+		compare    = flag.String("compare", "", "baseline JSON file (a prior -json run); fail if the readscale speedup regresses >10% vs it")
 	)
 	flag.Parse()
 
@@ -50,12 +51,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if *asJSON {
-			all = append(all, reports...)
-			continue
-		}
-		for _, r := range reports {
-			r.Print(os.Stdout)
+		all = append(all, reports...)
+		if !*asJSON {
+			for _, r := range reports {
+				r.Print(os.Stdout)
+			}
 		}
 	}
 	if *asJSON {
@@ -66,4 +66,59 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *compare != "" {
+		if err := compareReadScale(*compare, all); err != nil {
+			fmt.Fprintf(os.Stderr, "regression gate: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareReadScale is the CI regression gate: it compares the read-scaling
+// speedup (wall-clock at 1 worker / wall-clock at the top worker count) of
+// this run against the checked-in baseline. The ratio, not absolute wall
+// time, is compared so the gate holds across machine speeds; a >10% drop
+// means the read path reintroduced serialization.
+func compareReadScale(baselinePath string, reports []*bench.Report) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline []*bench.Report
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	find := func(rs []*bench.Report) (*bench.Report, bool) {
+		for _, r := range rs {
+			if r.ID == "readscale" {
+				return r, true
+			}
+		}
+		return nil, false
+	}
+	base, ok := find(baseline)
+	if !ok {
+		return fmt.Errorf("%s has no readscale report", baselinePath)
+	}
+	cur, ok := find(reports)
+	if !ok {
+		return fmt.Errorf("this run produced no readscale report (add -experiment readscale)")
+	}
+	bw, bs, err := bench.ReadScaleSpeedup(base)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cw, cs, err := bench.ReadScaleSpeedup(cur)
+	if err != nil {
+		return fmt.Errorf("current run: %w", err)
+	}
+	if cw != bw {
+		return fmt.Errorf("worker counts differ (baseline %d, current %d); rerun with matching -threads", bw, cw)
+	}
+	const tolerance = 0.90
+	if cs < bs*tolerance {
+		return fmt.Errorf("readscale speedup at %d workers regressed: %.2fx vs baseline %.2fx (>10%% drop)", cw, cs, bs)
+	}
+	fmt.Printf("readscale gate ok: %.2fx speedup at %d workers (baseline %.2fx, floor %.2fx)\n", cs, cw, bs, bs*tolerance)
+	return nil
 }

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/ycsb"
+)
+
+func init() {
+	register("readscale", "Wall-clock get scaling across real reader goroutines (lock-free read path)", runReadScale)
+}
+
+// ReadScaleWorkerCounts is the sweep driven by the readscale experiment and
+// by the CI regression gate.
+var ReadScaleWorkerCounts = []int{1, 2, 4, 8}
+
+// runReadScale measures how get throughput scales with real concurrent
+// readers. Every other experiment in this package runs on the deterministic
+// virtual-time scheduler, which by construction cannot observe lock
+// contention — here each worker is a real goroutine with its own session, and
+// the columns are wall-clock. Before the read path went lock-free, every Get
+// serialized on its shard mutex and the curve flattened immediately; with
+// epoch-published views plus the seqlock MemTable the speedup column should
+// track the worker count until the machine runs out of cores.
+//
+// The checked-in BENCH_readpath.json is this experiment's output; CI re-runs
+// it and fails if the top-end speedup regresses by more than 10% (the
+// speedup *ratio* is compared, not absolute wall time, so the gate is
+// portable across machines).
+func runReadScale(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	s, err := OpenStore(Chameleon, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	// Load the keyspace through one session; the measured phase reads only
+	// existing keys, so every miss is a correctness bug, not workload noise.
+	loader := s.NewSession(simclock.New(0))
+	val := make([]byte, opt.ValueSize)
+	for i := int64(0); i < opt.Keys; i++ {
+		if err := loader.Put(ycsb.Key(i), val); err != nil {
+			return nil, err
+		}
+	}
+	if err := releaseSession(loader); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:      "readscale",
+		Title:   "Wall-clock get throughput vs concurrent readers (real goroutines)",
+		Columns: []string{"workers", "wall_ms", "mops", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("keys=%d ops=%d value=%dB GOMAXPROCS=%d", opt.Keys, opt.Ops, opt.ValueSize, runtime.GOMAXPROCS(0)),
+			"speedup is wall(1 worker)/wall(n workers) at constant total ops;",
+			"CI gates on the final row's speedup, not on absolute wall time",
+		},
+	}
+
+	var base time.Duration
+	for _, n := range ReadScaleWorkerCounts {
+		if n > opt.Threads {
+			break
+		}
+		wall, misses, err := readScaleRound(s, opt, n)
+		if err != nil {
+			return nil, err
+		}
+		if misses > 0 {
+			return nil, fmt.Errorf("readscale: %d misses on a fully loaded keyspace at %d workers", misses, n)
+		}
+		if n == 1 {
+			base = wall
+		}
+		speedup := float64(base) / float64(wall)
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", wall.Milliseconds()),
+			fmt.Sprintf("%.2f", float64(opt.Ops)/float64(wall.Nanoseconds())*1000),
+			fmt.Sprintf("%.2f", speedup),
+		})
+	}
+	attachMetrics(rep, s)
+	return []*Report{rep}, nil
+}
+
+// readScaleRound times opt.Ops gets split across n reader goroutines and
+// returns the wall-clock span plus the number of unexpected misses.
+func readScaleRound(s kvstore.Store, opt Options, n int) (time.Duration, int64, error) {
+	var (
+		wg     sync.WaitGroup
+		misses atomic.Int64
+		firstE atomic.Value
+	)
+	per := opt.Ops / int64(n)
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			se := s.NewSession(simclock.New(0))
+			defer releaseSession(se)
+			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
+			for i := int64(0); i < per; i++ {
+				_, ok, err := se.Get(ycsb.Key(rng.Int63n(opt.Keys)))
+				if err != nil {
+					firstE.CompareAndSwap(nil, err)
+					return
+				}
+				if !ok {
+					misses.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if e := firstE.Load(); e != nil {
+		return 0, 0, e.(error)
+	}
+	return wall, misses.Load(), nil
+}
+
+// releaseSession drains a session's log reservation when the implementation
+// exposes one (core sessions do; the baselines' are no-ops).
+func releaseSession(se kvstore.Session) error {
+	if r, ok := se.(interface{ Release() error }); ok {
+		return r.Release()
+	}
+	return nil
+}
+
+// ReadScaleSpeedup extracts the top-end speedup from a readscale report —
+// the number the CI regression gate compares against the checked-in
+// baseline.
+func ReadScaleSpeedup(rep *Report) (workers int, speedup float64, err error) {
+	if rep.ID != "readscale" || len(rep.Rows) == 0 {
+		return 0, 0, fmt.Errorf("bench: not a readscale report")
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if len(last) < 4 {
+		return 0, 0, fmt.Errorf("bench: malformed readscale row %v", last)
+	}
+	if _, err := fmt.Sscanf(last[0], "%d", &workers); err != nil {
+		return 0, 0, err
+	}
+	if _, err := fmt.Sscanf(last[3], "%f", &speedup); err != nil {
+		return 0, 0, err
+	}
+	return workers, speedup, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"chameleondb/internal/simclock"
+)
+
+// Wall-clock microbenchmarks for the lock-free read path. The bench harness's
+// experiments measure virtual time on the simulated device; these measure
+// real time on real goroutines, which is the only way lock contention shows
+// up. BenchmarkMixedParallel at -cpu 8 is the acceptance measurement for the
+// read-path work: against the pre-change (shard-mutex) tree it must show at
+// least 2x the get throughput (see BENCH_readpath.json for the recorded
+// before/after numbers).
+
+func benchStore(b *testing.B, keys int) *Store {
+	b.Helper()
+	cfg := TestConfig()
+	cfg.Shards = 16
+	cfg.MemTableSlots = 256
+	cfg.ArenaBytes = 256 << 20
+	cfg.LogBytes = 128 << 20
+	s, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	se := s.NewSession(simclock.New(0)).(*Session)
+	for i := 0; i < keys; i++ {
+		if err := se.Put(stressKey(i), stressValue(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := se.Release(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkGet(b *testing.B) {
+	const keys = 4096
+	s := benchStore(b, keys)
+	se := s.NewSession(simclock.New(0)).(*Session)
+	defer se.Release()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := se.Get(stressKey(rng.Intn(keys))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	const keys = 4096
+	s := benchStore(b, keys)
+	se := s.NewSession(simclock.New(0)).(*Session)
+	defer se.Release()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := se.Put(stressKey(rng.Intn(keys)), stressValue(rng.Intn(keys))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetParallel scales pure reads across GOMAXPROCS goroutines, each
+// with its own session — run with -cpu 1,2,4,8 to reproduce the readscale
+// curve inside the Go bench harness.
+func BenchmarkGetParallel(b *testing.B) {
+	const keys = 4096
+	s := benchStore(b, keys)
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		se := s.NewSession(simclock.New(0)).(*Session)
+		defer se.Release()
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			if _, _, err := se.Get(stressKey(rng.Intn(keys))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMixedParallel is a 7:1 get:put mix across parallel sessions — the
+// shape where the old shard mutex hurt most: a single writer stalled every
+// reader on the same shard.
+func BenchmarkMixedParallel(b *testing.B) {
+	const keys = 4096
+	s := benchStore(b, keys)
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		se := s.NewSession(simclock.New(0)).(*Session)
+		defer se.Release()
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			i := rng.Intn(keys)
+			if rng.Intn(8) == 0 {
+				if err := se.Put(stressKey(i), stressValue(i)); err != nil {
+					b.Fatal(err)
+				}
+			} else if _, _, err := se.Get(stressKey(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -43,9 +43,11 @@ func (sh *shard) flush(c *simclock.Clock) error {
 	if sh.memMaxLSN > sh.persistedMaxLSN {
 		sh.persistedMaxLSN = sh.memMaxLSN
 	}
-	sh.mem.Reset()
-	sh.memMinLSN = 0
-	sh.memMaxLSN = 0
+	// Swap in a fresh MemTable rather than resetting in place: a reader
+	// holding the previous view keeps a frozen MemTable that still contains
+	// the flushed entries, which its view's level list does not yet cover.
+	sh.rotateMem()
+	sh.publishView()
 	sh.store.stats.Flushes.Add(1)
 	sh.store.trace.Emit(c.Now(), obs.EvFlush, sh.id, flushed)
 	sh.persistManifest(c)
@@ -88,14 +90,16 @@ func (sh *shard) spillToABI(c *simclock.Clock) error {
 		sh.spillMaxLSN = sh.memMaxLSN
 	}
 	spilled := int64(sh.mem.Len())
+	// The ABI gains the spilled entries in place — old-view readers probe it
+	// after their (still complete) frozen MemTable, so the duplicates are
+	// harmless — then the MemTable is swapped fresh and the view republished.
 	sh.mem.Iterate(func(s hashtable.Slot) bool {
 		probes, _ := sh.abi.Insert(s.Hash, s.Ref)
 		c.Advance(device.DRAMProbeCost(probes))
 		return true
 	})
-	sh.mem.Reset()
-	sh.memMinLSN = 0
-	sh.memMaxLSN = 0
+	sh.rotateMem()
+	sh.publishView()
 	sh.store.stats.Spills.Add(1)
 	sh.store.trace.Emit(c.Now(), obs.EvSpill, sh.id, spilled)
 	return nil
@@ -115,7 +119,10 @@ func (sh *shard) dumpABI(c *simclock.Clock) error {
 		return err
 	}
 	sh.dumped = append(sh.dumped, &ptable{t: table})
-	sh.abi.Reset()
+	// Fresh ABI, not Reset: an old-view reader has no dumped table covering
+	// these entries, so it must keep seeing them in its frozen ABI.
+	sh.rotateABI()
+	sh.publishView()
 	if sh.spillMaxLSN > sh.persistedMaxLSN {
 		sh.persistedMaxLSN = sh.spillMaxLSN
 	}
@@ -161,12 +168,11 @@ func (sh *shard) compactDirect(c *simclock.Clock) error {
 	for lvl := 0; lvl < dst; lvl++ {
 		sh.levels[lvl] = nil
 	}
+	sh.publishView()
 	sh.store.stats.UpperCompactions.Add(1)
 	sh.store.trace.Emit(c.Now(), obs.EvUpperCompact, sh.id, int64(merged.Len()))
 	sh.persistManifest(c)
-	for _, p := range old {
-		p.release()
-	}
+	sh.store.em.retire(&sh.store.stats, old)
 	return nil
 }
 
@@ -195,12 +201,11 @@ func (sh *shard) compactLevelByLevel(c *simclock.Clock) error {
 		}
 		sh.levels[lvl+1] = append(sh.levels[lvl+1], sh.wrapUpper(c, merged))
 		sh.levels[lvl] = nil
+		sh.publishView()
 		sh.store.stats.UpperCompactions.Add(1)
 		sh.store.trace.Emit(c.Now(), obs.EvUpperCompact, sh.id, int64(merged.Len()))
 		sh.persistManifest(c)
-		for _, p := range tables {
-			p.release()
-		}
+		sh.store.em.retire(&sh.store.stats, tables)
 	}
 	return nil
 }
@@ -324,9 +329,11 @@ func (sh *shard) lastLevelCompaction(c *simclock.Clock) error {
 		released = append(released, sh.last)
 	}
 	sh.last = sh.wrapLast(c, newLast)
-	if sh.abi != nil {
-		sh.abi.Reset()
-	}
+	// Fresh ABI for the same reason as dumpABI: old views pair their frozen
+	// ABI with the old last level, new views pair an empty ABI with the
+	// merged one.
+	sh.rotateABI()
+	sh.publishView()
 	if sh.spillMaxLSN > sh.persistedMaxLSN {
 		sh.persistedMaxLSN = sh.spillMaxLSN
 	}
@@ -335,9 +342,7 @@ func (sh *shard) lastLevelCompaction(c *simclock.Clock) error {
 	sh.store.stats.LastCompactions.Add(1)
 	sh.store.trace.Emit(c.Now(), obs.EvLastCompact, sh.id, int64(live))
 	sh.persistManifest(c)
-	for _, p := range released {
-		p.release()
-	}
+	sh.store.em.retire(&sh.store.stats, released)
 	return nil
 }
 

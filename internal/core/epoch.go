@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch-based reclamation for the lock-free read path.
+//
+// Compactions unlink persisted tables from the shard view and return their
+// arena space with release(), which zeroes and recycles the blocks. A reader
+// on the lock-free get path may still be probing a table it found in a
+// previously published view, so the space cannot be recycled the instant the
+// new view is published. The epoch manager defers that release until every
+// reader that could possibly hold the old view has finished:
+//
+//   - Each Session registers a readerSlot. Before loading a shard view the
+//     session stores the current epoch into its slot (pin); after the index
+//     probe it stores zero (unpin). Both are single atomic stores on the
+//     session's own slot — the hot path takes no lock and touches no shared
+//     cache line.
+//   - A writer that unlinks tables publishes the replacement view first,
+//     then advances the epoch and records the tables against the new epoch
+//     value. Any reader that pins an epoch >= that value must have loaded a
+//     view published after the unlink (Go atomics are sequentially
+//     consistent), so it cannot reference the retired tables.
+//   - Retired batches are released once no slot is pinned at an epoch below
+//     theirs. With no pinned readers — every single-threaded flow, and the
+//     discrete-event bench harness — retirement degenerates to an immediate
+//     release, preserving the pre-epoch arena behavior exactly.
+type epochManager struct {
+	epoch atomic.Int64
+
+	mu      sync.Mutex
+	readers []*readerSlot
+	retired []retiredBatch
+}
+
+// readerSlot is one session's published reading epoch: 0 when idle, the
+// pinned epoch while a view probe is in flight. Slots are separate heap
+// allocations, so two sessions never contend on a cache line.
+type readerSlot struct {
+	e atomic.Int64
+}
+
+type retiredBatch struct {
+	epoch  int64
+	tables []*ptable
+}
+
+func newEpochManager() *epochManager {
+	em := &epochManager{}
+	em.epoch.Store(1) // 0 means "not reading" in the slots
+	return em
+}
+
+// register adds a reader slot for a new session.
+func (em *epochManager) register() *readerSlot {
+	s := &readerSlot{}
+	em.mu.Lock()
+	em.readers = append(em.readers, s)
+	em.mu.Unlock()
+	return s
+}
+
+// unregister removes a released session's slot so it never holds
+// reclamation back again.
+func (em *epochManager) unregister(s *readerSlot) {
+	em.mu.Lock()
+	for i, x := range em.readers {
+		if x == s {
+			em.readers = append(em.readers[:i], em.readers[i+1:]...)
+			break
+		}
+	}
+	em.mu.Unlock()
+}
+
+// pin marks the slot as reading under the current epoch. Must be ordered
+// before the view load it protects; unpin after the last table access.
+func (s *readerSlot) pin(em *epochManager) { s.e.Store(em.epoch.Load()) }
+
+func (s *readerSlot) unpin() { s.e.Store(0) }
+
+// retire takes ownership of tables that the just-published view no longer
+// references. The caller must have published the replacement view already and
+// must have made the manifest that dropped the tables durable (retire may
+// release arena space immediately).
+func (em *epochManager) retire(st *Stats, tables []*ptable) {
+	if len(tables) == 0 {
+		return
+	}
+	em.mu.Lock()
+	e := em.epoch.Add(1)
+	em.retired = append(em.retired, retiredBatch{epoch: e, tables: tables})
+	st.TablesRetired.Add(int64(len(tables)))
+	em.reclaimLocked(st)
+	em.mu.Unlock()
+}
+
+// reclaimLocked releases every batch no pinned reader can still see.
+func (em *epochManager) reclaimLocked(st *Stats) {
+	minPinned := int64(1) << 62
+	for _, r := range em.readers {
+		if v := r.e.Load(); v != 0 && v < minPinned {
+			minPinned = v
+		}
+	}
+	keep := em.retired[:0]
+	for _, b := range em.retired {
+		if b.epoch <= minPinned {
+			for _, p := range b.tables {
+				p.release()
+			}
+			st.TablesReclaimed.Add(int64(len(b.tables)))
+		} else {
+			keep = append(keep, b)
+		}
+	}
+	em.retired = keep
+}
+
+// discard drops all pending retirements without releasing their arena space.
+// Only the crash path uses it: power loss resets the arena allocator anyway,
+// and zeroing durable bytes at the crash instant would model a store that
+// writes after losing power.
+func (em *epochManager) discard() {
+	em.mu.Lock()
+	em.retired = nil
+	em.mu.Unlock()
+}

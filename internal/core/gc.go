@@ -68,7 +68,7 @@ func (s *Store) CompactLog(c *simclock.Clock, reclaimBytes int64) (int64, error)
 		c.Advance(device.CostHash64)
 		sh := s.shardFor(e.Hash)
 		sh.mu.Lock()
-		slot, _, ok := sh.getLocked(c, e.Hash)
+		slot, _, ok := sh.lookup(c, e.Hash)
 		if !ok || slot.LSN() != e.LSN || slot.Tombstone() {
 			// A newer version exists elsewhere, the key is deleted, or the
 			// entry was never indexed: the bytes are garbage.

@@ -25,6 +25,9 @@ func (s *Store) buildRegistry() {
 	r.CounterFunc("log_gcs", st.LogGCs.Load)
 	r.CounterFunc("log_gc_relocated", st.LogGCRelocated.Load)
 	r.CounterFunc("log_gc_dropped", st.LogGCDropped.Load)
+	r.CounterFunc("view_publishes", st.ViewPublishes.Load)
+	r.CounterFunc("tables_retired", st.TablesRetired.Load)
+	r.CounterFunc("tables_reclaimed", st.TablesReclaimed.Load)
 	r.CounterFunc("gets_memtable", st.GetMemTable.Load)
 	r.CounterFunc("gets_abi", st.GetABI.Load)
 	r.CounterFunc("gets_dumped", st.GetDumped.Load)

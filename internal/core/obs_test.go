@@ -62,7 +62,7 @@ func TestHashMismatchCountsAsMiss(t *testing.T) {
 	hA, hB := xhash.Sum64(keyA), xhash.Sum64(keyB)
 	shA := s.shardFor(hA)
 	shA.mu.Lock()
-	slot, _, ok := shA.getLocked(c, hA)
+	slot, _, ok := shA.lookup(c, hA)
 	shA.mu.Unlock()
 	if !ok {
 		t.Fatal("keyA not found in its shard")

@@ -34,6 +34,11 @@ func (s *Store) Recover(c *simclock.Clock) error {
 		sh.mu.Lock()
 		err := sh.readManifest(c)
 		if err == nil {
+			// The reattached table directory replaces the post-crash empty
+			// view; replay and the ABI rebuild then mutate the same mem/abi
+			// tables in place, so no further publish is needed until the
+			// store is serving again.
+			sh.publishView()
 			sh.replayFilter = sh.recoverLSN
 			if sh.recoverLSN < minLSN {
 				minLSN = sh.recoverLSN

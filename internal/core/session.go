@@ -15,20 +15,21 @@ import (
 // ErrCrashed is returned by operations issued between Crash and Recover.
 var ErrCrashed = errors.New("core: store has crashed; call Recover first")
 
-// Session is a per-worker handle on the store: it owns a virtual clock and a
-// private log appender (the DRAM write batch of Section 2.5). Not safe for
-// concurrent use.
+// Session is a per-worker handle on the store: it owns a virtual clock, a
+// private log appender (the DRAM write batch of Section 2.5), and a reader
+// epoch slot for the lock-free get path. Not safe for concurrent use.
 type Session struct {
 	store *Store
 	clock *simclock.Clock
 	ap    *wlog.Appender
+	slot  *readerSlot
 }
 
 var _ kvstore.Session = (*Session)(nil)
 
 // NewSession implements kvstore.Store.
 func (s *Store) NewSession(c *simclock.Clock) kvstore.Session {
-	return &Session{store: s, clock: c, ap: s.log.NewAppender()}
+	return &Session{store: s, clock: c, ap: s.log.NewAppender(), slot: s.em.register()}
 }
 
 // Clock returns the session's virtual clock.
@@ -112,12 +113,19 @@ func (se *Session) Get(key []byte) ([]byte, bool, error) {
 	h := xhash.Sum64(key)
 
 	sh := se.store.shardFor(h)
-	sh.mu.Lock()
 	opStart := c.Now()
-	slot, src, ok := sh.getLocked(c, h)
-	dur := c.Now() - opStart
-	sh.mu.Unlock()
-	c.AdvanceTo(sh.tl.Reserve(opStart, dur))
+	// Lock-free index probe: pin a reader epoch so no compaction recycles
+	// the tables the published view references mid-probe, load the view,
+	// probe, unpin. No mutex is acquired anywhere on this path — MemTable
+	// and ABI probes are seqlock-validated, the persisted tables are
+	// immutable, and the log read below resolves segments through atomics.
+	se.slot.pin(se.store.em)
+	slot, src, ok := sh.lookup(c, h)
+	se.slot.unpin()
+	// Readers share the shard timeline: unlike a writer's exclusive
+	// Reserve, a shared reservation never queues, it only records the
+	// reader's completion so the modeled timeline knows when gets drained.
+	c.AdvanceTo(sh.tl.ReserveShared(opStart, c.Now()-opStart))
 
 	// The source is counted once the outcome is known, so the per-source
 	// counters (and their latency histograms) always sum consistently with
@@ -162,8 +170,9 @@ func (se *Session) Flush() error {
 	return se.ap.Flush(se.clock)
 }
 
-// Release detaches the session's appender so a retired worker does not hold
-// the recovery watermark back.
+// Release detaches the session's appender and reader slot so a retired
+// worker holds back neither the recovery watermark nor epoch reclamation.
 func (se *Session) Release() error {
+	se.store.em.unregister(se.slot)
 	return se.ap.Release(se.clock)
 }

@@ -23,13 +23,19 @@ type shard struct {
 	id    int
 
 	mu sync.Mutex
-	tl simclock.Timeline // virtual-time critical section (lock queueing)
+	tl simclock.Timeline // virtual-time critical section (writers queue; readers share)
 
 	mem    *hashtable.Mem
 	abi    *hashtable.Mem
 	levels [][]*ptable // levels[0] = L0 ... levels[l-2]
 	last   *ptable     // nil until first last-level compaction
 	dumped []*ptable   // GPM ABI dumps, oldest first
+
+	// view is the atomically published read snapshot of the fields above.
+	// The lock-free get path loads it once and probes only through it;
+	// every structural mutation (flush, spill, dump, compaction, wipe,
+	// recovery) rebuilds and stores a fresh shardView while holding mu.
+	view atomic.Pointer[shardView]
 
 	lfThreshold float64
 
@@ -68,6 +74,64 @@ type shard struct {
 	asyncNs int64
 }
 
+// shardView is an immutable snapshot of a shard's index structures, published
+// whole so a reader sees a self-consistent generation: a MemTable always
+// paired with the levels/dumps that cover exactly the entries it lacks.
+// The Mem tables referenced by an old view are never mutated destructively —
+// structural changes swap in fresh tables (the ABI only ever gains entries in
+// place, which old-view readers may legally observe as newer versions) — and
+// the ptables' arena space is reclaimed through the epoch manager, so a
+// reader may keep probing a superseded view until it unpins.
+type shardView struct {
+	mem    *hashtable.Mem
+	abi    *hashtable.Mem
+	levels [][]*ptable
+	last   *ptable
+	dumped []*ptable
+}
+
+// publishView snapshots the shard's current structure into a fresh view and
+// stores it atomically. Called with sh.mu held after every structural
+// mutation. Level and dump slices are capped with full slice expressions so
+// a later append on the shard's own slice can never grow into a published
+// snapshot.
+func (sh *shard) publishView() {
+	v := &shardView{
+		mem:  sh.mem,
+		abi:  sh.abi,
+		last: sh.last,
+	}
+	if n := len(sh.dumped); n > 0 {
+		v.dumped = sh.dumped[:n:n]
+	}
+	v.levels = make([][]*ptable, len(sh.levels))
+	for i, lvl := range sh.levels {
+		v.levels[i] = lvl[:len(lvl):len(lvl)]
+	}
+	sh.view.Store(v)
+	sh.store.stats.ViewPublishes.Add(1)
+}
+
+// rotateMem swaps in an empty MemTable after the current one's entries have
+// moved into the ABI and/or an L0 table, leaving the old table frozen for
+// readers holding a previous view. Called with sh.mu held; the caller
+// publishes the view.
+func (sh *shard) rotateMem() {
+	sh.mem = hashtable.NewMem(sh.store.cfg.MemTableSlots)
+	sh.memMinLSN = 0
+	sh.memMaxLSN = 0
+}
+
+// rotateABI swaps in an empty ABI after a dump or last-level compaction
+// cleared it, freezing the old table for prior views (an in-place Reset would
+// make entries vanish from a view whose dump list does not yet cover them).
+// Called with sh.mu held; the caller publishes the view.
+func (sh *shard) rotateABI() {
+	if sh.abi != nil {
+		sh.abi = hashtable.NewMem(sh.store.cfg.ABISlots)
+	}
+}
+
 // async brackets background work: it runs fn (charging c as usual) and
 // moves the elapsed time into sh.asyncNs so the session excludes it from the
 // critical-section reservation. Called with sh.mu held.
@@ -94,6 +158,7 @@ func newShard(s *Store, id int, boot *simclock.Clock) (*shard, error) {
 		return nil, err
 	}
 	sh.persistManifest(boot)
+	sh.publishView()
 	return sh, nil
 }
 
@@ -113,6 +178,7 @@ func (sh *shard) volatileWipe() {
 	sh.memMaxLSN = 0
 	sh.spillMaxLSN = 0
 	sh.pendingMerge.Store(false)
+	sh.publishView()
 }
 
 // liveEntries counts entries that must fit in a last-level merge.
@@ -168,34 +234,40 @@ func (sh *shard) memTableFull(c *simclock.Clock) error {
 	return sh.async(c, func() error { return sh.flush(c) })
 }
 
-// getLocked performs the index lookup under sh.mu, returning the winning
-// slot (possibly a tombstone) and which structure produced it.
-func (sh *shard) getLocked(c *simclock.Clock, h uint64) (hashtable.Slot, getSource, bool) {
+// lookup performs the index lookup against the shard's published view,
+// returning the winning slot (possibly a tombstone) and which structure
+// produced it. This is the lock-free read path: it takes no lock and probes
+// only the immutable snapshot. Callers that run concurrently with writers
+// must pin a reader epoch around the call (Session.Get); maintenance paths
+// (GC, verify) call it with sh.mu held, where the latest published view is
+// by construction the current structure.
+func (sh *shard) lookup(c *simclock.Clock, h uint64) (hashtable.Slot, getSource, bool) {
+	v := sh.view.Load()
 	// 1. MemTable.
-	ref, probes, ok := sh.mem.Get(h)
+	ref, probes, ok := v.mem.Get(h)
 	c.Advance(device.DRAMProbeCost(probes))
 	if ok {
 		return hashtable.Slot{Hash: h, Ref: ref}, srcMemTable, true
 	}
 	// 2. ABI.
-	if sh.abi != nil {
-		ref, probes, ok = sh.abi.Get(h)
+	if v.abi != nil {
+		ref, probes, ok = v.abi.Get(h)
 		c.Advance(device.DRAMProbeCost(probes))
 		if ok {
 			return hashtable.Slot{Hash: h, Ref: ref}, srcABI, true
 		}
 	}
 	// 3. Dumped ABI tables, newest first (Section 2.4).
-	for i := len(sh.dumped) - 1; i >= 0; i-- {
-		if s, ok := sh.dumped[i].get(c, h); ok {
+	for i := len(v.dumped) - 1; i >= 0; i-- {
+		if s, ok := v.dumped[i].get(c, h); ok {
 			return s, srcDumped, true
 		}
 	}
 	// 4. Upper levels in Pmem — only without an ABI (ablation), since the
 	// ABI+dumps cover them otherwise (Figure 6).
-	if sh.abi == nil {
-		for lvl := 0; lvl < len(sh.levels); lvl++ {
-			tables := sh.levels[lvl]
+	if v.abi == nil {
+		for lvl := 0; lvl < len(v.levels); lvl++ {
+			tables := v.levels[lvl]
 			for i := len(tables) - 1; i >= 0; i-- {
 				if s, ok := tables[i].get(c, h); ok {
 					return s, srcUpper, true
@@ -204,8 +276,8 @@ func (sh *shard) getLocked(c *simclock.Clock, h uint64) (hashtable.Slot, getSour
 		}
 	}
 	// 5. Last level.
-	if sh.last != nil {
-		if s, ok := sh.last.get(c, h); ok {
+	if v.last != nil {
+		if s, ok := v.last.get(c, h); ok {
 			return s, srcLast, true
 		}
 	}

@@ -23,6 +23,12 @@ type Stats struct {
 	LogGCRelocated   atomic.Int64
 	LogGCDropped     atomic.Int64
 
+	// Read-path concurrency machinery: shard-view publications by writers,
+	// and persisted tables handed to / released by epoch reclamation.
+	ViewPublishes   atomic.Int64
+	TablesRetired   atomic.Int64
+	TablesReclaimed atomic.Int64
+
 	GetMemTable atomic.Int64
 	GetABI      atomic.Int64
 	GetDumped   atomic.Int64
@@ -73,6 +79,9 @@ type StatsSnapshot struct {
 	LogGCs           int64
 	LogGCRelocated   int64
 	LogGCDropped     int64
+	ViewPublishes    int64
+	TablesRetired    int64
+	TablesReclaimed  int64
 	GetMemTable      int64
 	GetABI           int64
 	GetDumped        int64
@@ -97,6 +106,9 @@ func (s *Store) Stats() StatsSnapshot {
 		LogGCs:           s.stats.LogGCs.Load(),
 		LogGCRelocated:   s.stats.LogGCRelocated.Load(),
 		LogGCDropped:     s.stats.LogGCDropped.Load(),
+		ViewPublishes:    s.stats.ViewPublishes.Load(),
+		TablesRetired:    s.stats.TablesRetired.Load(),
+		TablesReclaimed:  s.stats.TablesReclaimed.Load(),
 		GetMemTable:      s.stats.GetMemTable.Load(),
 		GetABI:           s.stats.GetABI.Load(),
 		GetDumped:        s.stats.GetDumped.Load(),

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"math/bits"
 	"sync/atomic"
 
 	"chameleondb/internal/device"
@@ -25,11 +25,15 @@ type Store struct {
 	shards     []*shard
 	shardShift uint
 
+	// em defers arena reclamation of compacted-away tables until no
+	// lock-free reader can still be probing them.
+	em *epochManager
+
 	// gpmActive is set by the tail-latency monitor while Get-Protect Mode
-	// suspends flushes and compactions.
+	// suspends flushes and compactions. The sample window is lock-free so
+	// the monitor never puts a mutex on the get path.
 	gpmActive atomic.Bool
-	gpmMu     sync.Mutex
-	gpmWindow *histogram.Windowed
+	gpmWindow *histogram.AtomicWindowed
 	gpmTick   atomic.Int64
 
 	// writeIntensive is the runtime Write-Intensive Mode switch. It lives
@@ -80,6 +84,7 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 		arena:      arena,
 		log:        log,
 		shardShift: 64 - uint(log2(cfg.Shards)),
+		em:         newEpochManager(),
 	}
 	s.replayPos.Store(int64(1) << 62)
 	s.writeIntensive.Store(cfg.WriteIntensive)
@@ -88,7 +93,7 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 	}
 	s.buildRegistry()
 	if cfg.GetProtect.Enabled {
-		s.gpmWindow = histogram.NewWindowed(cfg.GetProtect.WindowSize)
+		s.gpmWindow = histogram.NewAtomicWindowed(cfg.GetProtect.WindowSize)
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	boot := simclock.New(0)
@@ -102,13 +107,17 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 	return s, nil
 }
 
+// log2 returns the exact base-2 logarithm of v. shardFor routes keys by the
+// hash's top log2(Shards) bits, which is only a bijection onto the shard
+// array for power-of-two counts — a floor-log2 of, say, 48 shards would
+// silently fold the top third of the hash space onto the wrong shards.
+// Config.validate rejects non-power-of-two counts before any store is built;
+// this panic guards against callers bypassing validation.
 func log2(v int) int {
-	n := 0
-	for v > 1 {
-		v >>= 1
-		n++
+	if v <= 0 || v&(v-1) != 0 {
+		panic(fmt.Sprintf("core: shard count %d is not a power of two", v))
 	}
-	return n
+	return bits.TrailingZeros64(uint64(v))
 }
 
 // Name implements kvstore.Store.
@@ -141,26 +150,29 @@ func (s *Store) shardFor(h uint64) *shard {
 func (s *Store) DeviceStats() device.Stats { return s.dev.Stats() }
 
 // DRAMFootprint implements kvstore.Store: MemTables + ABIs + GPM monitor.
+// It reads each shard's published view instead of taking shard locks, so a
+// /stats.json scrape under load never stalls writers or queues behind a
+// compaction. The totals are a consistent per-shard snapshot; table sizes
+// and accelerator footprints are immutable once published.
 func (s *Store) DRAMFootprint() int64 {
 	var total int64
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		total += sh.mem.DRAMFootprint()
-		if sh.abi != nil {
-			total += sh.abi.DRAMFootprint()
+		v := sh.view.Load()
+		total += v.mem.DRAMFootprint()
+		if v.abi != nil {
+			total += v.abi.DRAMFootprint()
 		}
-		for _, lvl := range sh.levels {
+		for _, lvl := range v.levels {
 			for _, p := range lvl {
 				total += p.dramFootprint()
 			}
 		}
-		for _, p := range sh.dumped {
+		for _, p := range v.dumped {
 			total += p.dramFootprint()
 		}
-		if sh.last != nil {
-			total += sh.last.dramFootprint()
+		if v.last != nil {
+			total += v.last.dramFootprint()
 		}
-		sh.mu.Unlock()
 	}
 	if s.gpmWindow != nil {
 		total += int64(s.cfg.GetProtect.WindowSize) * 8
@@ -172,6 +184,10 @@ func (s *Store) DRAMFootprint() int64 {
 func (s *Store) Crash() {
 	s.crashed.Store(true)
 	s.trace.Emit(0, obs.EvCrash, -1, 0)
+	// Pending epoch retirements die with the power: their arena space is
+	// reclaimed by the allocator's conservative post-crash rebuild, not by
+	// writes issued after the failure instant.
+	s.em.discard()
 	s.arena.Crash()
 	// Power loss clears the device pipes: recovery does not queue behind
 	// pre-crash in-flight transfers, and its clock starts fresh.
@@ -201,6 +217,8 @@ func (s *Store) GPMActive() bool { return s.gpmActive.Load() }
 // recordGetLatency feeds the dynamic Get-Protect monitor (Section 2.4) and
 // flips the mode when the windowed tail crosses the thresholds. now is the
 // worker's virtual timestamp (for trace events); ns the get's latency.
+// Lock-free: sampled gets land in an atomic window, and only every 64th
+// sample pays for a percentile scan.
 func (s *Store) recordGetLatency(now, ns int64) {
 	gp := s.cfg.GetProtect
 	if !gp.Enabled {
@@ -210,15 +228,12 @@ func (s *Store) recordGetLatency(now, ns int64) {
 	if n%int64(gp.SampleEvery) != 0 {
 		return
 	}
-	s.gpmMu.Lock()
 	s.gpmWindow.Record(ns)
-	var p99 int64
-	check := n%(int64(gp.SampleEvery)*64) == 0
-	if check {
-		p99 = s.gpmWindow.Percentile(99)
+	if n%(int64(gp.SampleEvery)*64) != 0 {
+		return
 	}
-	s.gpmMu.Unlock()
-	if !check || p99 == 0 {
+	p99 := s.gpmWindow.Percentile(99)
+	if p99 == 0 {
 		return
 	}
 	if p99 > gp.EnterThresholdNs {

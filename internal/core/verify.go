@@ -119,7 +119,7 @@ func (sh *shard) verifyLocked(c *simclock.Clock) error {
 	}
 
 	for h := range hashes {
-		slot, _, ok := sh.getLocked(c, h)
+		slot, _, ok := sh.lookup(c, h)
 		if !ok {
 			return fmt.Errorf("hash %#x present in a structure but unreachable via the read path", h)
 		}

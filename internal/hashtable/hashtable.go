@@ -9,7 +9,11 @@
 // Section 2.5) and relying on compaction, not expansion, to make room.
 package hashtable
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"runtime"
+	"sync/atomic"
+)
 
 // TombstoneBit marks a deleted key in a slot reference.
 const TombstoneBit = uint64(1) << 63
@@ -39,13 +43,37 @@ func MakeRef(lsn int64, tombstone bool) uint64 {
 	return r
 }
 
+// memSlot is one in-DRAM slot, split into paired atomics so a single writer
+// and many readers can share the table without a lock. Publication ordering
+// carries the consistency: a writer filling an empty slot stores the hash
+// first and the reference second, and ref == 0 still means empty, so a reader
+// that observes a non-zero ref is guaranteed (Go atomics are sequentially
+// consistent) to also observe the matching hash.
+type memSlot struct {
+	hash atomic.Uint64
+	ref  atomic.Uint64
+}
+
 // Mem is a fixed-capacity linear-probing hash table in DRAM. It is the
-// MemTable and ABI building block. Not safe for concurrent use; ChameleonDB
-// shards serialize access per shard.
+// MemTable and ABI building block.
+//
+// Concurrency contract: at most one writer at a time (ChameleonDB serializes
+// shard mutation under the shard lock), any number of concurrent readers via
+// Get. Slot updates are safe through publication ordering alone; Reset — the
+// one operation that recycles slots, where a reader could pair an old hash
+// with a new reference — is guarded by a table-level seqlock: seq is odd
+// while a Reset is in progress and readers retry probes that straddle one.
+// Iterate, Clone, and the size accessors remain writer-side operations.
 type Mem struct {
-	slots []Slot
+	seq   atomic.Uint64
+	slots []memSlot
 	mask  uint64
 	count int
+
+	// resetHook, when set, runs inside Reset's write-side critical section
+	// (seq odd, slots partially cleared). Tests use it to force a reader to
+	// interleave with a Reset and exercise the torn-read retry path.
+	resetHook func()
 }
 
 // NewMem creates a table with the given capacity (rounded up to a power of
@@ -55,8 +83,13 @@ func NewMem(capacity int) *Mem {
 	for c < capacity {
 		c <<= 1
 	}
-	return &Mem{slots: make([]Slot, c), mask: uint64(c - 1)}
+	return &Mem{slots: make([]memSlot, c), mask: uint64(c - 1)}
 }
+
+// SetResetHook installs fn to run inside every subsequent Reset, after the
+// seqlock is taken and the first slot has been cleared. Testing hook; not for
+// store code.
+func (m *Mem) SetResetHook(fn func()) { m.resetHook = fn }
 
 // Cap returns the slot capacity.
 func (m *Mem) Cap() int { return len(m.slots) }
@@ -74,19 +107,23 @@ func (m *Mem) DRAMFootprint() int64 { return int64(len(m.slots)) * SlotSize }
 // Insert places or updates the entry for hash h, returning the number of
 // slots probed. ok is false when the table is completely full and h is not
 // present (callers must flush before that happens; load-factor thresholds
-// keep them far from it).
+// keep them far from it). Writer-side: callers serialize Insert against all
+// other mutation.
 func (m *Mem) Insert(h uint64, ref uint64) (probes int, ok bool) {
 	idx := h & m.mask
 	for i := 0; i <= int(m.mask); i++ {
 		probes++
 		s := &m.slots[idx]
-		if s.Ref == 0 {
-			s.Hash, s.Ref = h, ref
+		if s.ref.Load() == 0 {
+			// New slot: publish the hash before the reference so a
+			// concurrent reader never pairs a live ref with a stale hash.
+			s.hash.Store(h)
+			s.ref.Store(ref)
 			m.count++
 			return probes, true
 		}
-		if s.Hash == h {
-			s.Ref = ref
+		if s.hash.Load() == h {
+			s.ref.Store(ref)
 			return probes, true
 		}
 		idx = (idx + 1) & m.mask
@@ -96,17 +133,18 @@ func (m *Mem) Insert(h uint64, ref uint64) (probes int, ok bool) {
 
 // InsertIfAbsent places the entry only if hash h is not already present.
 // It returns true if the entry was inserted. Used by merges that iterate
-// newest-first so newer versions win.
+// newest-first so newer versions win. Writer-side.
 func (m *Mem) InsertIfAbsent(h uint64, ref uint64) bool {
 	idx := h & m.mask
 	for i := 0; i <= int(m.mask); i++ {
 		s := &m.slots[idx]
-		if s.Ref == 0 {
-			s.Hash, s.Ref = h, ref
+		if s.ref.Load() == 0 {
+			s.hash.Store(h)
+			s.ref.Store(ref)
 			m.count++
 			return true
 		}
-		if s.Hash == h {
+		if s.hash.Load() == h {
 			return false
 		}
 		idx = (idx + 1) & m.mask
@@ -114,18 +152,47 @@ func (m *Mem) InsertIfAbsent(h uint64, ref uint64) bool {
 	return false
 }
 
+// getSpinBudget bounds how many failed seqlock rounds Get spins through
+// before yielding the processor to let the interfering Reset finish.
+const getSpinBudget = 64
+
 // Get returns the reference for hash h. probes reports the number of slots
 // examined, which callers convert into timing charges.
+//
+// Get is safe to call concurrently with the single writer. A probe that
+// overlaps a Reset could pair a pre-Reset hash with a post-Reset reference
+// from a recycled slot; the seqlock detects that — seq is odd during a Reset
+// and bumped again after — and the probe retries. Retries are bounded by a
+// spin budget, after which the reader yields; a Reset clears a few hundred
+// slots, so the window is a handful of retries at most.
 func (m *Mem) Get(h uint64) (ref uint64, probes int, ok bool) {
+	for spin := 0; ; spin++ {
+		s0 := m.seq.Load()
+		if s0&1 == 0 {
+			ref, probes, ok = m.probe(h)
+			if m.seq.Load() == s0 {
+				return ref, probes, ok
+			}
+		}
+		if spin >= getSpinBudget {
+			runtime.Gosched()
+		}
+	}
+}
+
+// probe is the raw linear probe. Readers must wrap it in seqlock validation
+// (Get); the writer may call it directly.
+func (m *Mem) probe(h uint64) (ref uint64, probes int, ok bool) {
 	idx := h & m.mask
 	for i := 0; i <= int(m.mask); i++ {
-		s := m.slots[idx]
+		s := &m.slots[idx]
 		probes++
-		if s.Ref == 0 {
+		r := s.ref.Load()
+		if r == 0 {
 			return 0, probes, false
 		}
-		if s.Hash == h {
-			return s.Ref, probes, true
+		if s.hash.Load() == h {
+			return r, probes, true
 		}
 		idx = (idx + 1) & m.mask
 	}
@@ -134,26 +201,45 @@ func (m *Mem) Get(h uint64) (ref uint64, probes int, ok bool) {
 
 // Iterate calls fn for every occupied slot. Iteration order is table order,
 // which is meaningless; callers needing recency order track it themselves.
+// Writer-side: concurrent Resets would tear the iteration.
 func (m *Mem) Iterate(fn func(Slot) bool) {
-	for _, s := range m.slots {
-		if s.Ref != 0 {
-			if !fn(s) {
+	for i := range m.slots {
+		s := &m.slots[i]
+		if r := s.ref.Load(); r != 0 {
+			if !fn(Slot{Hash: s.hash.Load(), Ref: r}) {
 				return
 			}
 		}
 	}
 }
 
-// Reset clears the table for reuse without reallocating.
+// Reset clears the table for reuse without reallocating. Writer-side; the
+// seqlock makes concurrent readers retry probes that straddle the clear.
+//
+// ChameleonDB's core no longer Resets tables that a published shard view may
+// still reference — those are swapped for fresh tables instead — but shared
+// tables mutated in place (the ABI) and single-owner baselines still recycle
+// through Reset.
 func (m *Mem) Reset() {
-	clear(m.slots)
+	m.seq.Add(1) // odd: reset in progress
+	for i := range m.slots {
+		m.slots[i].ref.Store(0)
+		m.slots[i].hash.Store(0)
+		if i == 0 && m.resetHook != nil {
+			m.resetHook()
+		}
+	}
 	m.count = 0
+	m.seq.Add(1) // even: quiescent
 }
 
-// Clone returns a deep copy, used by PinK-style DRAM pinning.
+// Clone returns a deep copy, used by PinK-style DRAM pinning. Writer-side.
 func (m *Mem) Clone() *Mem {
-	c := &Mem{slots: make([]Slot, len(m.slots)), mask: m.mask, count: m.count}
-	copy(c.slots, m.slots)
+	c := &Mem{slots: make([]memSlot, len(m.slots)), mask: m.mask, count: m.count}
+	for i := range m.slots {
+		c.slots[i].hash.Store(m.slots[i].hash.Load())
+		c.slots[i].ref.Store(m.slots[i].ref.Load())
+	}
 	return c
 }
 

@@ -238,6 +238,11 @@ func (w *Windowed) Percentile(q float64) int64 {
 	s := w.scratch[:n]
 	copy(s, w.ring[:n])
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return percentileOf(s, q)
+}
+
+func percentileOf(sorted []int64, q float64) int64 {
+	n := len(sorted)
 	rank := int(math.Ceil(q/100*float64(n))) - 1
 	if rank < 0 {
 		rank = 0
@@ -245,5 +250,63 @@ func (w *Windowed) Percentile(q float64) int64 {
 	if rank >= n {
 		rank = n - 1
 	}
-	return s[rank]
+	return sorted[rank]
+}
+
+// AtomicWindowed is the concurrent counterpart of Windowed: a lock-free
+// sliding window of recent samples shared by many recording goroutines.
+// Record is a fetch-add plus one atomic store, so it is safe on a lock-free
+// hot path (ChameleonDB's GPM latency sampling). Percentile copies the ring
+// and sorts; samples recorded concurrently with a Percentile may or may not
+// be included, which is fine for a spike detector.
+type AtomicWindowed struct {
+	ring []atomic.Int64
+	n    atomic.Int64
+}
+
+// NewAtomicWindowed creates a concurrent window of n samples.
+func NewAtomicWindowed(n int) *AtomicWindowed {
+	if n < 8 {
+		n = 8
+	}
+	return &AtomicWindowed{ring: make([]atomic.Int64, n)}
+}
+
+// Record adds a sample. Safe for concurrent use.
+func (w *AtomicWindowed) Record(v int64) {
+	i := w.n.Add(1) - 1
+	w.ring[i%int64(len(w.ring))].Store(v)
+}
+
+// Len returns the number of valid samples in the window.
+func (w *AtomicWindowed) Len() int {
+	n := w.n.Load()
+	if n > int64(len(w.ring)) {
+		return len(w.ring)
+	}
+	return int(n)
+}
+
+// Percentile returns quantile q in [0,100] over the window, or 0 if empty.
+// It allocates a copy of the window; callers invoke it rarely (once per
+// sampling epoch), never per operation.
+func (w *AtomicWindowed) Percentile(q float64) int64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = w.ring[i].Load()
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return percentileOf(s, q)
+}
+
+// Reset clears the window. Not safe concurrently with Record.
+func (w *AtomicWindowed) Reset() {
+	for i := range w.ring {
+		w.ring[i].Store(0)
+	}
+	w.n.Store(0)
 }

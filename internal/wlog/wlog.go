@@ -75,16 +75,24 @@ func entrySum(hash, meta uint64, key, value []byte) uint64 {
 var ErrReclaimed = errors.New("wlog: entry's segment was reclaimed")
 
 // Log is a shared append-only value log over arena-backed segments.
+//
+// The metadata is split for the lock-free read path: writers (reserveChunk,
+// FreeBefore) serialize on mu, but everything a reader needs — the tail, the
+// head, the segment map — is published atomically, so Read/PeekHash/phys
+// never acquire a lock. The atomics are written only with mu held; a reader
+// that observes an advanced tail is therefore guaranteed to observe the
+// segment mappings published before it.
 type Log struct {
 	arena     *pmem.Arena
 	capacity  int64 // max live bytes across segments
 	chunkSize int64
 	segSize   int64
 
-	mu       sync.Mutex
-	next     int64           // next unreserved virtual offset
-	head     int64           // first live virtual offset (below = reclaimed)
-	segments map[int64]int64 // segment index -> arena offset
+	mu       sync.Mutex   // serializes metadata writers
+	next     atomic.Int64 // next unreserved virtual offset (written under mu)
+	head     atomic.Int64 // first live virtual offset (written under mu)
+	segments sync.Map     // segment index (int64) -> arena offset (int64), written under mu
+	segCount atomic.Int64 // live segment count
 
 	apMu      sync.Mutex
 	appenders []*Appender
@@ -108,40 +116,28 @@ func New(arena *pmem.Arena, capacity int64) (*Log, error) {
 			segSize = DefaultChunkSize
 		}
 	}
-	return &Log{
+	l := &Log{
 		arena:     arena,
 		capacity:  capacity,
 		chunkSize: DefaultChunkSize,
 		segSize:   segSize,
-		next:      segSize, // LSN 0 is reserved as "nil" across the stores
-		head:      segSize,
-		segments:  make(map[int64]int64),
-	}, nil
+	}
+	l.next.Store(segSize) // LSN 0 is reserved as "nil" across the stores
+	l.head.Store(segSize)
+	return l, nil
 }
 
-// Base returns the first potentially-live LSN (the GC head).
-func (l *Log) Base() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.head
-}
+// Base returns the first potentially-live LSN (the GC head). Lock-free.
+func (l *Log) Base() int64 { return l.head.Load() }
 
-// Tail returns the high-water LSN: all entries live below it.
-func (l *Log) Tail() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.next
-}
+// Tail returns the high-water LSN: all entries live below it. Lock-free.
+func (l *Log) Tail() int64 { return l.next.Load() }
 
 // SegmentSize returns the physical allocation unit.
 func (l *Log) SegmentSize() int64 { return l.segSize }
 
 // LiveBytes returns the bytes currently held in arena segments.
-func (l *Log) LiveBytes() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return int64(len(l.segments)) * l.segSize
-}
+func (l *Log) LiveBytes() int64 { return l.segCount.Load() * l.segSize }
 
 // Entries returns the number of appended entries.
 func (l *Log) Entries() int64 { return l.entries.Load() }
@@ -156,15 +152,14 @@ func EntrySize(keyLen, valLen int) int64 {
 }
 
 // phys maps a virtual offset to its arena offset, or reports the segment
-// reclaimed/unallocated.
+// reclaimed/unallocated. Lock-free: the segment map is read without the
+// metadata mutex.
 func (l *Log) phys(v int64) (int64, bool) {
-	l.mu.Lock()
-	off, ok := l.segments[v/l.segSize]
-	l.mu.Unlock()
+	off, ok := l.segments.Load(v / l.segSize)
 	if !ok {
 		return 0, false
 	}
-	return off + v%l.segSize, true
+	return off.(int64) + v%l.segSize, true
 }
 
 // reserveChunk hands out the next chunk-aligned virtual region of at least
@@ -174,26 +169,30 @@ func (l *Log) reserveChunk(size int64) (int64, int64, error) {
 	n := (size + l.chunkSize - 1) / l.chunkSize * l.chunkSize
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	next := l.next.Load()
 	// Pad to the next segment if the chunk would straddle a boundary.
-	if l.next%l.segSize+n > l.segSize {
-		l.next = (l.next/l.segSize + 1) * l.segSize
+	if next%l.segSize+n > l.segSize {
+		next = (next/l.segSize + 1) * l.segSize
 	}
-	start := l.next
+	start := next
 	end := start + n
 	for seg := start / l.segSize; seg <= (end-1)/l.segSize; seg++ {
-		if _, ok := l.segments[seg]; ok {
+		if _, ok := l.segments.Load(seg); ok {
 			continue
 		}
-		if int64(len(l.segments)+1)*l.segSize > l.capacity {
-			return 0, 0, fmt.Errorf("%w: %d live segments of %d bytes", ErrLogFull, len(l.segments), l.segSize)
+		if (l.segCount.Load()+1)*l.segSize > l.capacity {
+			return 0, 0, fmt.Errorf("%w: %d live segments of %d bytes", ErrLogFull, l.segCount.Load(), l.segSize)
 		}
 		off, err := l.arena.Alloc(l.segSize)
 		if err != nil {
 			return 0, 0, fmt.Errorf("wlog: segment allocation: %w", err)
 		}
-		l.segments[seg] = off
+		// Publish the mapping before the tail below: a reader that sees the
+		// advanced tail must be able to resolve every LSN under it.
+		l.segments.Store(seg, off)
+		l.segCount.Add(1)
 	}
-	l.next = end
+	l.next.Store(end)
 	return start, n, nil
 }
 
@@ -213,15 +212,19 @@ func (l *Log) FreeBefore(v int64) (freedBytes int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lastSeg := v / l.segSize // segments strictly below this index die
-	for seg, off := range l.segments {
-		if seg < lastSeg && (seg+1)*l.segSize <= l.next {
+	next := l.next.Load()
+	l.segments.Range(func(k, val any) bool {
+		seg, off := k.(int64), val.(int64)
+		if seg < lastSeg && (seg+1)*l.segSize <= next {
+			l.segments.Delete(seg)
+			l.segCount.Add(-1)
 			l.arena.Free(off, l.segSize)
-			delete(l.segments, seg)
 			freedBytes += l.segSize
 		}
-	}
-	if h := lastSeg * l.segSize; h > l.head {
-		l.head = h
+		return true
+	})
+	if h := lastSeg * l.segSize; h > l.head.Load() {
+		l.head.Store(h)
 	}
 	return freedBytes
 }
