@@ -1,0 +1,109 @@
+// Command chameleon-server serves a ChameleonDB store over TCP speaking the
+// RESP protocol, so any redis client can drive it:
+//
+//	chameleon-server -addr 127.0.0.1:6379 &
+//	redis-cli -p 6379 SET k v
+//	redis-cli -p 6379 GET k
+//
+// Supported commands: GET, SET, DEL, EXISTS, PING, INFO, FLUSHALL (a
+// durability barrier, not a wipe — see DESIGN.md §7), QUIT, COMMAND. With
+// -stats-addr set, the engine's observability endpoints (/stats.json,
+// /metrics, /trace.json) are served over HTTP with the server's wire metrics
+// merged in under server_* names.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/obs"
+	"chameleondb/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:6379", "RESP listen address")
+		statsAddr   = flag.String("stats-addr", "", "serve /stats.json and /metrics on this HTTP address (empty: off)")
+		shards      = flag.Int("shards", 64, "index shards (power of two)")
+		arenaMB     = flag.Int64("arena-mb", 512, "persistent arena size (MB)")
+		logMB       = flag.Int64("log-mb", 256, "write-ahead log budget (MB)")
+		maxConns    = flag.Int("max-conns", 1024, "max concurrent client connections (<0: unlimited)")
+		pipeline    = flag.Int("max-pipeline", 128, "max commands decoded per batch")
+		commitDelay = flag.Duration("commit-delay", 200*time.Microsecond, "group-commit coalescing window")
+		commitSize  = flag.Int("commit-size", 64, "group-commit size threshold")
+		asyncAck    = flag.Bool("async-ack", false, "acknowledge writes before group commit (faster, weaker)")
+		readTO      = flag.Duration("read-timeout", 5*time.Minute, "idle connection timeout (<0: none)")
+		writeTO     = flag.Duration("write-timeout", time.Minute, "per-write socket deadline (<0: none)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Shards = *shards
+	cfg.ArenaBytes = *arenaMB << 20
+	cfg.LogBytes = *logMB << 20
+	st, err := core.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open store:", err)
+		os.Exit(1)
+	}
+	defer st.Close()
+
+	srv := server.New(st, server.Config{
+		Addr:             *addr,
+		MaxConns:         *maxConns,
+		MaxPipeline:      *pipeline,
+		ReadTimeout:      *readTO,
+		WriteTimeout:     *writeTO,
+		GroupCommitDelay: *commitDelay,
+		GroupCommitSize:  *commitSize,
+		AsyncAck:         *asyncAck,
+	})
+	if err := srv.Listen(); err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chameleon-server listening on %s (shards=%d arena=%dMB log=%dMB)\n",
+		srv.Addr(), *shards, *arenaMB, *logMB)
+
+	if *statsAddr != "" {
+		go func() {
+			fmt.Printf("stats on http://%s/stats.json\n", *statsAddr)
+			if err := http.ListenAndServe(*statsAddr, obs.Handler(srv.Registry().Snapshot, st.Trace())); err != nil {
+				fmt.Fprintln(os.Stderr, "stats server:", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("signal %s: draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+			os.Exit(1)
+		}
+		if err := <-serveErr; err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		fmt.Println("drained; bye")
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -100,6 +100,10 @@ func main() {
 		statsCmd(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "ping" {
+		pingCmd(os.Args[2:])
+		return
+	}
 	var (
 		shards = flag.Int("shards", 64, "index shards (power of two)")
 	)

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chameleondb/internal/resp"
+)
+
+// pingCmd dials a running chameleon-server, checks liveness with PING, and
+// pretty-prints the INFO stats — the wire-side sibling of `chameleonctl
+// stats`, which reads a local store's registry instead.
+func pingCmd(args []string) {
+	fs := flag.NewFlagSet("ping", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:6379", "server address")
+		timeout = fs.Duration("timeout", 3*time.Second, "dial and I/O timeout")
+		section = fs.String("section", "", "single INFO section (server, clients, stats, commandstats, latencystats)")
+	)
+	fs.Parse(args)
+
+	c, err := resp.Dial(*addr, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dial %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(*timeout))
+
+	t0 := time.Now()
+	if err := c.Ping(); err != nil {
+		fmt.Fprintf(os.Stderr, "ping %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("PONG from %s in %s\n\n", *addr, time.Since(t0).Round(time.Microsecond))
+
+	var rep resp.Reply
+	if *section != "" {
+		rep, err = c.DoStrings("INFO", *section)
+	} else {
+		rep, err = c.DoStrings("INFO")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "info: %v\n", err)
+		os.Exit(1)
+	}
+	if rep.Type == resp.TypeError {
+		fmt.Fprintf(os.Stderr, "info: %s\n", rep.Text())
+		os.Exit(1)
+	}
+	// INFO is already "# Section / key:value" text; align the values.
+	for _, line := range strings.Split(rep.Text(), "\r\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fmt.Printf("\n%s\n", line)
+			continue
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			fmt.Printf("  %-28s %s\n", k, v)
+		} else {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"chameleondb/internal/simclock"
+)
+
+// TestCloseIdempotent: Close can be called any number of times, including
+// with live sessions, and afterwards every session operation reports
+// ErrClosed while Flush (durability of already-acknowledged writes) still
+// works.
+func TestCloseIdempotent(t *testing.T) {
+	s, err := Open(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := s.NewSession(simclock.New(0))
+	if err := se.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	if err := se.Put([]byte("k2"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: got %v, want ErrClosed", err)
+	}
+	if _, _, err := se.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close: got %v, want ErrClosed", err)
+	}
+	if err := se.Delete([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after Close: got %v, want ErrClosed", err)
+	}
+	if err := se.Flush(); err != nil {
+		t.Fatalf("Flush after Close must still seal the batch: %v", err)
+	}
+	if err := se.(*Session).Release(); err != nil {
+		t.Fatalf("Release after Close: %v", err)
+	}
+}
+
+// TestConcurrentNewSessionClose is the regression test for the
+// session-created-during-shutdown race: goroutines continuously create
+// sessions and run operations while Close fires midway. Nothing may panic or
+// corrupt state; operations either succeed (before the close latches) or
+// fail with ErrClosed, and sessions created after Close observe ErrClosed on
+// first use. Run under -race in CI's server job.
+func TestConcurrentNewSessionClose(t *testing.T) {
+	s, err := Open(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+	)
+	start.Add(1)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		done.Add(1)
+		go func(w int) {
+			defer done.Done()
+			start.Wait()
+			for i := 0; i < 200; i++ {
+				se := s.NewSession(simclock.New(0))
+				key := []byte{byte(w), byte(i), byte(i >> 8)}
+				if err := se.Put(key, []byte("v")); err != nil && !errors.Is(err, ErrClosed) {
+					errs <- err
+					return
+				}
+				if _, _, err := se.Get(key); err != nil && !errors.Is(err, ErrClosed) {
+					errs <- err
+					return
+				}
+				if err := se.(*Session).Release(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	start.Done()
+	// Close twice, concurrently with the session churn.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("worker saw unexpected error: %v", err)
+	}
+
+	// A session created strictly after Close fails cleanly on first use.
+	se := s.NewSession(simclock.New(0))
+	if err := se.Put([]byte("late"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("late session Put: got %v, want ErrClosed", err)
+	}
+}

@@ -15,6 +15,11 @@ import (
 // ErrCrashed is returned by operations issued between Crash and Recover.
 var ErrCrashed = errors.New("core: store has crashed; call Recover first")
 
+// ErrClosed is returned by session operations issued after Store.Close. A
+// server draining connections can race a late session against shutdown; the
+// session fails cleanly here instead of touching a store being discarded.
+var ErrClosed = errors.New("core: store is closed")
+
 // Session is a per-worker handle on the store: it owns a virtual clock, a
 // private log appender (the DRAM write batch of Section 2.5), and a reader
 // epoch slot for the lock-free get path. Not safe for concurrent use.
@@ -46,8 +51,8 @@ func (se *Session) Delete(key []byte) error {
 }
 
 func (se *Session) write(key, value []byte, flags uint16) error {
-	if se.store.crashed.Load() {
-		return ErrCrashed
+	if err := se.store.readable(); err != nil {
+		return err
 	}
 	c := se.clock
 	arrive := c.Now()
@@ -104,8 +109,8 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 // then last level — at most three structures in the common case (Figure 6b)
 // — followed by one log read for the value.
 func (se *Session) Get(key []byte) ([]byte, bool, error) {
-	if se.store.crashed.Load() {
-		return nil, false, ErrCrashed
+	if err := se.store.readable(); err != nil {
+		return nil, false, err
 	}
 	c := se.clock
 	arrive := c.Now()
@@ -167,6 +172,10 @@ func (se *Session) Flush() error {
 	if se.store.crashed.Load() {
 		return ErrCrashed
 	}
+	// A closed store still accepts Flush: a draining server must be able to
+	// seal a session's acknowledged batch even if the store was marked closed
+	// while the connection was unwinding. Sealing only persists to the heap
+	// arena, which outlives Close.
 	return se.ap.Flush(se.clock)
 }
 

@@ -48,6 +48,12 @@ type Store struct {
 
 	crashed atomic.Bool
 
+	// closed is set (permanently) by Close. Session operations check it the
+	// way they check crashed; NewSession during or after Close is safe — the
+	// store tears nothing down, so a late session simply observes ErrClosed
+	// on its first operation.
+	closed atomic.Bool
+
 	// replayPos is the current log-scan position while a recovery replay is
 	// running, or MaxInt64 otherwise. Watermarks persisted during replay are
 	// clamped to it: entries past the replay cursor are not yet in any
@@ -202,8 +208,33 @@ func (s *Store) Crash() {
 	s.gpmActive.Store(false)
 }
 
-// Close implements kvstore.Store.
-func (s *Store) Close() error { return nil }
+// Close implements kvstore.Store. It is idempotent and safe to call
+// concurrently with NewSession and with running sessions: the store owns no
+// external resources to tear down (the simulated arena is heap memory), so
+// Close only latches the closed flag — every subsequent session operation
+// returns ErrClosed, and a session created while Close runs observes the same
+// on first use. Network front ends (internal/server) lean on this: the
+// listener drains connections and then closes the store without coordinating
+// against stragglers that still hold a Session.
+//
+// Close does not flush: durability of acknowledged writes is each session
+// owner's contract (Session.Flush), and the serving layer's group commit has
+// already flushed everything it acknowledged.
+func (s *Store) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+// readable gates session operations on the store's lifecycle state.
+func (s *Store) readable() error {
+	if s.crashed.Load() {
+		return ErrCrashed
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
 
 // SetWriteIntensive toggles Write-Intensive Mode at runtime (Section 2.3
 // describes it as a user option). Safe to call while sessions are running.

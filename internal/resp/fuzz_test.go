@@ -1,0 +1,80 @@
+package resp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRESPParse throws arbitrary bytes at both parser entry points. The
+// properties under test:
+//
+//   - no input panics the reader (malformed lengths, truncated frames,
+//     hostile nesting);
+//   - a declared length beyond the limits errors instead of allocating — the
+//     reader's backing buffer must never grow past what the limits allow for
+//     the bytes actually present;
+//   - parsing always terminates: every successful ReadCommand consumes at
+//     least one input byte, so the drain loop is bounded by len(data).
+func FuzzRESPParse(f *testing.F) {
+	seeds := []string{
+		"*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n",
+		"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n",
+		"PING\r\n",
+		"  GET   inline-key \r\n",
+		"*0\r\n*1\r\n$0\r\n\r\n",
+		"+OK\r\n-ERR nope\r\n:42\r\n$-1\r\n*-1\r\n",
+		"*2\r\n:1\r\n*2\r\n+a\r\n$1\r\nb\r\n",
+		"$9999999999\r\n",
+		"*99999999\r\n",
+		"*1\r\n$4\r\nab",
+		"*1\r\n$3\r\nabcXY",
+		strings.Repeat("*1\r\n", 64) + ":1\r\n",
+		"\r\n\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	lim := Limits{MaxBulkLen: 1 << 16, MaxArrayLen: 128, MaxInlineLen: 1 << 12, MaxDepth: 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Server side: drain commands until error/EOF. Bounded: each
+		// successful ReadCommand consumes >= 1 byte.
+		r := NewReaderLimits(bytes.NewReader(data), lim)
+		for i := 0; i <= len(data); i++ {
+			args, err := r.ReadCommand()
+			if err != nil {
+				break
+			}
+			if len(args) == 0 {
+				t.Fatalf("ReadCommand returned 0 args without error")
+			}
+			if len(args) > lim.MaxArrayLen {
+				t.Fatalf("ReadCommand returned %d args past the %d limit", len(args), lim.MaxArrayLen)
+			}
+			var total int
+			for _, a := range args {
+				if len(a) > lim.MaxBulkLen {
+					t.Fatalf("arg of %d bytes past the %d bulk limit", len(a), lim.MaxBulkLen)
+				}
+				total += len(a)
+			}
+			if total > len(data) {
+				t.Fatalf("args claim %d payload bytes from %d input bytes", total, len(data))
+			}
+			// The backing buffer must stay proportional to real input, never
+			// to a hostile declared length.
+			if cap(r.buf) > 4*(len(data)+lim.MaxArrayLen*2)+readerBufSize {
+				t.Fatalf("backing buffer grew to %d for %d input bytes", cap(r.buf), len(data))
+			}
+		}
+
+		// Client side: drain replies until error/EOF.
+		rr := NewReaderLimits(bytes.NewReader(data), lim)
+		for i := 0; i <= len(data); i++ {
+			if _, err := rr.ReadReply(); err != nil {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package resp
+
+import (
+	"bufio"
+	"io"
+)
+
+// Reader decodes RESP frames from a stream.
+//
+// ReadCommand is the server-side entry point and is biased toward zero
+// allocation in steady state: the argument payloads of every command land in
+// one backing buffer that is reused across calls, and the returned [][]byte
+// holds views into it. The views are valid only until the next ReadCommand —
+// the engine copies what it keeps (the log appender copies key and value into
+// its batch chunk), so the handler never needs a second copy.
+//
+// ReadReply is the client-side entry point; replies are freshly allocated so
+// pipelined clients can collect them.
+type Reader struct {
+	br  *bufio.Reader
+	lim Limits
+
+	// Reused per-command storage: arg payloads land in buf, spans records
+	// their boundaries (offsets, not slices, because append may move buf
+	// mid-command), args is the returned view slice.
+	buf   []byte
+	spans []span
+	args  [][]byte
+}
+
+type span struct{ off, n int }
+
+// readerBufSize bounds one buffered line; length headers and inline commands
+// must fit in it.
+const readerBufSize = 64 << 10
+
+// NewReader creates a Reader with DefaultLimits.
+func NewReader(r io.Reader) *Reader { return NewReaderLimits(r, DefaultLimits()) }
+
+// NewReaderLimits creates a Reader with explicit limits.
+func NewReaderLimits(r io.Reader, lim Limits) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, readerBufSize), lim: lim.withDefaults()}
+}
+
+// Buffered returns the number of bytes already read from the connection but
+// not yet parsed. The server uses it to keep decoding a pipelined batch
+// without blocking on the socket.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// readLine reads one CRLF-terminated line and returns it without the
+// terminator. The returned slice aliases the bufio buffer: parse or copy
+// before the next read.
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		return nil, protoErrf("line exceeds %d bytes", readerBufSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, protoErrf("line not CRLF-terminated")
+	}
+	return line[:len(line)-2], nil
+}
+
+// ReadCommand decodes one client command: either an array of bulk strings
+// (what every real client sends) or an inline space-separated line (the
+// telnet/debug form). Empty frames (bare CRLF, *0 arrays) are skipped, like
+// redis does. The returned arguments alias the Reader's internal buffer and
+// are valid only until the next ReadCommand call.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	for {
+		line, err := r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 {
+			continue // bare CRLF between commands
+		}
+		if line[0] != TypeArray {
+			args, err := r.inlineCommand(line)
+			if err != nil {
+				return nil, err
+			}
+			if len(args) == 0 {
+				continue // whitespace-only inline line
+			}
+			return args, nil
+		}
+		n, ok := parseInt(line[1:])
+		if !ok {
+			return nil, protoErrf("invalid multibulk length %q", line[1:])
+		}
+		if n < 0 || n > int64(r.lim.MaxArrayLen) {
+			return nil, protoErrf("multibulk length %d out of range [0, %d]", n, r.lim.MaxArrayLen)
+		}
+		if n == 0 {
+			continue // empty array: no command
+		}
+		return r.multibulk(int(n))
+	}
+}
+
+// multibulk reads n bulk-string arguments into the reused backing buffer.
+func (r *Reader) multibulk(n int) ([][]byte, error) {
+	r.buf = r.buf[:0]
+	r.spans = r.spans[:0]
+	for i := 0; i < n; i++ {
+		line, err := r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 || line[0] != TypeBulk {
+			return nil, protoErrf("expected bulk string in command, got %q", line)
+		}
+		sz, ok := parseInt(line[1:])
+		if !ok {
+			return nil, protoErrf("invalid bulk length %q", line[1:])
+		}
+		// Validate the declared length BEFORE sizing anything from it: a
+		// hostile "$99999999999" header must error, not allocate.
+		if sz < 0 || sz > int64(r.lim.MaxBulkLen) {
+			return nil, protoErrf("bulk length %d out of range [0, %d]", sz, r.lim.MaxBulkLen)
+		}
+		off := len(r.buf)
+		need := int(sz) + 2 // payload + CRLF
+		r.buf = grow(r.buf, need)
+		if _, err := io.ReadFull(r.br, r.buf[off:off+need]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if r.buf[off+need-2] != '\r' || r.buf[off+need-1] != '\n' {
+			return nil, protoErrf("bulk payload not CRLF-terminated")
+		}
+		r.buf = r.buf[:off+int(sz)] // drop the CRLF from the logical buffer
+		r.spans = append(r.spans, span{off, int(sz)})
+	}
+	return r.argViews(), nil
+}
+
+// inlineCommand splits a raw line into whitespace-separated arguments. The
+// line aliases the bufio buffer, so payloads are copied into the backing
+// buffer first.
+func (r *Reader) inlineCommand(line []byte) ([][]byte, error) {
+	if len(line) > r.lim.MaxInlineLen {
+		return nil, protoErrf("inline command exceeds %d bytes", r.lim.MaxInlineLen)
+	}
+	r.buf = append(r.buf[:0], line...)
+	r.spans = r.spans[:0]
+	start := -1
+	for i, c := range r.buf {
+		if c == ' ' || c == '\t' {
+			if start >= 0 {
+				r.spans = append(r.spans, span{start, i - start})
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		r.spans = append(r.spans, span{start, len(r.buf) - start})
+	}
+	if len(r.spans) > r.lim.MaxArrayLen {
+		return nil, protoErrf("inline command has %d arguments (limit %d)", len(r.spans), r.lim.MaxArrayLen)
+	}
+	return r.argViews(), nil
+}
+
+// argViews materializes the recorded spans as slices into the (now stable)
+// backing buffer.
+func (r *Reader) argViews() [][]byte {
+	r.args = r.args[:0]
+	for _, sp := range r.spans {
+		r.args = append(r.args, r.buf[sp.off:sp.off+sp.n])
+	}
+	return r.args
+}
+
+// grow extends b by need bytes, reallocating at most geometrically.
+func grow(b []byte, need int) []byte {
+	if cap(b)-len(b) >= need {
+		return b[:len(b)+need]
+	}
+	nb := make([]byte, len(b)+need, max(2*cap(b), len(b)+need))
+	copy(nb, b)
+	return nb
+}
+
+// ReadReply decodes one server reply (client side). Payloads are freshly
+// allocated: the Reply stays valid across subsequent reads.
+func (r *Reader) ReadReply() (Reply, error) {
+	return r.readReply(0)
+}
+
+func (r *Reader) readReply(depth int) (Reply, error) {
+	if depth > r.lim.MaxDepth {
+		return Reply{}, protoErrf("reply nesting exceeds depth %d", r.lim.MaxDepth)
+	}
+	line, err := r.readLine()
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) == 0 {
+		return Reply{}, protoErrf("empty reply line")
+	}
+	t, rest := line[0], line[1:]
+	switch t {
+	case TypeSimpleString, TypeError:
+		return Reply{Type: t, Str: append([]byte(nil), rest...)}, nil
+	case TypeInt:
+		n, ok := parseInt(rest)
+		if !ok {
+			return Reply{}, protoErrf("invalid integer reply %q", rest)
+		}
+		return Reply{Type: t, Int: n}, nil
+	case TypeBulk:
+		sz, ok := parseInt(rest)
+		if !ok {
+			return Reply{}, protoErrf("invalid bulk length %q", rest)
+		}
+		if sz == -1 {
+			return Reply{Type: t, Null: true}, nil
+		}
+		if sz < 0 || sz > int64(r.lim.MaxBulkLen) {
+			return Reply{}, protoErrf("bulk length %d out of range [0, %d]", sz, r.lim.MaxBulkLen)
+		}
+		payload := make([]byte, sz+2)
+		if _, err := io.ReadFull(r.br, payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Reply{}, err
+		}
+		if payload[sz] != '\r' || payload[sz+1] != '\n' {
+			return Reply{}, protoErrf("bulk payload not CRLF-terminated")
+		}
+		return Reply{Type: t, Str: payload[:sz]}, nil
+	case TypeArray:
+		n, ok := parseInt(rest)
+		if !ok {
+			return Reply{}, protoErrf("invalid array length %q", rest)
+		}
+		if n == -1 {
+			return Reply{Type: t, Null: true}, nil
+		}
+		if n < 0 || n > int64(r.lim.MaxArrayLen) {
+			return Reply{}, protoErrf("array length %d out of range [0, %d]", n, r.lim.MaxArrayLen)
+		}
+		rp := Reply{Type: t, Array: make([]Reply, 0, int(min(n, 64)))}
+		for i := int64(0); i < n; i++ {
+			el, err := r.readReply(depth + 1)
+			if err != nil {
+				return Reply{}, err
+			}
+			rp.Array = append(rp.Array, el)
+		}
+		return rp, nil
+	default:
+		return Reply{}, protoErrf("unexpected reply type byte %q", t)
+	}
+}

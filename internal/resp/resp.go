@@ -1,0 +1,164 @@
+// Package resp implements the Redis RESP2 wire protocol: the command and
+// reply framing chameleon-server speaks on the wire, a zero-allocation-biased
+// Reader/Writer pair, and a pipelined client.
+//
+// The serving layer exists so the store's concurrency properties are
+// measurable end-to-end — a lock-free read path is only as good as the
+// network front end that exposes it — and RESP2 is the protocol the porting
+// studies of in-memory KV stores use for exactly this shape of evaluation
+// (a Redis-compatible server in front of a persistent-memory engine). The
+// subset here is enough for redis-cli and any RESP client library:
+//
+//	commands  arrays of bulk strings (*N then $len payload), plus the
+//	          space-separated inline form for telnet-style debugging
+//	replies   simple strings (+), errors (-), integers (:), bulk strings
+//	          ($, with $-1 as null), and arrays (*, with *-1 as null)
+//
+// Parsing is defensive: every declared length is validated against Limits
+// before any buffer is sized from it, so a hostile frame header can make the
+// reader error but never over-allocate or panic (FuzzRESPParse holds it to
+// that). The Reader reuses one backing buffer across commands and the Writer
+// buffers all replies until an explicit Flush, which is what lets the server
+// hold a pipelined batch's replies back until its group commit has made the
+// writes durable.
+package resp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Reply type markers (the first byte of every RESP2 frame).
+const (
+	TypeSimpleString = '+'
+	TypeError        = '-'
+	TypeInt          = ':'
+	TypeBulk         = '$'
+	TypeArray        = '*'
+)
+
+// ErrProtocol is wrapped by every malformed-frame error. Transport errors
+// (timeouts, EOF) pass through unwrapped, so a server can tell "the client
+// spoke garbage" (reply with an error, then close) from "the client went
+// away" (just close).
+var ErrProtocol = errors.New("resp: protocol error")
+
+// protoErrf builds an ErrProtocol-wrapped error.
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+}
+
+// Limits bound what a single frame may declare. They are checked before any
+// allocation is sized from wire input — the defense that keeps a "$9999999999"
+// header from allocating ten gigabytes.
+type Limits struct {
+	// MaxBulkLen caps one bulk string's declared payload bytes.
+	MaxBulkLen int
+	// MaxArrayLen caps one array's declared element count (a command's
+	// argument count on the server side).
+	MaxArrayLen int
+	// MaxInlineLen caps an inline command line's length.
+	MaxInlineLen int
+	// MaxDepth caps reply-array nesting.
+	MaxDepth int
+}
+
+// DefaultLimits are generous for a KV workload (8 MiB values, 1024-element
+// commands) while keeping hostile headers harmless.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxBulkLen:   8 << 20,
+		MaxArrayLen:  1024,
+		MaxInlineLen: 64 << 10,
+		MaxDepth:     32,
+	}
+}
+
+// withDefaults fills zero fields so a partially-specified Limits is usable.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxBulkLen <= 0 {
+		l.MaxBulkLen = d.MaxBulkLen
+	}
+	if l.MaxArrayLen <= 0 {
+		l.MaxArrayLen = d.MaxArrayLen
+	}
+	if l.MaxInlineLen <= 0 {
+		l.MaxInlineLen = d.MaxInlineLen
+	}
+	if l.MaxDepth <= 0 {
+		l.MaxDepth = d.MaxDepth
+	}
+	return l
+}
+
+// Reply is one decoded server reply. Str and Array are freshly allocated by
+// ReadReply, so a Reply stays valid after the next read (clients collect
+// pipelined replies into slices).
+type Reply struct {
+	Type  byte
+	Null  bool    // $-1 or *-1
+	Int   int64   // valid when Type == TypeInt
+	Str   []byte  // simple string, error, or bulk payload
+	Array []Reply // valid when Type == TypeArray
+}
+
+// Err returns the reply as a Go error when it is a RESP error, nil otherwise.
+func (rp Reply) Err() error {
+	if rp.Type == TypeError {
+		return fmt.Errorf("resp: server replied: %s", rp.Str)
+	}
+	return nil
+}
+
+// Text renders the reply's payload for human consumption: the string form of
+// whatever the reply carries.
+func (rp Reply) Text() string {
+	switch rp.Type {
+	case TypeInt:
+		return fmt.Sprintf("%d", rp.Int)
+	case TypeArray:
+		if rp.Null {
+			return "(nil)"
+		}
+		return fmt.Sprintf("(%d elements)", len(rp.Array))
+	default:
+		if rp.Null {
+			return "(nil)"
+		}
+		return string(rp.Str)
+	}
+}
+
+// parseInt parses a decimal integer from a length/integer line without
+// allocating. The magnitude is capped well below overflow: no legitimate
+// frame header needs more than 2^52.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg = true
+		i++
+		if len(b) == 1 {
+			return 0, false
+		}
+	}
+	var n int64
+	for ; i < len(b); i++ {
+		d := b[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		n = n*10 + int64(d)
+		if n > 1<<52 {
+			return 0, false
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}

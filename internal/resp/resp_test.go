@@ -1,0 +1,285 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestCommandRoundTrip drives Writer.Command → Reader.ReadCommand over a set
+// of golden commands, including empty and binary arguments.
+func TestCommandRoundTrip(t *testing.T) {
+	cmds := [][][]byte{
+		{[]byte("PING")},
+		{[]byte("GET"), []byte("key")},
+		{[]byte("SET"), []byte("key"), []byte("value with spaces")},
+		{[]byte("SET"), []byte("k"), []byte("")},
+		{[]byte("SET"), []byte("bin"), {0, 1, 2, '\r', '\n', 0xff}},
+		{[]byte("DEL"), []byte("a"), []byte("b"), []byte("c")},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, cmd := range cmds {
+		w.Command(cmd...)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range cmds {
+		got, err := r.ReadCommand()
+		if err != nil {
+			t.Fatalf("command %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("command %d: got %d args, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if !bytes.Equal(got[j], want[j]) {
+				t.Fatalf("command %d arg %d: got %q, want %q", i, j, got[j], want[j])
+			}
+		}
+	}
+	if _, err := r.ReadCommand(); err != io.EOF {
+		t.Fatalf("after all commands: got %v, want EOF", err)
+	}
+}
+
+// TestInlineCommands checks the telnet-style form, including skipped blank
+// lines and mixed whitespace.
+func TestInlineCommands(t *testing.T) {
+	in := "\r\nPING\r\n  GET   some-key \r\n\t\r\nSET k v\r\n"
+	r := NewReader(strings.NewReader(in))
+	want := [][]string{{"PING"}, {"GET", "some-key"}, {"SET", "k", "v"}}
+	for i, wc := range want {
+		got, err := r.ReadCommand()
+		if err != nil {
+			t.Fatalf("command %d: %v", i, err)
+		}
+		if len(got) != len(wc) {
+			t.Fatalf("command %d: got %q, want %q", i, got, wc)
+		}
+		for j := range wc {
+			if string(got[j]) != wc[j] {
+				t.Fatalf("command %d arg %d: got %q, want %q", i, j, got[j], wc[j])
+			}
+		}
+	}
+}
+
+// TestReplyRoundTrip drives every Writer reply form through ReadReply.
+func TestReplyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SimpleString("OK")
+	w.Error("ERR boom")
+	w.Int(-42)
+	w.Bulk([]byte("hello"))
+	w.BulkString("")
+	w.Null()
+	w.ArrayHeader(2)
+	w.Int(1)
+	w.Bulk([]byte("x"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	checks := []func(Reply){
+		func(rp Reply) {
+			if rp.Type != TypeSimpleString || string(rp.Str) != "OK" {
+				t.Fatalf("simple: %+v", rp)
+			}
+		},
+		func(rp Reply) {
+			if rp.Type != TypeError || rp.Err() == nil || string(rp.Str) != "ERR boom" {
+				t.Fatalf("error: %+v", rp)
+			}
+		},
+		func(rp Reply) {
+			if rp.Type != TypeInt || rp.Int != -42 {
+				t.Fatalf("int: %+v", rp)
+			}
+		},
+		func(rp Reply) {
+			if rp.Type != TypeBulk || string(rp.Str) != "hello" {
+				t.Fatalf("bulk: %+v", rp)
+			}
+		},
+		func(rp Reply) {
+			if rp.Type != TypeBulk || rp.Null || len(rp.Str) != 0 {
+				t.Fatalf("empty bulk: %+v", rp)
+			}
+		},
+		func(rp Reply) {
+			if rp.Type != TypeBulk || !rp.Null {
+				t.Fatalf("null bulk: %+v", rp)
+			}
+		},
+		func(rp Reply) {
+			if rp.Type != TypeArray || len(rp.Array) != 2 ||
+				rp.Array[0].Int != 1 || string(rp.Array[1].Str) != "x" {
+				t.Fatalf("array: %+v", rp)
+			}
+		},
+	}
+	for i, check := range checks {
+		rp, err := r.ReadReply()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		check(rp)
+	}
+}
+
+// TestErrorSanitized verifies CR/LF in error text cannot inject frames.
+func TestErrorSanitized(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Error("ERR evil\r\n+OK")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	rp, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Type != TypeError || strings.ContainsAny(string(rp.Str), "\r\n") {
+		t.Fatalf("sanitize failed: %+v", rp)
+	}
+	if _, err := r.ReadReply(); err != io.EOF {
+		t.Fatalf("injected frame survived: err=%v", err)
+	}
+}
+
+// TestMalformedFrames checks that hostile or truncated input errors with
+// ErrProtocol (or an EOF variant) and never panics; huge declared lengths
+// must be rejected before any allocation is sized from them.
+func TestMalformedFrames(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		proto bool // expect ErrProtocol specifically
+	}{
+		{"bad multibulk count", "*abc\r\n", true},
+		{"negative multibulk", "*-1\r\n", true},
+		{"huge multibulk", "*99999999\r\n", true},
+		{"bad bulk header", "*1\r\n$abc\r\n", true},
+		{"negative bulk", "*1\r\n$-5\r\n", true},
+		{"huge bulk", "*1\r\n$99999999999\r\nx", true},
+		{"not bulk in command", "*1\r\n:5\r\n", true},
+		{"missing crlf", "*1\r\n$3\r\nabcXY", true},
+		{"truncated payload", "*1\r\n$5\r\nab", false},
+		{"truncated header", "*2\r\n$3\r\nabc\r\n", false},
+		{"bare LF line", "PING\n", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReaderLimits(strings.NewReader(tc.in), Limits{MaxBulkLen: 1 << 16, MaxArrayLen: 64})
+			_, err := r.ReadCommand()
+			if err == nil {
+				t.Fatalf("want error, got none")
+			}
+			if tc.proto && !errors.Is(err, ErrProtocol) {
+				t.Fatalf("want ErrProtocol, got %v", err)
+			}
+		})
+	}
+}
+
+// TestReplyDepthLimit bounds nested-array recursion.
+func TestReplyDepthLimit(t *testing.T) {
+	deep := strings.Repeat("*1\r\n", 100) + ":1\r\n"
+	r := NewReader(strings.NewReader(deep))
+	if _, err := r.ReadReply(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("want ErrProtocol for deep nesting, got %v", err)
+	}
+}
+
+// TestArgsAliasReused documents the aliasing contract: arguments are only
+// valid until the next ReadCommand.
+func TestArgsAliasReused(t *testing.T) {
+	in := "*2\r\n$3\r\nGET\r\n$1\r\na\r\n*2\r\n$3\r\nGET\r\n$1\r\nb\r\n"
+	r := NewReader(strings.NewReader(in))
+	first, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := first[1] // NOT copied
+	if _, err := r.ReadCommand(); err != nil {
+		t.Fatal(err)
+	}
+	if string(key) != "b" {
+		t.Fatalf("expected alias reuse to overwrite; got %q", key)
+	}
+}
+
+// TestClientPipeline runs the client against a scripted in-process peer over
+// a real socket pair.
+func TestClientPipeline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := NewReader(conn)
+		w := NewWriter(conn)
+		for {
+			cmd, err := r.ReadCommand()
+			if err != nil {
+				return
+			}
+			switch string(cmd[0]) {
+			case "PING":
+				w.SimpleString("PONG")
+			case "ECHO":
+				w.Bulk(cmd[1])
+			default:
+				w.Error("ERR unknown")
+			}
+			if r.Buffered() == 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const depth = 16
+	for i := 0; i < depth; i++ {
+		c.SendStrings("ECHO", string(rune('a'+i)))
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < depth; i++ {
+		rp, err := c.Receive()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if want := string(rune('a' + i)); string(rp.Str) != want {
+			t.Fatalf("reply %d: got %q, want %q (out of order?)", i, rp.Str, want)
+		}
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", c.Pending())
+	}
+}

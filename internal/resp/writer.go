@@ -1,0 +1,129 @@
+package resp
+
+import (
+	"io"
+	"strconv"
+)
+
+// Writer encodes RESP frames into an internal buffer and writes them to the
+// underlying stream only on Flush. The explicit flush is load-bearing for the
+// server: a pipelined batch's replies — including the +OK acks of writes —
+// stay buffered until the batch's group commit has made those writes durable,
+// so an ack can never reach the wire before its data. It also means one
+// syscall per batch instead of one per reply.
+//
+// Encode methods never fail (they only append to memory); all I/O errors
+// surface from Flush. Not safe for concurrent use.
+type Writer struct {
+	dst io.Writer
+	buf []byte
+}
+
+// writerMaxRetain caps the buffer kept across batches: a single huge reply
+// burst does not pin its high-water mark forever.
+const writerMaxRetain = 1 << 20
+
+// NewWriter creates a Writer over dst.
+func NewWriter(dst io.Writer) *Writer {
+	return &Writer{dst: dst, buf: make([]byte, 0, 4096)}
+}
+
+var crlf = []byte{'\r', '\n'}
+
+// SimpleString appends "+s".
+func (w *Writer) SimpleString(s string) {
+	w.buf = append(w.buf, TypeSimpleString)
+	w.buf = append(w.buf, s...)
+	w.buf = append(w.buf, crlf...)
+}
+
+// Error appends "-msg". CR/LF inside msg are flattened to spaces so an error
+// text can never inject a frame boundary.
+func (w *Writer) Error(msg string) {
+	w.buf = append(w.buf, TypeError)
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c == '\r' || c == '\n' {
+			c = ' '
+		}
+		w.buf = append(w.buf, c)
+	}
+	w.buf = append(w.buf, crlf...)
+}
+
+// Int appends ":n".
+func (w *Writer) Int(n int64) {
+	w.buf = append(w.buf, TypeInt)
+	w.buf = strconv.AppendInt(w.buf, n, 10)
+	w.buf = append(w.buf, crlf...)
+}
+
+// Bulk appends "$len payload". A nil slice is written as an empty (not null)
+// bulk string; use Null for absence.
+func (w *Writer) Bulk(b []byte) {
+	w.buf = append(w.buf, TypeBulk)
+	w.buf = strconv.AppendInt(w.buf, int64(len(b)), 10)
+	w.buf = append(w.buf, crlf...)
+	w.buf = append(w.buf, b...)
+	w.buf = append(w.buf, crlf...)
+}
+
+// BulkString appends a bulk string from a string.
+func (w *Writer) BulkString(s string) {
+	w.buf = append(w.buf, TypeBulk)
+	w.buf = strconv.AppendInt(w.buf, int64(len(s)), 10)
+	w.buf = append(w.buf, crlf...)
+	w.buf = append(w.buf, s...)
+	w.buf = append(w.buf, crlf...)
+}
+
+// Null appends the null bulk string "$-1".
+func (w *Writer) Null() {
+	w.buf = append(w.buf, TypeBulk, '-', '1')
+	w.buf = append(w.buf, crlf...)
+}
+
+// ArrayHeader appends "*n"; the next n encoded values are its elements.
+func (w *Writer) ArrayHeader(n int) {
+	w.buf = append(w.buf, TypeArray)
+	w.buf = strconv.AppendInt(w.buf, int64(n), 10)
+	w.buf = append(w.buf, crlf...)
+}
+
+// Command appends one client command as an array of bulk strings.
+func (w *Writer) Command(args ...[]byte) {
+	w.ArrayHeader(len(args))
+	for _, a := range args {
+		w.Bulk(a)
+	}
+}
+
+// CommandStrings appends one client command from string arguments.
+func (w *Writer) CommandStrings(args ...string) {
+	w.ArrayHeader(len(args))
+	for _, a := range args {
+		w.BulkString(a)
+	}
+}
+
+// Buffered returns the bytes encoded but not yet flushed.
+func (w *Writer) Buffered() int { return len(w.buf) }
+
+// Reset discards everything buffered since the last Flush. The server uses it
+// when a group commit fails: the already-encoded +OK acks must not reach the
+// wire for writes that never became durable.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Flush writes the buffered frames to the underlying stream.
+func (w *Writer) Flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.dst.Write(w.buf)
+	if cap(w.buf) > writerMaxRetain {
+		w.buf = make([]byte, 0, 4096)
+	} else {
+		w.buf = w.buf[:0]
+	}
+	return err
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"time"
+
+	"chameleondb/internal/kvstore"
+)
+
+// batcher is the group-commit engine: connections that finished a pipelined
+// batch containing writes submit their session here and block until it has
+// been flushed. The batcher coalesces submissions across connections — one
+// wakeup flushes every session that arrived within the delay window or until
+// the size threshold — so N concurrent writers cost ~1 batcher round instead
+// of N independently-timed flushes, and the acks all release together. This
+// is the classic group commit of write-ahead-logging databases, applied to
+// the store's per-session DRAM write batches.
+//
+// Sessions are not safe for concurrent use, but the submitting connection is
+// blocked on its done channel for the whole flush, so the batcher goroutine
+// is the only toucher during commit.
+type batcher struct {
+	m       *Metrics
+	ch      chan flushReq
+	stop    chan struct{}
+	stopped chan struct{}
+	delay   time.Duration
+	size    int
+	scratch []flushReq
+}
+
+type flushReq struct {
+	se   kvstore.Session
+	done chan error // per-connection, buffered(1), reused across batches
+}
+
+func newBatcher(m *Metrics, delay time.Duration, size int) *batcher {
+	if size < 1 {
+		size = 1
+	}
+	return &batcher{
+		m:       m,
+		ch:      make(chan flushReq, 4*size),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		delay:   delay,
+		size:    size,
+	}
+}
+
+func (b *batcher) start() { go b.run() }
+
+// commit submits se for a coalesced flush and waits for the outcome. done
+// must be an empty buffered(1) channel owned by the caller. If the batcher
+// has already stopped (a straggler racing shutdown), the flush runs inline —
+// durability is never silently skipped.
+func (b *batcher) commit(se kvstore.Session, done chan error) error {
+	select {
+	case b.ch <- flushReq{se, done}:
+		return <-done
+	case <-b.stop:
+		return se.Flush()
+	}
+}
+
+func (b *batcher) run() {
+	defer close(b.stopped)
+	for {
+		select {
+		case <-b.stop:
+			b.drain()
+			return
+		case first := <-b.ch:
+			batch := append(b.scratch[:0], first)
+			if b.delay > 0 {
+				timer := time.NewTimer(b.delay)
+			collect:
+				for len(batch) < b.size {
+					select {
+					case r := <-b.ch:
+						batch = append(batch, r)
+					case <-timer.C:
+						break collect
+					case <-b.stop:
+						break collect
+					}
+				}
+				timer.Stop()
+			} else {
+				// No coalescing window: take only what is already queued.
+				for len(batch) < b.size {
+					select {
+					case r := <-b.ch:
+						batch = append(batch, r)
+					default:
+						goto flush
+					}
+				}
+			}
+		flush:
+			for _, r := range batch {
+				r.done <- r.se.Flush()
+			}
+			b.m.GroupCommits.Add(1)
+			b.m.GroupCommitFlushes.Add(int64(len(batch)))
+			b.m.CommitBatch.Record(int64(len(batch)))
+			b.scratch = batch[:0]
+		}
+	}
+}
+
+// drain serves whatever made it into the channel before the stop latched.
+func (b *batcher) drain() {
+	for {
+		select {
+		case r := <-b.ch:
+			r.done <- r.se.Flush()
+		default:
+			return
+		}
+	}
+}
+
+// stopAndDrain shuts the batcher down. The caller must have drained all
+// connection handlers first (no new commits); a request that won the send
+// race against stop is still served by the final drain here.
+func (b *batcher) stopAndDrain() {
+	close(b.stop)
+	<-b.stopped
+	b.drain()
+}

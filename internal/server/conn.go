@@ -1,0 +1,275 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/resp"
+	"chameleondb/internal/wlog"
+)
+
+// pendingCmd tracks one decoded command until its reply reaches the socket,
+// so wire latency includes execution, the group-commit wait, and the write.
+type pendingCmd struct {
+	kind cmdKind
+	t0   time.Time
+}
+
+// conn is one client connection: one goroutine, one session, one RESP
+// reader/writer pair. The writer buffers replies until the batch's group
+// commit has completed, so an ack can never reach the wire before the write
+// it acknowledges is durable.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	r    *resp.Reader
+	w    *resp.Writer
+	se   kvstore.Session
+	done chan error // group-commit ack channel, reused across batches
+	pend []pendingCmd
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:  s,
+		nc:   nc,
+		r:    resp.NewReaderLimits(nc, s.cfg.Limits),
+		w:    resp.NewWriter(nc),
+		se:   s.newSession(),
+		done: make(chan error, 1),
+	}
+}
+
+// nudge unblocks a handler parked in a read so shutdown does not wait out the
+// idle timeout. The handler observes the expired deadline, sees the server
+// draining, and unwinds; a handler mid-batch is untouched — execution never
+// reads the socket — and finishes its batch first.
+func (c *conn) nudge() { c.nc.SetReadDeadline(time.Now()) }
+
+func (c *conn) serve() {
+	defer func() {
+		releaseSession(c.se)
+		c.nc.Close()
+		c.srv.remove(c)
+	}()
+	m := c.srv.metrics
+	for {
+		if c.srv.isDraining() {
+			return
+		}
+		if t := c.srv.cfg.ReadTimeout; t > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(t))
+		}
+		// First command of a batch: block until the client sends something.
+		args, err := c.r.ReadCommand()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		var (
+			dirty   bool // batch contains an unflushed write
+			quit    bool
+			decErr  error
+			decoded int
+		)
+		c.pend = c.pend[:0]
+		for {
+			t0 := time.Now()
+			m.CmdsInFlight.Add(1)
+			kind := commandKind(args[0])
+			c.execute(kind, args, &dirty, &quit)
+			c.pend = append(c.pend, pendingCmd{kind, t0})
+			decoded++
+			if quit || decoded >= c.srv.cfg.MaxPipeline || c.r.Buffered() == 0 {
+				break
+			}
+			// Pipelining: drain commands the client already sent without
+			// touching the socket for replies in between. args alias the
+			// reader's buffer, so each command executes before the next
+			// ReadCommand overwrites it.
+			if args, decErr = c.r.ReadCommand(); decErr != nil {
+				break
+			}
+		}
+		// Durability before acknowledgment: the buffered replies do not move
+		// until every write in the batch has been group-committed.
+		if dirty && !c.srv.cfg.AsyncAck {
+			if err := c.srv.batch.commit(c.se, c.done); err != nil {
+				// The writes are not durable; acking them would lie. Drop the
+				// buffered acks, report the failure, and hang up.
+				m.StoreErrors.Add(1)
+				m.CmdsInFlight.Add(int64(-len(c.pend)))
+				c.w.Reset()
+				c.w.Error("ERR commit failed: " + err.Error())
+				c.flushReplies()
+				return
+			}
+		}
+		if err := c.flushReplies(); err != nil {
+			m.CmdsInFlight.Add(int64(-len(c.pend)))
+			return
+		}
+		now := time.Now()
+		for _, p := range c.pend {
+			m.Wire[wireHistIndex(p.kind)].Record(now.Sub(p.t0).Nanoseconds())
+			m.PerCmd[p.kind].Add(1)
+		}
+		m.CmdsProcessed.Add(int64(len(c.pend)))
+		m.CmdsInFlight.Add(int64(-len(c.pend)))
+		m.PipelineDepth.Record(int64(len(c.pend)))
+		if decErr != nil {
+			c.fail(decErr)
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// fail terminates the connection on a read error. Protocol violations get a
+// final -ERR so a confused client can tell what happened; EOF and deadline
+// expiry (idle timeout or a shutdown nudge) close silently.
+func (c *conn) fail(err error) {
+	if errors.Is(err, resp.ErrProtocol) {
+		c.srv.metrics.ProtocolErrors.Add(1)
+		c.w.Reset()
+		c.w.Error("ERR Protocol error: " + err.Error())
+		c.flushReplies()
+	}
+}
+
+func (c *conn) flushReplies() error {
+	if t := c.srv.cfg.WriteTimeout; t > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(t))
+	}
+	return c.w.Flush()
+}
+
+// execute runs one decoded command, appending its reply to the write buffer.
+// args alias the reader's internal buffer: valid only for this call, which is
+// fine — the engine copies keys and values into its own arena on Put/Delete,
+// and Get returns a fresh copy.
+func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
+	m := c.srv.metrics
+	switch kind {
+	case cmdGet:
+		if len(args) != 2 {
+			c.arity("get")
+			return
+		}
+		val, ok, err := c.se.Get(args[1])
+		switch {
+		case err != nil:
+			m.StoreErrors.Add(1)
+			c.w.Error("ERR " + err.Error())
+		case !ok:
+			c.w.Null()
+		default:
+			c.w.Bulk(val)
+		}
+	case cmdSet:
+		if len(args) != 3 {
+			c.arity("set")
+			return
+		}
+		if err := c.se.Put(args[1], args[2]); err != nil {
+			m.StoreErrors.Add(1)
+			c.w.Error("ERR " + err.Error())
+			return
+		}
+		*dirty = true
+		c.w.SimpleString("OK")
+	case cmdDel:
+		if len(args) < 2 {
+			c.arity("del")
+			return
+		}
+		// RESP's DEL reports how many keys existed, but the engine's Delete
+		// is an unconditional tombstone append: probe first, delete only what
+		// is there, so the count and the write amplification both match the
+		// contract.
+		var n int64
+		for _, key := range args[1:] {
+			_, ok, err := c.se.Get(key)
+			if err != nil {
+				m.StoreErrors.Add(1)
+				c.w.Error("ERR " + err.Error())
+				return
+			}
+			if !ok {
+				continue
+			}
+			if err := c.se.Delete(key); err != nil {
+				m.StoreErrors.Add(1)
+				c.w.Error("ERR " + err.Error())
+				return
+			}
+			n++
+			*dirty = true
+		}
+		c.w.Int(n)
+	case cmdExists:
+		if len(args) < 2 {
+			c.arity("exists")
+			return
+		}
+		var n int64
+		for _, key := range args[1:] {
+			_, ok, err := c.se.Get(key)
+			if err != nil {
+				m.StoreErrors.Add(1)
+				c.w.Error("ERR " + err.Error())
+				return
+			}
+			if ok {
+				n++
+			}
+		}
+		c.w.Int(n)
+	case cmdPing:
+		switch len(args) {
+		case 1:
+			c.w.SimpleString("PONG")
+		case 2:
+			c.w.Bulk(args[1])
+		default:
+			c.arity("ping")
+		}
+	case cmdInfo:
+		var section string
+		if len(args) > 1 {
+			section = string(args[1])
+		}
+		c.w.Bulk(c.srv.infoText(section))
+	case cmdFlushAll:
+		// The engine has no bulk delete; ChameleonDB's FLUSHALL is a
+		// store-wide durability barrier instead: seal this session's batch,
+		// then every appender's, so everything acknowledged anywhere is
+		// persistent when OK comes back. (Documented in DESIGN.md §7.)
+		if err := c.se.Flush(); err != nil {
+			m.StoreErrors.Add(1)
+			c.w.Error("ERR " + err.Error())
+			return
+		}
+		if lp, ok := c.srv.store.(interface{ Log() *wlog.Log }); ok {
+			lp.Log().SyncAll(c.se.Clock())
+		}
+		c.w.SimpleString("OK")
+	case cmdQuit:
+		c.w.SimpleString("OK")
+		*quit = true
+	case cmdCommand:
+		// Enough for redis-cli's handshake.
+		c.w.ArrayHeader(0)
+	default:
+		c.w.Error(fmt.Sprintf("ERR unknown command '%s'", args[0]))
+	}
+}
+
+func (c *conn) arity(name string) {
+	c.w.Error("ERR wrong number of arguments for '" + name + "' command")
+}

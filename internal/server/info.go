@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"chameleondb/internal/obs"
+)
+
+// infoText renders the INFO reply: redis-style "# Section\nkey:value" lines,
+// restricted to one section when the client names one. The numbers are the
+// same atomics the obs registry exports — INFO is the wire-side view of the
+// same observability block /stats.json serves.
+func (s *Server) infoText(section string) []byte {
+	want := func(name string) bool {
+		return section == "" || strings.EqualFold(section, name)
+	}
+	m := s.metrics
+	var b []byte
+	if want("server") {
+		b = append(b, "# Server\r\n"...)
+		b = fmt.Appendf(b, "store:%s\r\n", s.store.Name())
+		b = fmt.Appendf(b, "uptime_in_seconds:%d\r\n", int64(time.Since(s.start).Seconds()))
+		if a := s.Addr(); a != nil {
+			b = fmt.Appendf(b, "tcp_addr:%s\r\n", a)
+		}
+		b = append(b, "\r\n"...)
+	}
+	if want("clients") {
+		b = append(b, "# Clients\r\n"...)
+		b = fmt.Appendf(b, "connected_clients:%d\r\n", m.ConnsOpen.Load())
+		b = fmt.Appendf(b, "total_connections_received:%d\r\n", m.ConnsAccepted.Load())
+		b = fmt.Appendf(b, "rejected_connections:%d\r\n", m.ConnsRejected.Load())
+		b = append(b, "\r\n"...)
+	}
+	if want("stats") {
+		b = append(b, "# Stats\r\n"...)
+		b = fmt.Appendf(b, "total_commands_processed:%d\r\n", m.CmdsProcessed.Load())
+		b = fmt.Appendf(b, "commands_in_flight:%d\r\n", m.CmdsInFlight.Load())
+		b = fmt.Appendf(b, "protocol_errors:%d\r\n", m.ProtocolErrors.Load())
+		b = fmt.Appendf(b, "store_errors:%d\r\n", m.StoreErrors.Load())
+		b = fmt.Appendf(b, "group_commits:%d\r\n", m.GroupCommits.Load())
+		b = fmt.Appendf(b, "group_commit_flushes:%d\r\n", m.GroupCommitFlushes.Load())
+		b = fmt.Appendf(b, "dram_footprint_bytes:%d\r\n", s.store.DRAMFootprint())
+		b = append(b, "\r\n"...)
+	}
+	if want("commandstats") {
+		b = append(b, "# Commandstats\r\n"...)
+		for k := cmdKind(0); k < numCmdKinds; k++ {
+			if n := m.PerCmd[k].Load(); n > 0 {
+				b = fmt.Appendf(b, "cmdstat_%s:calls=%d\r\n", k.String(), n)
+			}
+		}
+		b = append(b, "\r\n"...)
+	}
+	if want("latencystats") {
+		b = append(b, "# Latencystats\r\n"...)
+		for i := range m.Wire {
+			h := obs.SummarizeHistogram(&m.Wire[i])
+			if h.Count == 0 {
+				continue
+			}
+			b = fmt.Appendf(b, "wire_ns_%s:count=%d,p50=%d,p99=%d,p999=%d,max=%d\r\n",
+				wireHistNames[i], h.Count, h.P50, h.P99, h.P999, h.Max)
+		}
+		b = append(b, "\r\n"...)
+	}
+	return b
+}

@@ -1,0 +1,478 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/resp"
+	"chameleondb/internal/simclock"
+)
+
+// startServer opens a test store (unless one is supplied), binds the server
+// on an ephemeral loopback port, and tears both down with the test.
+func startServer(t *testing.T, store kvstore.Store, cfg Config) (*Server, string) {
+	t.Helper()
+	if store == nil {
+		st, err := core.Open(core.TestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		store = st
+		t.Cleanup(func() { st.Close() })
+	}
+	cfg.Addr = "127.0.0.1:0"
+	s := New(store, cfg)
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return s, s.Addr().String()
+}
+
+func dialT(t *testing.T, addr string) *resp.Client {
+	t.Helper()
+	c, err := resp.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetDeadline(time.Now().Add(30 * time.Second))
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestServerE2EPipelinedRace is the ISSUE's flagship test: 32 concurrent
+// pipelined clients doing mixed Get/Set/Del against one server. Run under
+// -race in CI. Every client owns a key prefix, so every reply is exactly
+// predictable — any cross-connection interference shows up as a wrong reply,
+// not just as a race report.
+func TestServerE2EPipelinedRace(t *testing.T) {
+	s, addr := startServer(t, nil, Config{GroupCommitDelay: 100 * time.Microsecond})
+	const (
+		clients = 32
+		rounds  = 20
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := resp.Dial(addr, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			c.SetDeadline(time.Now().Add(60 * time.Second))
+			for r := 0; r < rounds; r++ {
+				key := fmt.Sprintf("c%d-k%d", id, r)
+				val := fmt.Sprintf("v%d-%d", id, r)
+				// One pipelined batch: SET, GET, EXISTS, DEL, GET.
+				c.SendStrings("SET", key, val)
+				c.SendStrings("GET", key)
+				c.SendStrings("EXISTS", key)
+				c.SendStrings("DEL", key)
+				c.SendStrings("GET", key)
+				if err := c.Flush(); err != nil {
+					errs <- fmt.Errorf("client %d flush: %w", id, err)
+					return
+				}
+				want := []func(resp.Reply) error{
+					expectSimple("OK"), expectBulk(val), expectInt(1), expectInt(1), expectNull(),
+				}
+				for i, check := range want {
+					rep, err := c.Receive()
+					if err != nil {
+						errs <- fmt.Errorf("client %d round %d reply %d: %w", id, r, i, err)
+						return
+					}
+					if err := check(rep); err != nil {
+						errs <- fmt.Errorf("client %d round %d reply %d: %w", id, r, i, err)
+						return
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Metrics().CmdsProcessed.Load(); got < clients*rounds*5 {
+		t.Errorf("CmdsProcessed = %d, want >= %d", got, clients*rounds*5)
+	}
+	if s.Metrics().GroupCommits.Load() == 0 {
+		t.Error("no group commits recorded for a write-heavy workload")
+	}
+}
+
+func expectSimple(want string) func(resp.Reply) error {
+	return func(r resp.Reply) error {
+		if r.Type != resp.TypeSimpleString || r.Text() != want {
+			return fmt.Errorf("got %+v, want +%s", r, want)
+		}
+		return nil
+	}
+}
+
+func expectBulk(want string) func(resp.Reply) error {
+	return func(r resp.Reply) error {
+		if r.Type != resp.TypeBulk || r.Null || r.Text() != want {
+			return fmt.Errorf("got %+v, want bulk %q", r, want)
+		}
+		return nil
+	}
+}
+
+func expectInt(want int64) func(resp.Reply) error {
+	return func(r resp.Reply) error {
+		if r.Type != resp.TypeInt || r.Int != want {
+			return fmt.Errorf("got %+v, want :%d", r, want)
+		}
+		return nil
+	}
+}
+
+func expectNull() func(resp.Reply) error {
+	return func(r resp.Reply) error {
+		if !r.Null {
+			return fmt.Errorf("got %+v, want null", r)
+		}
+		return nil
+	}
+}
+
+// slowStore gates Get so a test can hold a command in flight across Shutdown.
+type slowStore struct {
+	kvstore.Store
+	block chan struct{} // Get waits on this
+	hit   chan struct{} // signaled once a Get has entered
+	once  sync.Once
+}
+
+func (s *slowStore) NewSession(c *simclock.Clock) kvstore.Session {
+	return &slowSession{s.Store.NewSession(c), s}
+}
+
+type slowSession struct {
+	kvstore.Session
+	st *slowStore
+}
+
+func (se *slowSession) Get(key []byte) ([]byte, bool, error) {
+	se.st.once.Do(func() { close(se.st.hit) })
+	<-se.st.block
+	return se.Session.Get(key)
+}
+
+// TestGracefulShutdown: a command already decoded when Shutdown starts still
+// completes and its reply reaches the client; a dial after Shutdown is
+// refused; Shutdown itself returns nil.
+func TestGracefulShutdown(t *testing.T) {
+	st, err := core.Open(core.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	slow := &slowStore{Store: st, block: make(chan struct{}), hit: make(chan struct{})}
+
+	cfg := Config{Addr: "127.0.0.1:0"}
+	s := New(slow, cfg)
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve() }()
+	addr := s.Addr().String()
+
+	c, err := resp.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(30 * time.Second))
+	c.SendStrings("SET", "k", "v")
+	c.SendStrings("GET", "k") // blocks server-side in slowSession.Get
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	<-slow.hit // the GET is in flight inside the handler
+
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutErr <- s.Shutdown(ctx)
+	}()
+
+	// Late dials must be refused once the drain began. The listener closes
+	// synchronously inside Shutdown, but give the goroutine a moment to get
+	// there.
+	var dialRefused bool
+	for i := 0; i < 100; i++ {
+		nc, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			dialRefused = true
+			break
+		}
+		// A connection that sneaks in before ln.Close() is closed unserved.
+		nc.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !dialRefused {
+		t.Error("dial during shutdown was never refused")
+	}
+
+	// Release the in-flight GET; its reply must still arrive.
+	close(slow.block)
+	rep, err := c.Receive() // SET reply
+	if err != nil {
+		t.Fatalf("SET reply during drain: %v", err)
+	}
+	if rep.Type != resp.TypeSimpleString || rep.Text() != "OK" {
+		t.Fatalf("SET reply = %+v, want +OK", rep)
+	}
+	rep, err = c.Receive() // GET reply
+	if err != nil {
+		t.Fatalf("GET reply during drain: %v", err)
+	}
+	if rep.Type != resp.TypeBulk || rep.Text() != "v" {
+		t.Fatalf("GET reply = %+v, want bulk \"v\"", rep)
+	}
+
+	if err := <-shutErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestMaxConns: past the cap, a connection gets the canonical error reply.
+func TestMaxConns(t *testing.T) {
+	_, addr := startServer(t, nil, Config{MaxConns: 1})
+	c1 := dialT(t, addr)
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+	rep, err := resp.NewReader(nc).ReadReply()
+	if err != nil {
+		t.Fatalf("reading rejection reply: %v", err)
+	}
+	if rep.Type != resp.TypeError || !strings.Contains(rep.Text(), "max number of clients") {
+		t.Fatalf("rejection reply = %+v", rep)
+	}
+}
+
+// TestGroupCommitCoalescing: concurrent single-SET clients must share flush
+// rounds — strictly more sessions flushed than batcher wakeups.
+func TestGroupCommitCoalescing(t *testing.T) {
+	s, addr := startServer(t, nil, Config{GroupCommitDelay: 2 * time.Millisecond})
+	const writers = 16
+	var wg sync.WaitGroup
+	for id := 0; id < writers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := resp.Dial(addr, 5*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			c.SetDeadline(time.Now().Add(30 * time.Second))
+			for r := 0; r < 25; r++ {
+				if err := c.Set(fmt.Appendf(nil, "g%d-%d", id, r), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	commits := s.Metrics().GroupCommits.Load()
+	flushes := s.Metrics().GroupCommitFlushes.Load()
+	if commits == 0 || flushes == 0 {
+		t.Fatalf("no group commit activity: commits=%d flushes=%d", commits, flushes)
+	}
+	if flushes <= commits {
+		t.Errorf("no coalescing: %d flushes over %d rounds", flushes, commits)
+	}
+	t.Logf("group commit: %d sessions over %d rounds (%.1fx coalescing)",
+		flushes, commits, float64(flushes)/float64(commits))
+}
+
+// TestPipelineOrder: replies come back in command order within a batch even
+// when commands hit different paths (write, read, miss, error).
+func TestPipelineOrder(t *testing.T) {
+	_, addr := startServer(t, nil, Config{})
+	c := dialT(t, addr)
+	c.SendStrings("SET", "a", "1")
+	c.SendStrings("NOSUCH")
+	c.SendStrings("GET", "a")
+	c.SendStrings("GET", "missing")
+	c.SendStrings("PING")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checks := []func(resp.Reply) error{
+		expectSimple("OK"),
+		func(r resp.Reply) error {
+			if r.Type != resp.TypeError || !strings.Contains(r.Text(), "unknown command") {
+				return fmt.Errorf("got %+v, want unknown-command error", r)
+			}
+			return nil
+		},
+		expectBulk("1"),
+		expectNull(),
+		expectSimple("PONG"),
+	}
+	for i, check := range checks {
+		rep, err := c.Receive()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if err := check(rep); err != nil {
+			t.Errorf("reply %d: %v", i, err)
+		}
+	}
+}
+
+// TestProtocolErrorCloses: a malformed frame earns one -ERR Protocol error
+// reply and a closed connection.
+func TestProtocolErrorCloses(t *testing.T) {
+	s, addr := startServer(t, nil, Config{})
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := nc.Write([]byte("*notanumber\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := resp.NewReader(nc)
+	rep, err := r.ReadReply()
+	if err != nil {
+		t.Fatalf("reading error reply: %v", err)
+	}
+	if rep.Type != resp.TypeError || !strings.Contains(rep.Text(), "Protocol error") {
+		t.Fatalf("reply = %+v, want -ERR Protocol error", rep)
+	}
+	if _, err := r.ReadReply(); err == nil {
+		t.Error("connection stayed open after protocol error")
+	}
+	if s.Metrics().ProtocolErrors.Load() == 0 {
+		t.Error("ProtocolErrors not counted")
+	}
+}
+
+// TestCommands covers the remaining commands' contracts.
+func TestCommands(t *testing.T) {
+	_, addr := startServer(t, nil, Config{})
+	c := dialT(t, addr)
+
+	// PING with message echoes it.
+	rep, err := c.DoStrings("PING", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Text() != "hello" {
+		t.Errorf("PING hello = %+v", rep)
+	}
+	// EXISTS counts repeats like redis.
+	if err := c.Set([]byte("e1"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = c.DoStrings("EXISTS", "e1", "e1", "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Int != 2 {
+		t.Errorf("EXISTS e1 e1 nope = %+v, want :2", rep)
+	}
+	// DEL of a missing key is 0 and writes nothing.
+	rep, err = c.DoStrings("DEL", "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Int != 0 {
+		t.Errorf("DEL nope = %+v, want :0", rep)
+	}
+	// FLUSHALL is a durability barrier, not a wipe: data survives.
+	rep, err = c.DoStrings("FLUSHALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Text() != "OK" {
+		t.Errorf("FLUSHALL = %+v", rep)
+	}
+	if val, ok, err := c.Get([]byte("e1")); err != nil || !ok || string(val) != "v" {
+		t.Errorf("GET e1 after FLUSHALL = %q %v %v", val, ok, err)
+	}
+	// COMMAND answers redis-cli's handshake with an empty array.
+	rep, err = c.DoStrings("COMMAND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Type != resp.TypeArray || len(rep.Array) != 0 {
+		t.Errorf("COMMAND = %+v, want *0", rep)
+	}
+	// INFO names the store and carries the stats section.
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Server", "store:", "# Stats", "total_commands_processed:"} {
+		if !strings.Contains(info, want) {
+			t.Errorf("INFO missing %q:\n%s", want, info)
+		}
+	}
+	// Arity errors don't kill the connection.
+	rep, err = c.DoStrings("GET")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Type != resp.TypeError || !strings.Contains(rep.Text(), "wrong number of arguments") {
+		t.Errorf("GET with no key = %+v", rep)
+	}
+	if err := c.Ping(); err != nil {
+		t.Errorf("connection dead after arity error: %v", err)
+	}
+	// QUIT acks then closes.
+	rep, err = c.DoStrings("QUIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Text() != "OK" {
+		t.Errorf("QUIT = %+v", rep)
+	}
+	if err := c.Ping(); err == nil {
+		t.Error("connection alive after QUIT")
+	}
+}
