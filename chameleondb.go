@@ -82,6 +82,11 @@ type Options struct {
 	WriteIntensive bool
 	// GetProtect configures the dynamic Get-Protect Mode.
 	GetProtect GetProtectOptions
+	// MaintenanceWorkers sizes the background maintenance pool that runs
+	// MemTable flushes, ABI spills, and compactions off the put path
+	// (DESIGN.md §5.3). 0 keeps maintenance inline on the writing
+	// goroutine — the pre-pipeline behaviour.
+	MaintenanceWorkers int
 	// Seed drives load-factor randomization.
 	Seed int64
 }
@@ -139,6 +144,7 @@ func (o Options) coreConfig() core.Config {
 		cfg.CompactionMode = core.DirectCompaction
 	}
 	cfg.WriteIntensive = o.WriteIntensive
+	cfg.MaintenanceWorkers = o.MaintenanceWorkers
 	cfg.GetProtect = core.GPMConfig{
 		Enabled:          o.GetProtect.Enabled,
 		EnterThresholdNs: o.GetProtect.EnterThresholdNs,
@@ -268,6 +274,11 @@ type Stats struct {
 	GetMemTable, GetABI, GetDumped, GetUpper, GetLast, GetMiss int64
 	// Log garbage collection activity (CompactLog).
 	LogGCs, LogGCRelocated, LogGCDropped int64
+	// Background maintenance pipeline activity (zero when
+	// Options.MaintenanceWorkers is 0): MemTable freezes, write
+	// backpressure events, and jobs run per kind.
+	MemFreezes, PutSlowdowns, PutStalls                              int64
+	MaintJobsFlush, MaintJobsSpill, MaintJobsCompact, MaintJobsLast int64
 	// Device-level media accounting (the simulated ipmwatch).
 	LogicalBytesWritten, MediaBytesWritten, MediaBytesRead int64
 	// DRAMFootprintBytes is the store's volatile memory use.
@@ -284,6 +295,9 @@ func (db *DB) Stats() Stats {
 		GetMemTable: s.GetMemTable, GetABI: s.GetABI, GetDumped: s.GetDumped,
 		GetUpper: s.GetUpper, GetLast: s.GetLast, GetMiss: s.GetMiss,
 		LogGCs: s.LogGCs, LogGCRelocated: s.LogGCRelocated, LogGCDropped: s.LogGCDropped,
+		MemFreezes: s.MemFreezes, PutSlowdowns: s.PutSlowdowns, PutStalls: s.PutStalls,
+		MaintJobsFlush: s.MaintJobsFlush, MaintJobsSpill: s.MaintJobsSpill,
+		MaintJobsCompact: s.MaintJobsCompact, MaintJobsLast: s.MaintJobsLastLevel,
 		LogicalBytesWritten: d.LogicalBytesWritten,
 		MediaBytesWritten:   d.MediaBytesWritten,
 		MediaBytesRead:      d.MediaBytesRead,

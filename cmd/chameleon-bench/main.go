@@ -21,7 +21,7 @@ func main() {
 		valueSize  = flag.Int("value-size", 8, "value size in bytes")
 		seed       = flag.Int64("seed", 1, "random seed")
 		asJSON     = flag.Bool("json", false, "emit reports as JSON (including the store's metrics snapshot) instead of text tables")
-		compare    = flag.String("compare", "", "baseline JSON file (a prior -json run); fail if the readscale speedup regresses >10% vs it")
+		compare    = flag.String("compare", "", "baseline JSON file (a prior -json run); fail if the readscale/writescale speedup regresses >10% vs it")
 	)
 	flag.Parse()
 
@@ -67,19 +67,20 @@ func main() {
 		}
 	}
 	if *compare != "" {
-		if err := compareReadScale(*compare, all); err != nil {
+		if err := compareScaling(*compare, all); err != nil {
 			fmt.Fprintf(os.Stderr, "regression gate: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// compareReadScale is the CI regression gate: it compares the read-scaling
-// speedup (wall-clock at 1 worker / wall-clock at the top worker count) of
-// this run against the checked-in baseline. The ratio, not absolute wall
-// time, is compared so the gate holds across machine speeds; a >10% drop
-// means the read path reintroduced serialization.
-func compareReadScale(baselinePath string, reports []*bench.Report) error {
+// compareScaling is the CI regression gate: for each scaling experiment this
+// run produced (readscale for the lock-free get path, writescale for the
+// async write path), it compares the top-end speedup (wall-clock at 1 worker
+// / wall-clock at the top worker count) against the checked-in baseline. The
+// ratio, not absolute wall time, is compared so the gate holds across machine
+// speeds; a >10% drop means the path reintroduced serialization.
+func compareScaling(baselinePath string, reports []*bench.Report) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -88,37 +89,51 @@ func compareReadScale(baselinePath string, reports []*bench.Report) error {
 	if err := json.Unmarshal(raw, &baseline); err != nil {
 		return fmt.Errorf("parse %s: %w", baselinePath, err)
 	}
-	find := func(rs []*bench.Report) (*bench.Report, bool) {
+	find := func(rs []*bench.Report, id string) (*bench.Report, bool) {
 		for _, r := range rs {
-			if r.ID == "readscale" {
+			if r.ID == id {
 				return r, true
 			}
 		}
 		return nil, false
 	}
-	base, ok := find(baseline)
-	if !ok {
-		return fmt.Errorf("%s has no readscale report", baselinePath)
+	gates := []struct {
+		id      string
+		extract func(*bench.Report) (int, float64, error)
+	}{
+		{"readscale", bench.ReadScaleSpeedup},
+		{"writescale", bench.WriteScaleSpeedup},
 	}
-	cur, ok := find(reports)
-	if !ok {
-		return fmt.Errorf("this run produced no readscale report (add -experiment readscale)")
+	gated := false
+	for _, g := range gates {
+		cur, ok := find(reports, g.id)
+		if !ok {
+			continue
+		}
+		base, ok := find(baseline, g.id)
+		if !ok {
+			return fmt.Errorf("%s has no %s report to gate against", baselinePath, g.id)
+		}
+		bw, bs, err := g.extract(base)
+		if err != nil {
+			return fmt.Errorf("%s baseline: %w", g.id, err)
+		}
+		cw, cs, err := g.extract(cur)
+		if err != nil {
+			return fmt.Errorf("%s current run: %w", g.id, err)
+		}
+		if cw != bw {
+			return fmt.Errorf("%s worker counts differ (baseline %d, current %d); rerun with matching -threads", g.id, bw, cw)
+		}
+		const tolerance = 0.90
+		if cs < bs*tolerance {
+			return fmt.Errorf("%s speedup at %d workers regressed: %.2fx vs baseline %.2fx (>10%% drop)", g.id, cw, cs, bs)
+		}
+		fmt.Printf("%s gate ok: %.2fx speedup at %d workers (baseline %.2fx, floor %.2fx)\n", g.id, cs, cw, bs, bs*tolerance)
+		gated = true
 	}
-	bw, bs, err := bench.ReadScaleSpeedup(base)
-	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
+	if !gated {
+		return fmt.Errorf("this run produced no readscale or writescale report (add -experiment readscale or writescale)")
 	}
-	cw, cs, err := bench.ReadScaleSpeedup(cur)
-	if err != nil {
-		return fmt.Errorf("current run: %w", err)
-	}
-	if cw != bw {
-		return fmt.Errorf("worker counts differ (baseline %d, current %d); rerun with matching -threads", bw, cw)
-	}
-	const tolerance = 0.90
-	if cs < bs*tolerance {
-		return fmt.Errorf("readscale speedup at %d workers regressed: %.2fx vs baseline %.2fx (>10%% drop)", cw, cs, bs)
-	}
-	fmt.Printf("readscale gate ok: %.2fx speedup at %d workers (baseline %.2fx, floor %.2fx)\n", cs, cw, bs, bs*tolerance)
 	return nil
 }

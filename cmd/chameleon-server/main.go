@@ -41,6 +41,7 @@ func main() {
 		asyncAck    = flag.Bool("async-ack", false, "acknowledge writes before group commit (faster, weaker)")
 		readTO      = flag.Duration("read-timeout", 5*time.Minute, "idle connection timeout (<0: none)")
 		writeTO     = flag.Duration("write-timeout", time.Minute, "per-write socket deadline (<0: none)")
+		maintWork   = flag.Int("maintenance-workers", -1, "background maintenance workers (0: run flushes/compactions inline on the put path; <0: min(shards, GOMAXPROCS))")
 	)
 	flag.Parse()
 
@@ -48,6 +49,11 @@ func main() {
 	cfg.Shards = *shards
 	cfg.ArenaBytes = *arenaMB << 20
 	cfg.LogBytes = *logMB << 20
+	if *maintWork < 0 {
+		cfg.MaintenanceWorkers = core.DefaultMaintenanceWorkers(*shards)
+	} else {
+		cfg.MaintenanceWorkers = *maintWork
+	}
 	st, err := core.Open(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open store:", err)
@@ -69,8 +75,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("chameleon-server listening on %s (shards=%d arena=%dMB log=%dMB)\n",
-		srv.Addr(), *shards, *arenaMB, *logMB)
+	fmt.Printf("chameleon-server listening on %s (shards=%d arena=%dMB log=%dMB maintenance-workers=%d)\n",
+		srv.Addr(), *shards, *arenaMB, *logMB, cfg.MaintenanceWorkers)
 
 	if *statsAddr != "" {
 		go func() {

@@ -29,11 +29,13 @@ func statsCmd(args []string) {
 		traceCap = fs.Int("trace", 4096, "event-trace ring capacity (0 disables tracing)")
 		traceOut = fs.String("trace-out", "", "append trace events as JSONL to this file as they happen")
 		shards   = fs.Int("shards", 64, "index shards (power of two)")
+		maint    = fs.Int("maintenance-workers", 0, "background maintenance workers (0: inline maintenance)")
 	)
 	fs.Parse(args)
 
 	cfg := core.ScaledConfig(*shards, *fill, 8)
 	cfg.TraceEvents = *traceCap
+	cfg.MaintenanceWorkers = *maint
 	s, err := core.Open(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/ycsb"
+)
+
+func init() {
+	register("writescale", "Wall-clock put scaling across real writer goroutines (async maintenance pipeline)", runWriteScale)
+}
+
+// WriteScaleWorkerCounts is the sweep driven by the writescale experiment and
+// by the CI regression gate.
+var WriteScaleWorkerCounts = []int{1, 2, 4, 8}
+
+// runWriteScale measures how put throughput scales with real concurrent
+// writers when flushes and compactions run on the background maintenance
+// pool instead of inline under the shard lock. Like readscale, every worker
+// is a real goroutine (the virtual-time scheduler cannot observe lock
+// contention) and the columns are wall-clock. Each round opens a fresh store
+// with MaintenanceWorkers enabled, preloads the keyspace so updates carry
+// steady compaction debt, and times the measured puts including each
+// session's final Flush barrier — hiding the drain would credit the pipeline
+// for work it merely deferred. The stall_ms column is the total wall-clock
+// the round's puts spent in backpressure (slowdown sleeps plus stall waits).
+//
+// The checked-in BENCH_writepath.json is this experiment's output; CI re-runs
+// it and fails if the top-end put-scaling speedup regresses by more than 10%
+// (the ratio is compared, not absolute wall time, so the gate is portable
+// across machines).
+func runWriteScale(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	rep := &Report{
+		ID:      "writescale",
+		Title:   "Wall-clock put throughput vs concurrent writers (real goroutines, background maintenance)",
+		Columns: []string{"workers", "wall_ms", "mops", "speedup", "freezes", "stalls", "stall_ms"},
+		Notes: []string{
+			fmt.Sprintf("keys=%d ops=%d value=%dB GOMAXPROCS=%d maintenance_workers=%d",
+				opt.Keys, opt.Ops, opt.ValueSize, runtime.GOMAXPROCS(0),
+				core.DefaultMaintenanceWorkers(chameleonConfig(opt.Keys, opt.ValueSize).Shards)),
+			"speedup is wall(1 worker)/wall(n workers) at constant total ops, Flush barrier included;",
+			"stall_ms is total wall-clock puts spent in backpressure;",
+			"CI gates on the final row's speedup, not on absolute wall time",
+		},
+	}
+
+	var base time.Duration
+	for _, n := range WriteScaleWorkerCounts {
+		if n > opt.Threads {
+			break
+		}
+		wall, s, err := writeScaleRound(opt, n)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			base = wall
+		}
+		st := s.Stats()
+		if st.InlineMaintenance != 0 {
+			s.Close()
+			return nil, fmt.Errorf("writescale: %d maintenance runs executed inline on the put path", st.InlineMaintenance)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", wall.Milliseconds()),
+			fmt.Sprintf("%.2f", float64(opt.Ops)/float64(wall.Nanoseconds())*1000),
+			fmt.Sprintf("%.2f", float64(base)/float64(wall)),
+			fmt.Sprintf("%d", st.MemFreezes),
+			fmt.Sprintf("%d", st.PutSlowdowns+st.PutStalls),
+			fmt.Sprintf("%d", s.PutStallLatency().Sum()/1e6),
+		})
+		if n == WriteScaleWorkerCounts[len(WriteScaleWorkerCounts)-1] || n == opt.Threads {
+			attachMetrics(rep, s)
+		}
+		s.Close()
+	}
+	return []*Report{rep}, nil
+}
+
+// writeScaleRound opens a fresh async-maintenance store, preloads the
+// keyspace through one session, then times opt.Ops update puts split across n
+// writer goroutines, each ending with its session's Flush barrier.
+func writeScaleRound(opt Options, n int) (time.Duration, *core.Store, error) {
+	cfg := chameleonConfig(opt.Keys, opt.ValueSize)
+	cfg.MaintenanceWorkers = core.DefaultMaintenanceWorkers(cfg.Shards)
+	s, err := core.Open(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	val := make([]byte, opt.ValueSize)
+	loader := s.NewSession(simclock.New(0))
+	for i := int64(0); i < opt.Keys; i++ {
+		if err := loader.Put(ycsb.Key(i), val); err != nil {
+			s.Close()
+			return 0, nil, err
+		}
+	}
+	if err := loader.Flush(); err != nil {
+		s.Close()
+		return 0, nil, err
+	}
+	if err := releaseSession(loader); err != nil {
+		s.Close()
+		return 0, nil, err
+	}
+
+	var (
+		wg     sync.WaitGroup
+		firstE atomic.Value
+	)
+	per := opt.Ops / int64(n)
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			se := s.NewSession(simclock.New(0))
+			defer releaseSession(se)
+			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
+			for i := int64(0); i < per; i++ {
+				if err := se.Put(ycsb.Key(rng.Int63n(opt.Keys)), val); err != nil {
+					firstE.CompareAndSwap(nil, err)
+					return
+				}
+			}
+			if err := se.Flush(); err != nil {
+				firstE.CompareAndSwap(nil, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if e := firstE.Load(); e != nil {
+		s.Close()
+		return 0, nil, e.(error)
+	}
+	return wall, s, nil
+}
+
+// WriteScaleSpeedup extracts the top-end put-scaling speedup from a
+// writescale report — the number the CI regression gate compares against the
+// checked-in baseline.
+func WriteScaleSpeedup(rep *Report) (workers int, speedup float64, err error) {
+	if rep.ID != "writescale" || len(rep.Rows) == 0 {
+		return 0, 0, fmt.Errorf("bench: not a writescale report")
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if len(last) < 4 {
+		return 0, 0, fmt.Errorf("bench: malformed writescale row %v", last)
+	}
+	if _, err := fmt.Sscanf(last[0], "%d", &workers); err != nil {
+		return 0, 0, err
+	}
+	if _, err := fmt.Sscanf(last[3], "%f", &speedup); err != nil {
+		return 0, 0, err
+	}
+	return workers, speedup, nil
+}

@@ -17,12 +17,19 @@ import (
 // before/after numbers).
 
 func benchStore(b *testing.B, keys int) *Store {
+	return benchStoreWorkers(b, keys, 0)
+}
+
+// benchStoreWorkers builds the bench geometry with an optional maintenance
+// pool; workers=0 is the synchronous store the pre-pipeline benchmarks used.
+func benchStoreWorkers(b *testing.B, keys, workers int) *Store {
 	b.Helper()
 	cfg := TestConfig()
 	cfg.Shards = 16
 	cfg.MemTableSlots = 256
-	cfg.ArenaBytes = 256 << 20
-	cfg.LogBytes = 128 << 20
+	cfg.ArenaBytes = 512 << 20
+	cfg.LogBytes = 256 << 20
+	cfg.MaintenanceWorkers = workers
 	s, err := Open(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -85,6 +92,83 @@ func BenchmarkGetParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// putModes are the write-path configurations the parallel put benchmarks
+// compare: maintenance inline under the shard lock (sync) vs the background
+// pool (async). The async/sync ratio is the wall-clock win of the pipeline.
+var putModes = []struct {
+	name    string
+	workers func() int
+}{
+	{"sync", func() int { return 0 }},
+	{"async", func() int { return DefaultMaintenanceWorkers(16) }},
+}
+
+// BenchmarkPutParallel scales update puts across parallel sessions under
+// steady compaction debt: the keyspace is preloaded so every MemTable cycle
+// flushes into populated levels, and updates keep the cycles coming. In sync
+// mode each flush/merge runs inline under the shard lock, stalling every
+// other writer on that shard for its wall-clock duration; in async mode the
+// put freezes the table and moves on.
+func BenchmarkPutParallel(b *testing.B) {
+	const keys = 16384
+	for _, mode := range putModes {
+		b.Run(mode.name, func(b *testing.B) {
+			s := benchStoreWorkers(b, keys, mode.workers())
+			defer s.Close()
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				se := s.NewSession(simclock.New(0)).(*Session)
+				defer se.Release()
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					i := rng.Intn(keys)
+					if err := se.Put(stressKey(i), stressValue(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if w := mode.workers(); w > 0 {
+				if n := s.Stats().InlineMaintenance; n != 0 {
+					b.Fatalf("async mode ran %d maintenance jobs inline", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMixedWriteHeavy is a 1:1 get:put mix — the mixed-workload shape
+// whose put p99 the maintenance pipeline targets: reads are lock-free either
+// way, so any sync/async gap comes from writers no longer queueing behind a
+// neighbour's inline compaction.
+func BenchmarkMixedWriteHeavy(b *testing.B) {
+	const keys = 16384
+	for _, mode := range putModes {
+		b.Run(mode.name, func(b *testing.B) {
+			s := benchStoreWorkers(b, keys, mode.workers())
+			defer s.Close()
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				se := s.NewSession(simclock.New(0)).(*Session)
+				defer se.Release()
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					i := rng.Intn(keys)
+					if rng.Intn(2) == 0 {
+						if err := se.Put(stressKey(i), stressValue(i)); err != nil {
+							b.Fatal(err)
+						}
+					} else if _, _, err := se.Get(stressKey(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkMixedParallel is a 7:1 get:put mix across parallel sessions — the

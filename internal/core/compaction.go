@@ -61,6 +61,101 @@ func (sh *shard) flush(c *simclock.Clock) error {
 	return nil
 }
 
+// flushFrozen is the background-job variant of flush: it persists the oldest
+// frozen MemTable as an L0 table and mirrors it into the ABI, leaving the
+// live MemTable untouched (the put path already rotated it). A full L0 is
+// not cascaded inline — a separate compaction job is enqueued, so the shard
+// lock is released between the flush and the merge and puts can slip in.
+// Called with sh.mu held by a maintenance worker.
+func (sh *shard) flushFrozen(c *simclock.Clock) error {
+	fm := sh.frozen[0]
+	if fm.mem.Len() == 0 {
+		sh.frozen = sh.frozen[1:]
+		sh.publishView()
+		return nil
+	}
+	flushed := int64(fm.mem.Len())
+	if sh.abi != nil && float64(sh.abi.Len()+fm.mem.Len()) >= sh.store.cfg.ABIFullFraction*float64(sh.abi.Cap()) {
+		if err := sh.lastLevelCompaction(c); err != nil {
+			return err
+		}
+	}
+	sh.store.log.SyncAll(c)
+	table, err := hashtable.BuildPmemTable(c, sh.store.arena, sh.store.cfg.MemTableSlots, fm.mem.Iterate)
+	if err != nil {
+		return err
+	}
+	if sh.abi != nil {
+		// Mirror into the ABI. Version order holds because frozen tables are
+		// flushed oldest-first: everything newer than fm still sits in the
+		// MemTable or a younger frozen table, both probed before the ABI.
+		fm.mem.Iterate(func(s hashtable.Slot) bool {
+			probes, _ := sh.abi.Insert(s.Hash, s.Ref)
+			c.Advance(device.DRAMProbeCost(probes))
+			return true
+		})
+	}
+	sh.levels[0] = append(sh.levels[0], sh.wrapUpper(c, table))
+	if fm.maxLSN > sh.persistedMaxLSN {
+		sh.persistedMaxLSN = fm.maxLSN
+	}
+	// Pop-front keeps published views intact: a view's frozen slice is capped
+	// at its length, and surviving elements are never overwritten in place.
+	sh.frozen = sh.frozen[1:]
+	sh.publishView()
+	sh.store.stats.Flushes.Add(1)
+	sh.store.trace.Emit(c.Now(), obs.EvFlush, sh.id, flushed)
+	sh.persistManifest(c)
+	if len(sh.levels[0]) >= sh.store.cfg.Ratio {
+		sh.store.maint.enqueue(sh.id, maintCompact)
+	}
+	return nil
+}
+
+// spillFrozen is the background-job variant of spillToABI: the oldest frozen
+// MemTable moves into the ABI without persisting an L0 table (Write-Intensive
+// / Get-Protect operation), leaving the storage log as its entries' only
+// persistent copy. Called with sh.mu held by a maintenance worker.
+func (sh *shard) spillFrozen(c *simclock.Clock) error {
+	if sh.abi == nil {
+		return sh.flushFrozen(c)
+	}
+	fm := sh.frozen[0]
+	if fm.mem.Len() == 0 {
+		sh.frozen = sh.frozen[1:]
+		sh.publishView()
+		return nil
+	}
+	if float64(sh.abi.Len()+fm.mem.Len()) >= sh.store.cfg.ABIFullFraction*float64(sh.abi.Cap()) {
+		if sh.store.gpmActive.Load() && len(sh.dumped) < sh.store.cfg.GetProtect.MaxDumps {
+			if err := sh.dumpABI(c); err != nil {
+				return err
+			}
+		} else {
+			if err := sh.lastLevelCompaction(c); err != nil {
+				return err
+			}
+		}
+	}
+	if sh.spillMinLSN == 0 || (fm.minLSN != 0 && fm.minLSN < sh.spillMinLSN) {
+		sh.spillMinLSN = fm.minLSN
+	}
+	if fm.maxLSN > sh.spillMaxLSN {
+		sh.spillMaxLSN = fm.maxLSN
+	}
+	spilled := int64(fm.mem.Len())
+	fm.mem.Iterate(func(s hashtable.Slot) bool {
+		probes, _ := sh.abi.Insert(s.Hash, s.Ref)
+		c.Advance(device.DRAMProbeCost(probes))
+		return true
+	})
+	sh.frozen = sh.frozen[1:]
+	sh.publishView()
+	sh.store.stats.Spills.Add(1)
+	sh.store.trace.Emit(c.Now(), obs.EvSpill, sh.id, spilled)
+	return nil
+}
+
 // spillToABI is the Write-Intensive / Get-Protect path (Sections 2.3, 2.4):
 // the full MemTable moves into the ABI without persisting an L0 table, so
 // the only persistent copy of these entries is the storage log — the

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 )
 
 // CompactionMode selects how upper-level compactions cascade (Section 3.5 /
@@ -103,6 +104,30 @@ type Config struct {
 	// threshold ((min+max)/2), recreating the compaction bursts randomized
 	// load factors exist to prevent.
 	UniformLoadFactor bool
+
+	// MaintenanceWorkers sizes the background maintenance pool (Section 3.3
+	// pairs every put thread with a compaction thread; the pool is the
+	// store-level version of that pairing, bounded because a handful of
+	// concurrent writers already saturates Optane write bandwidth). With
+	// workers, a put that fills its MemTable freezes the table and enqueues
+	// the flush/spill/compaction as a background job instead of running the
+	// merge inline under the shard lock. Zero (the default) preserves the
+	// synchronous behaviour bit-for-bit, which the deterministic virtual-time
+	// experiments rely on. Use DefaultMaintenanceWorkers for a serving-shaped
+	// default.
+	MaintenanceWorkers int
+
+	// Write backpressure (only meaningful with MaintenanceWorkers > 0),
+	// RocksDB-style: a put first observes the shard's debt — frozen MemTables
+	// not yet flushed plus L0 tables not yet compacted — and is delayed
+	// (slowdown) or blocked (stall) when the pool is behind, so writers
+	// cannot outrun maintenance without bound. Zero values are defaulted by
+	// validate when workers are enabled.
+	SlowdownFrozenTables int   // frozen tables per shard that trigger the put delay
+	StallFrozenTables    int   // frozen tables per shard that block puts
+	SlowdownL0Tables     int   // L0 tables per shard that trigger the put delay
+	StallL0Tables        int   // L0 tables per shard that block puts
+	SlowdownDelayNs      int64 // wall-clock delay injected per put under slowdown
 
 	// TraceEvents is the capacity of the in-DRAM structured event trace ring
 	// (flushes, spills, compactions, GPM transitions, GC, crash/recovery).
@@ -250,10 +275,51 @@ func (c *Config) validate() error {
 			c.GetProtect.SampleEvery = 16
 		}
 	}
+	if c.MaintenanceWorkers < 0 {
+		return fmt.Errorf("core: MaintenanceWorkers must be >= 0, got %d", c.MaintenanceWorkers)
+	}
+	if c.MaintenanceWorkers > 0 {
+		if c.SlowdownFrozenTables <= 0 {
+			c.SlowdownFrozenTables = 4
+		}
+		if c.StallFrozenTables <= 0 {
+			c.StallFrozenTables = 2 * c.SlowdownFrozenTables
+		}
+		if c.SlowdownL0Tables <= 0 {
+			c.SlowdownL0Tables = 2 * c.Ratio
+		}
+		if c.StallL0Tables <= 0 {
+			c.StallL0Tables = 2 * c.SlowdownL0Tables
+		}
+		if c.SlowdownDelayNs <= 0 {
+			c.SlowdownDelayNs = 50_000
+		}
+		if c.StallFrozenTables < c.SlowdownFrozenTables || c.StallL0Tables < c.SlowdownL0Tables {
+			return fmt.Errorf("core: stall thresholds (%d frozen / %d L0) must not be below slowdown thresholds (%d / %d)",
+				c.StallFrozenTables, c.StallL0Tables, c.SlowdownFrozenTables, c.SlowdownL0Tables)
+		}
+	}
 	if c.ArenaBytes < 1<<20 || c.LogBytes < 1<<16 || c.LogBytes >= c.ArenaBytes {
 		return fmt.Errorf("core: invalid arena/log sizing (%d / %d)", c.ArenaBytes, c.LogBytes)
 	}
 	return nil
+}
+
+// DefaultMaintenanceWorkers returns the serving-shaped pool size for a shard
+// count: min(shards, GOMAXPROCS). More workers than cores cannot persist
+// concurrently anyway (the iMC-contention findings the pool bound mirrors),
+// and more workers than shards can never be busy at once because a shard's
+// jobs run sequentially. Deterministic harnesses should keep the config
+// default of zero (synchronous maintenance) instead.
+func DefaultMaintenanceWorkers(shards int) int {
+	n := runtime.GOMAXPROCS(0)
+	if shards < n {
+		n = shards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // ValidateConfig normalizes and validates a configuration in place (deriving

@@ -81,6 +81,26 @@ func TestCrashSweepWriteIntensive(t *testing.T) {
 	}), sweepWorkload())
 }
 
+// TestCrashSweepAsync runs the sweep with the background maintenance pool
+// enabled: flushes, spills, and compactions now race the script on worker
+// goroutines, so persist schedules are timing-dependent (AllowUntriggered)
+// and a crash can land mid-job with frozen MemTables queued. The durability
+// oracle is unchanged — concurrent maintenance moves entries between
+// structures but never changes the acknowledged key-value content. A stride
+// keeps the wall-clock cost in line with the synchronous sweeps (goroutine
+// scheduling makes each point slower than the deterministic runs).
+func TestCrashSweepAsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	wl := sweepWorkload()
+	wl.Stride = 3
+	wl.AllowUntriggered = true
+	storetest.RunCrashSweep(t, "ChameleonDB-Async", sweepOpen(func(c *Config) {
+		c.MaintenanceWorkers = 2
+	}), wl)
+}
+
 // TestCrashSoak layers randomized workloads over the fixed sweep script:
 // transient allocation-error tolerance plus one random torn crash point per
 // iteration.

@@ -103,16 +103,36 @@ func (s *Store) CompactLog(c *simclock.Clock, reclaimBytes int64) (int64, error)
 		return 0, err
 	}
 
+	// Relocation re-indexes through the MemTables, which may have frozen
+	// tables and enqueued flush jobs when the maintenance pool is active.
+	// Drain them before checkpointing so the occupancy checks below see
+	// settled shards, not a merge in flight.
+	if s.maint != nil {
+		if err := s.maint.drainAll(); err != nil {
+			return 0, fmt.Errorf("core: log GC drain: %w", err)
+		}
+	}
+
 	// Checkpoint: persist every MemTable (which also syncs all appenders)
 	// and re-persist manifests so no watermark references the doomed
 	// segments.
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		err := sh.flush(c)
+		var err error
+		// Frozen tables are older than the live MemTable and must persist
+		// first (L0 version order); normally the drain above has already
+		// emptied the list, but a flush job could legally have been dropped
+		// by a concurrent error latch.
+		for err == nil && len(sh.frozen) > 0 {
+			err = sh.flushFrozen(c)
+		}
+		if err == nil {
+			err = sh.flush(c)
+		}
 		if err == nil && sh.recoverLSN < target {
 			sh.persistManifest(c)
 		}
-		ok := sh.recoverLSN >= target || (sh.mem.Len() == 0 && sh.spillMinLSN == 0)
+		ok := sh.recoverLSN >= target || (sh.mem.Len() == 0 && len(sh.frozen) == 0 && sh.spillMinLSN == 0)
 		sh.mu.Unlock()
 		if err != nil {
 			return 0, fmt.Errorf("core: log GC checkpoint: %w", err)
@@ -120,10 +140,17 @@ func (s *Store) CompactLog(c *simclock.Clock, reclaimBytes int64) (int64, error)
 		if !ok {
 			// A spilled ABI (Write-Intensive / Get-Protect operation) still
 			// depends on the region: force the last-level compaction that
-			// persists it.
+			// persists it. The occupancy is re-checked under the re-acquired
+			// lock — a queued maintenance job may already have merged the
+			// spill in the window since the checkpoint released the shard, so
+			// the merge must be idempotent: skip it when the dependency is
+			// gone and only refresh the watermark.
 			sh.mu.Lock()
-			err = sh.lastLevelCompaction(c)
-			if err == nil {
+			err = nil
+			if sh.spillMinLSN != 0 {
+				err = sh.lastLevelCompaction(c)
+			}
+			if err == nil && sh.recoverLSN < target {
 				sh.persistManifest(c)
 			}
 			sh.mu.Unlock()

@@ -80,6 +80,14 @@ func (sh *shard) persistManifest(c *simclock.Clock) {
 	if sh.memMinLSN != 0 && sh.memMinLSN < w {
 		w = sh.memMinLSN
 	}
+	// Frozen MemTables are volatile until their flush job runs, so their
+	// entries must stay inside the replay window exactly like the live
+	// MemTable's.
+	for _, fm := range sh.frozen {
+		if fm.minLSN != 0 && fm.minLSN < w {
+			w = fm.minLSN
+		}
+	}
 	if sh.spillMinLSN != 0 && sh.spillMinLSN < w {
 		w = sh.spillMinLSN
 	}

@@ -34,6 +34,15 @@ func (s *Store) buildRegistry() {
 	r.CounterFunc("gets_upper", st.GetUpper.Load)
 	r.CounterFunc("gets_last", st.GetLast.Load)
 	r.CounterFunc("gets_miss", st.GetMiss.Load)
+	r.CounterFunc("mem_freezes", st.MemFreezes.Load)
+	r.CounterFunc("put_slowdowns", st.PutSlowdowns.Load)
+	r.CounterFunc("put_stalls", st.PutStalls.Load)
+	r.CounterFunc("maint_jobs_flush", st.MaintJobsFlush.Load)
+	r.CounterFunc("maint_jobs_spill", st.MaintJobsSpill.Load)
+	r.CounterFunc("maint_jobs_compact", st.MaintJobsCompact.Load)
+	r.CounterFunc("maint_jobs_last_level", st.MaintJobsLastLevel.Load)
+	r.CounterFunc("maint_jobs_skipped", st.MaintJobsSkipped.Load)
+	r.CounterFunc("inline_maintenance", st.InlineMaintenance.Load)
 	obs.RegisterDevice(r, s.dev)
 	obs.RegisterLog(r, s.log)
 	r.GaugeFunc("gpm_active", func() int64 {
@@ -49,6 +58,23 @@ func (s *Store) buildRegistry() {
 		return 0
 	})
 	r.GaugeFunc("dram_footprint_bytes", s.DRAMFootprint)
+	// Maintenance-pool gauges read the pool's atomic mirrors; with
+	// MaintenanceWorkers == 0 they are constant zero (the pool is nil — but
+	// buildRegistry runs before the pool exists, so the closures re-check).
+	r.GaugeFunc("maintenance_queue_depth", func() int64 {
+		if s.maint == nil {
+			return 0
+		}
+		return s.maint.queued.Load()
+	})
+	r.GaugeFunc("maintenance_workers_busy", func() int64 {
+		if s.maint == nil {
+			return 0
+		}
+		return s.maint.busy.Load()
+	})
+	r.Histogram("put_stall_ns", &s.lat.putStall)
+	r.Histogram("job_duration_ns", &s.lat.jobDur)
 	r.Histogram("put_latency_ns", &s.lat.put)
 	for i := range s.lat.get {
 		r.Histogram("get_latency_ns_"+getSource(i).String(), &s.lat.get[i])
@@ -65,6 +91,15 @@ func (s *Store) Trace() *obs.Trace { return s.trace }
 // PutLatency returns the live put-latency histogram (deletes included:
 // tombstones take the same write path).
 func (s *Store) PutLatency() *histogram.Histogram { return &s.lat.put }
+
+// PutStallLatency returns the wall-clock histogram of time puts spent in
+// backpressure (slowdown sleeps and stall waits). Empty when
+// MaintenanceWorkers is 0.
+func (s *Store) PutStallLatency() *histogram.Histogram { return &s.lat.putStall }
+
+// JobDuration returns the wall-clock histogram of background maintenance job
+// durations. Empty when MaintenanceWorkers is 0.
+func (s *Store) JobDuration() *histogram.Histogram { return &s.lat.jobDur }
 
 // GetLatencyBySource returns the live get-latency histograms keyed by the
 // structure that resolved the get ("memtable", "abi", "dumped", "upper",

@@ -140,6 +140,12 @@ func (s *Store) Recover(c *simclock.Clock) error {
 	}
 	s.lastRecoverFullNs = c.Now() - start
 	s.trace.Emit(c.Now(), obs.EvRecoverFull, -1, s.lastRecoverFullNs)
+	// Reopen the maintenance pool last: replay above ran synchronously
+	// (crashed was still set when entries were inserted), and the rebuild
+	// loops must not race background merges.
+	if s.maint != nil {
+		s.maint.resume()
+	}
 	return nil
 }
 

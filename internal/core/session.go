@@ -28,6 +28,12 @@ type Session struct {
 	clock *simclock.Clock
 	ap    *wlog.Appender
 	slot  *readerSlot
+
+	// dirty tracks the shards this session has written since its last Flush.
+	// With maintenance workers enabled, Flush drains exactly these shards'
+	// pending jobs — the barrier that preserves the server's group-commit
+	// durable-ack contract. Lazily allocated; nil while the pool is off.
+	dirty map[int]struct{}
 }
 
 var _ kvstore.Session = (*Session)(nil)
@@ -62,6 +68,17 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 	c.Advance(int64(float64(wlog.EntrySize(len(key), len(value))) * device.CostDRAMSeqPerByte))
 
 	sh := se.store.shardFor(h)
+	if se.store.maintActive() {
+		// Backpressure first, outside the shard lock: a put never blocks
+		// other writers while it waits for the pool to work off debt.
+		if err := se.throttle(sh); err != nil {
+			return err
+		}
+		if se.dirty == nil {
+			se.dirty = make(map[int]struct{})
+		}
+		se.dirty[sh.id] = struct{}{}
+	}
 	sh.mu.Lock()
 	opStart := c.Now()
 	sh.asyncNs = 0
@@ -176,7 +193,24 @@ func (se *Session) Flush() error {
 	// seal a session's acknowledged batch even if the store was marked closed
 	// while the connection was unwinding. Sealing only persists to the heap
 	// arena, which outlives Close.
-	return se.ap.Flush(se.clock)
+	if err := se.ap.Flush(se.clock); err != nil {
+		return err
+	}
+	// Barrier: drain the maintenance jobs of every shard this session has
+	// dirtied, so the frozen MemTables holding its acknowledged writes are
+	// persisted (or spilled with their log entries synced) before Flush
+	// returns. Other sessions' shards are not waited on.
+	if se.store.maint != nil && len(se.dirty) > 0 {
+		ids := make([]int, 0, len(se.dirty))
+		for id := range se.dirty {
+			ids = append(ids, id)
+		}
+		if err := se.store.maint.drain(ids); err != nil {
+			return err
+		}
+		clear(se.dirty)
+	}
+	return nil
 }
 
 // Release detaches the session's appender and reader slot so a retired

@@ -31,6 +31,13 @@ type shard struct {
 	last   *ptable     // nil until first last-level compaction
 	dumped []*ptable   // GPM ABI dumps, oldest first
 
+	// frozen holds MemTables rotated out by the async put path, oldest
+	// first, each awaiting a background flush/spill job. Always empty when
+	// MaintenanceWorkers == 0 (the synchronous path flushes in place) and
+	// after a drain barrier. Purely volatile: a crash wipes it, and recovery
+	// replays its entries from the log like any other MemTable content.
+	frozen []*frozenMem
+
 	// view is the atomically published read snapshot of the fields above.
 	// The lock-free get path loads it once and probes only through it;
 	// every structural mutation (flush, spill, dump, compaction, wipe,
@@ -85,9 +92,22 @@ type shard struct {
 type shardView struct {
 	mem    *hashtable.Mem
 	abi    *hashtable.Mem
+	frozen []*frozenMem // probed newest-first between mem and abi
 	levels [][]*ptable
 	last   *ptable
 	dumped []*ptable
+}
+
+// frozenMem is a MemTable the async put path rotated out, with the LSN range
+// its entries cover: minLSN holds the recovery watermark back until the
+// table's background flush persists it, maxLSN advances persistedMaxLSN when
+// it does. The table itself is immutable once frozen (only the single writer
+// under sh.mu ever inserted into it, and it was rotated away under the same
+// lock), so readers probe it without seqlock retries ever failing.
+type frozenMem struct {
+	mem    *hashtable.Mem
+	minLSN int64
+	maxLSN int64
 }
 
 // publishView snapshots the shard's current structure into a fresh view and
@@ -100,6 +120,9 @@ func (sh *shard) publishView() {
 		mem:  sh.mem,
 		abi:  sh.abi,
 		last: sh.last,
+	}
+	if n := len(sh.frozen); n > 0 {
+		v.frozen = sh.frozen[:n:n]
 	}
 	if n := len(sh.dumped); n > 0 {
 		v.dumped = sh.dumped[:n:n]
@@ -173,6 +196,7 @@ func (sh *shard) volatileWipe() {
 	}
 	sh.last = nil
 	sh.dumped = nil
+	sh.frozen = nil
 	sh.memMinLSN = 0
 	sh.spillMinLSN = 0
 	sh.memMaxLSN = 0
@@ -223,15 +247,44 @@ func (sh *shard) insertMem(c *simclock.Clock, h uint64, ref uint64) error {
 	return nil
 }
 
-// memTableFull handles a full MemTable according to the current mode:
+// memTableFull handles a full MemTable. With an active maintenance pool the
+// table is frozen and its flush/spill enqueued as a background job — the put
+// path executes no merge. Otherwise (MaintenanceWorkers == 0, or recovery
+// replay) the synchronous paths run inline, according to the current mode:
 //   - Get-Protect Mode or Write-Intensive Mode: spill into the ABI without
 //     persisting an L0 table (Sections 2.3, 2.4).
 //   - Normal: flush to L0 (Figure 7) and run compactions as needed.
 func (sh *shard) memTableFull(c *simclock.Clock) error {
+	if sh.store.maintActive() {
+		sh.freezeMem()
+		return nil
+	}
+	// Tripwire for the async acceptance criterion: with a live pool this
+	// branch is unreachable (maintActive routed to freezeMem above), so the
+	// counter stays zero unless a regression re-inlines maintenance.
+	// Synchronous stores and recovery replay do not count.
+	if sh.store.maint != nil && !sh.store.crashed.Load() {
+		sh.store.stats.InlineMaintenance.Add(1)
+	}
 	if sh.store.writeIntensive.Load() || sh.store.gpmActive.Load() {
 		return sh.async(c, func() error { return sh.spillToABI(c) })
 	}
 	return sh.async(c, func() error { return sh.flush(c) })
+}
+
+// freezeMem rotates the full MemTable into the frozen list, publishes the
+// new view (an empty MemTable in front of the frozen one — readers see every
+// entry exactly where version order expects it), and enqueues the background
+// job that will flush or spill it. Called with sh.mu held.
+func (sh *shard) freezeMem() {
+	if sh.mem.Len() == 0 {
+		return
+	}
+	sh.frozen = append(sh.frozen, &frozenMem{mem: sh.mem, minLSN: sh.memMinLSN, maxLSN: sh.memMaxLSN})
+	sh.rotateMem()
+	sh.publishView()
+	sh.store.stats.MemFreezes.Add(1)
+	sh.store.maint.enqueue(sh.id, maintFlush)
 }
 
 // lookup performs the index lookup against the shard's published view,
@@ -248,6 +301,16 @@ func (sh *shard) lookup(c *simclock.Clock, h uint64) (hashtable.Slot, getSource,
 	c.Advance(device.DRAMProbeCost(probes))
 	if ok {
 		return hashtable.Slot{Hash: h, Ref: ref}, srcMemTable, true
+	}
+	// 1b. Frozen MemTables awaiting background flush, newest first: they sit
+	// between the MemTable and the ABI in version order, and their hits count
+	// as MemTable hits (the structure is the same table, merely rotated out).
+	for i := len(v.frozen) - 1; i >= 0; i-- {
+		ref, probes, ok = v.frozen[i].mem.Get(h)
+		c.Advance(device.DRAMProbeCost(probes))
+		if ok {
+			return hashtable.Slot{Hash: h, Ref: ref}, srcMemTable, true
+		}
 	}
 	// 2. ABI.
 	if v.abi != nil {

@@ -35,6 +35,20 @@ type Stats struct {
 	GetUpper    atomic.Int64
 	GetLast     atomic.Int64
 	GetMiss     atomic.Int64
+
+	// Asynchronous maintenance pipeline: MemTable freezes handed to the
+	// worker pool, backpressure events on the put path, per-kind job counts,
+	// and maintenance that still ran inline (always zero while the pool is
+	// active — the writescale acceptance assertion depends on that).
+	MemFreezes         atomic.Int64
+	PutSlowdowns       atomic.Int64
+	PutStalls          atomic.Int64
+	MaintJobsFlush     atomic.Int64
+	MaintJobsSpill     atomic.Int64
+	MaintJobsCompact   atomic.Int64
+	MaintJobsLastLevel atomic.Int64
+	MaintJobsSkipped   atomic.Int64
+	InlineMaintenance  atomic.Int64
 }
 
 func (st *Stats) countGet(src getSource) {
@@ -62,6 +76,12 @@ func (st *Stats) countGet(src getSource) {
 type latencies struct {
 	put histogram.Histogram
 	get [numGetSources]histogram.Histogram
+
+	// Wall-clock histograms for the maintenance pipeline: time puts spend
+	// blocked in backpressure, and background job durations. These are real
+	// nanoseconds, not virtual — the pipeline's win is wall-clock.
+	putStall histogram.Histogram
+	jobDur   histogram.Histogram
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -88,6 +108,16 @@ type StatsSnapshot struct {
 	GetUpper         int64
 	GetLast          int64
 	GetMiss          int64
+
+	MemFreezes         int64
+	PutSlowdowns       int64
+	PutStalls          int64
+	MaintJobsFlush     int64
+	MaintJobsSpill     int64
+	MaintJobsCompact   int64
+	MaintJobsLastLevel int64
+	MaintJobsSkipped   int64
+	InlineMaintenance  int64
 }
 
 // Stats returns a snapshot of the operation counters.
@@ -115,6 +145,16 @@ func (s *Store) Stats() StatsSnapshot {
 		GetUpper:         s.stats.GetUpper.Load(),
 		GetLast:          s.stats.GetLast.Load(),
 		GetMiss:          s.stats.GetMiss.Load(),
+
+		MemFreezes:         s.stats.MemFreezes.Load(),
+		PutSlowdowns:       s.stats.PutSlowdowns.Load(),
+		PutStalls:          s.stats.PutStalls.Load(),
+		MaintJobsFlush:     s.stats.MaintJobsFlush.Load(),
+		MaintJobsSpill:     s.stats.MaintJobsSpill.Load(),
+		MaintJobsCompact:   s.stats.MaintJobsCompact.Load(),
+		MaintJobsLastLevel: s.stats.MaintJobsLastLevel.Load(),
+		MaintJobsSkipped:   s.stats.MaintJobsSkipped.Load(),
+		InlineMaintenance:  s.stats.InlineMaintenance.Load(),
 	}
 }
 

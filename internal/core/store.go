@@ -46,6 +46,11 @@ type Store struct {
 	reg   *obs.Registry
 	trace *obs.Trace
 
+	// maint is the background maintenance pool (nil when
+	// Config.MaintenanceWorkers == 0, which preserves the fully synchronous
+	// put path bit-for-bit for the virtual-time figure experiments).
+	maint *maintPool
+
 	crashed atomic.Bool
 
 	// closed is set (permanently) by Close. Session operations check it the
@@ -110,6 +115,9 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 		}
 		s.shards[i] = sh
 	}
+	if cfg.MaintenanceWorkers > 0 {
+		s.maint = newMaintPool(s, cfg.MaintenanceWorkers)
+	}
 	return s, nil
 }
 
@@ -165,6 +173,9 @@ func (s *Store) DRAMFootprint() int64 {
 	for _, sh := range s.shards {
 		v := sh.view.Load()
 		total += v.mem.DRAMFootprint()
+		for _, fm := range v.frozen {
+			total += fm.mem.DRAMFootprint()
+		}
 		if v.abi != nil {
 			total += v.abi.DRAMFootprint()
 		}
@@ -189,6 +200,13 @@ func (s *Store) DRAMFootprint() int64 {
 // Crash implements kvstore.Store: power loss. All sessions must be quiesced.
 func (s *Store) Crash() {
 	s.crashed.Store(true)
+	// Quiesce the maintenance pool before touching shared state: workers
+	// mid-job stop at their next persist (the arena drops modelled writes
+	// after the failure instant), and pause waits for them to park so the
+	// wipe below does not race a merge.
+	if s.maint != nil {
+		s.maint.pause()
+	}
 	s.trace.Emit(0, obs.EvCrash, -1, 0)
 	// Pending epoch retirements die with the power: their arena space is
 	// reclaimed by the allocator's conservative post-crash rebuild, not by
@@ -222,6 +240,12 @@ func (s *Store) Crash() {
 // already flushed everything it acknowledged.
 func (s *Store) Close() error {
 	s.closed.Store(true)
+	// Stop the maintenance workers (idempotent). Queued jobs are abandoned:
+	// durability of acknowledged writes is the session owner's contract, and
+	// a session that called Flush has already drained its shards.
+	if s.maint != nil {
+		s.maint.stop()
+	}
 	return nil
 }
 

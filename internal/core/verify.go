@@ -16,9 +16,24 @@ func (s *Store) FlushAll(c *simclock.Clock) error {
 	if s.crashed.Load() {
 		return ErrCrashed
 	}
+	// Settle the background pipeline first: flushing the live MemTable while
+	// an older frozen table is still queued would persist L0 tables out of
+	// version order.
+	if s.maint != nil {
+		if err := s.maint.drainAll(); err != nil {
+			return err
+		}
+	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		err := sh.async(c, func() error { return sh.flush(c) })
+		err := sh.async(c, func() error {
+			for len(sh.frozen) > 0 {
+				if err := sh.flushFrozen(c); err != nil {
+					return err
+				}
+			}
+			return sh.flush(c)
+		})
 		sh.mu.Unlock()
 		if err != nil {
 			return err
@@ -40,6 +55,13 @@ func (s *Store) DumpABIs(c *simclock.Clock) error {
 	}
 	if s.cfg.DisableABI {
 		return nil
+	}
+	// Same settling barrier as FlushAll: a dump taken mid-spill would
+	// persist an ABI whose log-only entries a queued job is about to move.
+	if s.maint != nil {
+		if err := s.maint.drainAll(); err != nil {
+			return err
+		}
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -114,6 +136,9 @@ func (sh *shard) verifyLocked(c *simclock.Clock) error {
 		}
 	}
 	sh.mem.Iterate(collect)
+	for _, fm := range sh.frozen {
+		fm.mem.Iterate(collect)
+	}
 	if sh.abi != nil {
 		sh.abi.Iterate(collect)
 	}

@@ -45,6 +45,33 @@ func (s *Server) infoText(section string) []byte {
 		b = fmt.Appendf(b, "dram_footprint_bytes:%d\r\n", s.store.DRAMFootprint())
 		b = append(b, "\r\n"...)
 	}
+	if want("maintenance") {
+		// The engine's background maintenance pipeline, read from its metrics
+		// registry so this stays store-agnostic: a store without the async
+		// pipeline simply reports zeros (or no section when it has no
+		// registry at all).
+		if p, ok := s.store.(obs.Provider); ok && p.Registry() != nil {
+			snap := p.Registry().Snapshot()
+			b = append(b, "# Maintenance\r\n"...)
+			b = fmt.Appendf(b, "maintenance_queue_depth:%d\r\n", snap.Gauges["maintenance_queue_depth"])
+			b = fmt.Appendf(b, "maintenance_workers_busy:%d\r\n", snap.Gauges["maintenance_workers_busy"])
+			b = fmt.Appendf(b, "mem_freezes:%d\r\n", snap.Counters["mem_freezes"])
+			b = fmt.Appendf(b, "put_slowdowns:%d\r\n", snap.Counters["put_slowdowns"])
+			b = fmt.Appendf(b, "put_stalls:%d\r\n", snap.Counters["put_stalls"])
+			b = fmt.Appendf(b, "maint_jobs_flush:%d\r\n", snap.Counters["maint_jobs_flush"])
+			b = fmt.Appendf(b, "maint_jobs_spill:%d\r\n", snap.Counters["maint_jobs_spill"])
+			b = fmt.Appendf(b, "maint_jobs_compact:%d\r\n", snap.Counters["maint_jobs_compact"])
+			b = fmt.Appendf(b, "maint_jobs_last_level:%d\r\n", snap.Counters["maint_jobs_last_level"])
+			b = fmt.Appendf(b, "maint_jobs_skipped:%d\r\n", snap.Counters["maint_jobs_skipped"])
+			if h, ok := snap.Histograms["put_stall_ns"]; ok {
+				b = fmt.Appendf(b, "put_stall_ns:count=%d,p50=%d,p99=%d,max=%d\r\n", h.Count, h.P50, h.P99, h.Max)
+			}
+			if h, ok := snap.Histograms["job_duration_ns"]; ok {
+				b = fmt.Appendf(b, "job_duration_ns:count=%d,p50=%d,p99=%d,max=%d\r\n", h.Count, h.P50, h.P99, h.Max)
+			}
+			b = append(b, "\r\n"...)
+		}
+	}
 	if want("commandstats") {
 		b = append(b, "# Commandstats\r\n"...)
 		for k := cmdKind(0); k < numCmdKinds; k++ {

@@ -63,6 +63,15 @@ type SweepConfig struct {
 	// every persist is also exercised as a torn write.
 	Tear bool
 
+	// AllowUntriggered tolerates a crash-point run whose script completes
+	// before the plan fires. With background maintenance workers the persist
+	// schedule is timing-dependent, so a point counted in the clean run may
+	// never be reached in a replay; the run then crashes at end-of-script
+	// instead — still a legal volatile-loss check — rather than erroring.
+	// Leave false for synchronous stores, where a missed point means the
+	// persist count is not deterministic (a bug the sweep must catch).
+	AllowUntriggered bool
+
 	// Logf receives progress lines (pass t.Logf); nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -406,7 +415,7 @@ func runCrashPoint(newStore NewStoreFunc, script []scriptOp, cfg SweepConfig, po
 	if err != nil {
 		return err
 	}
-	if !plan.Triggered() {
+	if !plan.Triggered() && !cfg.AllowUntriggered {
 		return fmt.Errorf("script completed with only %d persists — persist count is not deterministic", plan.Persists())
 	}
 
