@@ -25,6 +25,7 @@ import (
 	"chameleondb/internal/core"
 	"chameleondb/internal/obs"
 	"chameleondb/internal/server"
+	"chameleondb/internal/simclock"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 		readTO      = flag.Duration("read-timeout", 5*time.Minute, "idle connection timeout (<0: none)")
 		writeTO     = flag.Duration("write-timeout", time.Minute, "per-write socket deadline (<0: none)")
 		maintWork   = flag.Int("maintenance-workers", -1, "background maintenance workers (0: run flushes/compactions inline on the put path; <0: min(shards, GOMAXPROCS))")
+		backend     = flag.String("backend", "sim", "persistence backend: sim (in-memory simulated pmem) or file (fsync-backed segment files in -dir)")
+		dir         = flag.String("dir", "", "data directory for -backend=file")
 	)
 	flag.Parse()
 
@@ -54,7 +57,32 @@ func main() {
 	} else {
 		cfg.MaintenanceWorkers = *maintWork
 	}
-	st, err := core.Open(cfg)
+	var st *core.Store
+	var err error
+	switch *backend {
+	case "sim":
+		st, err = core.Open(cfg)
+	case "file":
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "-backend=file requires -dir")
+			os.Exit(2)
+		}
+		var existing bool
+		st, existing, err = core.OpenFile(cfg, *dir)
+		if err == nil && existing {
+			// Reattach is a restart: replay the log before serving, so every
+			// previously acknowledged write is readable from the first GET.
+			start := time.Now()
+			if err := st.Recover(simclock.New(0)); err != nil {
+				fmt.Fprintln(os.Stderr, "recover:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recovered %s in %s\n", *dir, time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want sim or file)\n", *backend)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open store:", err)
 		os.Exit(1)
@@ -75,8 +103,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("chameleon-server listening on %s (shards=%d arena=%dMB log=%dMB maintenance-workers=%d)\n",
-		srv.Addr(), *shards, *arenaMB, *logMB, cfg.MaintenanceWorkers)
+	fmt.Printf("chameleon-server listening on %s (backend=%s shards=%d arena=%dMB log=%dMB maintenance-workers=%d)\n",
+		srv.Addr(), *backend, *shards, *arenaMB, *logMB, cfg.MaintenanceWorkers)
 
 	if *statsAddr != "" {
 		go func() {

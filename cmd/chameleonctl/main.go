@@ -44,8 +44,10 @@ func crashSweepCmd(args []string) {
 		ops    = fs.Int("ops", 1500, "scripted operations")
 		keys   = fs.Int("keys", 96, "key-space size")
 		stride = fs.Int("stride", 1, "test every stride-th crash point")
-		tear   = fs.Bool("tear", true, "also replay each point with torn persists")
-		maint  = fs.Int("maintenance-workers", 0, "background maintenance workers (0: inline maintenance, fully deterministic sweep)")
+		tear    = fs.Bool("tear", true, "also replay each point with torn persists")
+		maint   = fs.Int("maintenance-workers", 0, "background maintenance workers (0: inline maintenance, fully deterministic sweep)")
+		backend = fs.String("backend", "sim", "persistence backend: sim, or file (one fresh directory per crash point, every Recover a real cold reopen)")
+		dir     = fs.String("dir", "", "parent directory for -backend=file sweep stores (default: a temp dir, removed on success)")
 	)
 	fs.Parse(args)
 
@@ -68,9 +70,49 @@ func crashSweepCmd(args []string) {
 		os.Exit(2)
 	}
 
+	newStore := func() (kvstore.Store, error) { return core.Open(cfg) }
+	switch *backend {
+	case "sim":
+	case "file":
+		base := *dir
+		if base == "" {
+			tmp, err := os.MkdirTemp("", "chameleon-sweep-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crashsweep:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(tmp)
+			base = tmp
+		}
+		newStore = func() (kvstore.Store, error) {
+			d, err := os.MkdirTemp(base, "point-")
+			if err != nil {
+				return nil, err
+			}
+			s, _, err := core.OpenFile(cfg, d)
+			if err != nil {
+				return nil, err
+			}
+			return storetest.NewReopening(s, func() (kvstore.Store, error) {
+				s, existing, err := core.OpenFile(cfg, d)
+				if err != nil {
+					return nil, err
+				}
+				if !existing {
+					s.Close()
+					return nil, fmt.Errorf("reopen of %s found no durable state", d)
+				}
+				return s, nil
+			}), nil
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want sim or file)\n", *backend)
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	res, err := storetest.CrashSweep(
-		func() (kvstore.Store, error) { return core.Open(cfg) },
+		newStore,
 		storetest.SweepConfig{
 			Seed:          *seed,
 			Ops:           *ops,

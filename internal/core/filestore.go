@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"chameleondb/internal/device"
+	"chameleondb/internal/device/filedev"
+	"chameleondb/internal/pmem"
+	"chameleondb/internal/wlog"
+)
+
+// OpenFile opens a ChameleonDB whose durable state lives in a real directory
+// (the `-backend=file` mode) instead of the simulated medium. The device
+// timing model still runs — stats and virtual-time accounting are identical —
+// but every persist is additionally written through to segment files in dir
+// and fsync'd, so the store survives a process restart, SIGKILL included.
+//
+// The returned bool reports whether dir held existing state. A fresh
+// directory is initialized and the store is immediately usable. An existing
+// directory is reattached cold — durable images loaded, allocator and log
+// directory restored from the backend's host-metadata record — and the store
+// comes back in the crashed state: the caller must run Recover (with a
+// clock) before opening sessions, exactly as after an in-process Crash.
+func OpenFile(cfg Config, dir string) (*Store, bool, error) {
+	return openFile(cfg, dir, false)
+}
+
+// OpenFileUnsafe is OpenFile with the backend's directory-entry fsyncs
+// disabled. Test-only: the dir-sync regression tests use it to model the
+// file loss an unsynced directory entry suffers at power failure.
+func OpenFileUnsafe(cfg Config, dir string) (*Store, bool, error) {
+	return openFile(cfg, dir, true)
+}
+
+func openFile(cfg Config, dir string, disableDirSync bool) (*Store, bool, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, false, err
+	}
+	dev := device.New(device.OptanePmem)
+	med, err := filedev.Open(filedev.Options{
+		Dir:            dir,
+		Capacity:       cfg.ArenaBytes,
+		AccessUnit:     dev.Profile().AccessUnit,
+		MetaSlotBytes:  hostStateMax(cfg),
+		DisableDirSync: disableDirSync,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	arena := pmem.NewArenaOn(dev, cfg.ArenaBytes, med)
+
+	if !med.Existing() {
+		s, err := openOnArena(cfg, dev, arena)
+		if err != nil {
+			med.Close()
+			return nil, false, err
+		}
+		// Hook first, initial record second: the record must exist before any
+		// acknowledgement, and every segment-map change after this point
+		// refreshes it before the reservation can carry data.
+		s.log.SetMetaHook(s.logMetaHook)
+		s.persistHostMeta()
+		if err := arena.MediumErr(); err != nil {
+			s.Close()
+			return nil, false, err
+		}
+		return s, false, nil
+	}
+
+	s, err := attachStore(cfg, dev, arena, med)
+	if err != nil {
+		med.Close()
+		return nil, false, err
+	}
+	return s, true, nil
+}
+
+// attachStore rebuilds a Store over the durable state in med: the host
+// metadata record locates the log's segment directory and the shard
+// manifests; everything else is recovered from the arena image by Recover.
+func attachStore(cfg Config, dev *device.Device, arena *pmem.Arena, med *filedev.Dev) (*Store, error) {
+	hs, err := decodeHostState(med.Meta())
+	if err != nil {
+		return nil, err
+	}
+	if hs.fp != fingerprintOf(cfg) {
+		return nil, fmt.Errorf("core: directory %s was created with a different geometry (%+v, want %+v)",
+			med.Dir(), hs.fp, fingerprintOf(cfg))
+	}
+	slot := (manifestHeader + manifestPayloadMax(cfg) + 255) / 256 * 256
+	if hs.ManifestSlotBytes != slot {
+		return nil, fmt.Errorf("core: host state manifest slot %d bytes, config needs %d", hs.ManifestSlotBytes, slot)
+	}
+	for _, off := range hs.ManifestOffs {
+		if off+2*slot > cfg.ArenaBytes {
+			return nil, fmt.Errorf("core: host state manifest at %d outside arena", off)
+		}
+	}
+	if err := arena.LoadDurable(med.LoadInto); err != nil {
+		return nil, err
+	}
+	// The allocator restarts at the persisted mark with an empty free list —
+	// the same conservative rebuild an in-process crash performs. Manifest
+	// decode raises the floor past any table the mark trails.
+	arena.RestoreAllocator(hs.ArenaNext)
+
+	log, err := wlog.New(arena, cfg.LogBytes)
+	if err != nil {
+		return nil, err
+	}
+	log.RestoreSegments(hs.LogHead, hs.LogNext, hs.Segs)
+	s := newStoreShell(cfg, dev, arena, log)
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = attachShard(s, i, manifestSlots{off: hs.ManifestOffs[i], slotBytes: slot})
+		arena.ReserveFloor(hs.ManifestOffs[i] + 2*slot)
+	}
+	if cfg.MaintenanceWorkers > 0 {
+		s.maint = newMaintPool(s, cfg.MaintenanceWorkers)
+	}
+	// The store reattaches in the crashed state: sessions are rejected and
+	// maintenance stays synchronous until Recover replays the log and clears
+	// the flag — a restart is a crash whose volatile half is a new process.
+	s.crashed.Store(true)
+	s.log.SetMetaHook(s.logMetaHook)
+	return s, nil
+}

@@ -182,6 +182,12 @@ func (sh *shard) decodeManifest(b []byte) error {
 		if err != nil {
 			return nil, err
 		}
+		// On a file-backed reattach the restored allocator mark was persisted
+		// at log-segment granularity and can trail table allocations this
+		// manifest references; raise it past every referenced region so fresh
+		// allocations cannot land on recovered tables. No-op after an
+		// in-process crash (the mark never went backwards).
+		sh.store.arena.ReserveFloor(int64(off) + int64(capSlots)*hashtable.SlotSize)
 		// Accelerators (bloom filters, pinned copies) are volatile; the
 		// recovery path rebuilds them after replay.
 		return &ptable{t: t}, nil

@@ -166,6 +166,29 @@ func (sh *shard) async(c *simclock.Clock, fn func() error) error {
 }
 
 func newShard(s *Store, id int, boot *simclock.Clock) (*shard, error) {
+	sh := bareShard(s, id)
+	if err := sh.manifestAlloc(); err != nil {
+		return nil, err
+	}
+	sh.persistManifest(boot)
+	sh.publishView()
+	return sh, nil
+}
+
+// attachShard builds a shard over existing durable state: the manifest slots
+// were allocated by a previous incarnation of the process (their location
+// comes from the backend's host-metadata record), and nothing is persisted at
+// boot — the durable manifests are the recovery input, not output. The shard
+// serves nothing until Recover runs readManifest and replay.
+func attachShard(s *Store, id int, slots manifestSlots) *shard {
+	sh := bareShard(s, id)
+	sh.manifest = slots
+	sh.publishView()
+	return sh
+}
+
+// bareShard builds the volatile shell every shard starts from.
+func bareShard(s *Store, id int) *shard {
 	sh := &shard{
 		store:       s,
 		id:          id,
@@ -177,12 +200,7 @@ func newShard(s *Store, id int, boot *simclock.Clock) (*shard, error) {
 	if !s.cfg.DisableABI {
 		sh.abi = hashtable.NewMem(s.cfg.ABISlots)
 	}
-	if err := sh.manifestAlloc(); err != nil {
-		return nil, err
-	}
-	sh.persistManifest(boot)
-	sh.publishView()
-	return sh, nil
+	return sh
 }
 
 // volatileWipe models the loss of DRAM state at a crash.

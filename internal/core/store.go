@@ -84,11 +84,37 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	arena := pmem.NewArena(dev, cfg.ArenaBytes)
+	return openOnArena(cfg, dev, pmem.NewArena(dev, cfg.ArenaBytes))
+}
+
+// openOnArena boots a fresh store on an already-built arena: every shard
+// allocates manifest slots and persists an initial empty manifest. The arena
+// may be simulated or file-backed (OpenFile calls here for fresh
+// directories); cfg must already be validated.
+func openOnArena(cfg Config, dev *device.Device, arena *pmem.Arena) (*Store, error) {
 	log, err := wlog.New(arena, cfg.LogBytes)
 	if err != nil {
 		return nil, err
 	}
+	s := newStoreShell(cfg, dev, arena, log)
+	s.shards = make([]*shard, cfg.Shards)
+	boot := simclock.New(0)
+	for i := range s.shards {
+		sh, err := newShard(s, i, boot)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		s.shards[i] = sh
+	}
+	if cfg.MaintenanceWorkers > 0 {
+		s.maint = newMaintPool(s, cfg.MaintenanceWorkers)
+	}
+	return s, nil
+}
+
+// newStoreShell initializes every Store field that does not depend on how the
+// shards come into being (fresh boot vs file-backed reattach).
+func newStoreShell(cfg Config, dev *device.Device, arena *pmem.Arena, log *wlog.Log) *Store {
 	s := &Store{
 		cfg:        cfg,
 		dev:        dev,
@@ -106,19 +132,7 @@ func OpenOn(cfg Config, dev *device.Device) (*Store, error) {
 	if cfg.GetProtect.Enabled {
 		s.gpmWindow = histogram.NewAtomicWindowed(cfg.GetProtect.WindowSize)
 	}
-	s.shards = make([]*shard, cfg.Shards)
-	boot := simclock.New(0)
-	for i := range s.shards {
-		sh, err := newShard(s, i, boot)
-		if err != nil {
-			return nil, fmt.Errorf("core: shard %d: %w", i, err)
-		}
-		s.shards[i] = sh
-	}
-	if cfg.MaintenanceWorkers > 0 {
-		s.maint = newMaintPool(s, cfg.MaintenanceWorkers)
-	}
-	return s, nil
+	return s
 }
 
 // log2 returns the exact base-2 logarithm of v. shardFor routes keys by the
@@ -239,14 +253,27 @@ func (s *Store) Crash() {
 // owner's contract (Session.Flush), and the serving layer's group commit has
 // already flushed everything it acknowledged.
 func (s *Store) Close() error {
-	s.closed.Store(true)
+	first := s.closed.CompareAndSwap(false, true)
 	// Stop the maintenance workers (idempotent). Queued jobs are abandoned:
 	// durability of acknowledged writes is the session owner's contract, and
 	// a session that called Flush has already drained its shards.
 	if s.maint != nil {
 		s.maint.stop()
 	}
-	return nil
+	med := s.arena.Medium()
+	if med == nil || !first {
+		return nil
+	}
+	// File-backed store: write a final host-metadata record (the freshest
+	// allocator mark shortens the next replay) and release the backend, which
+	// syncs the manifest and the directory entries on the way out. After a
+	// simulated power failure or a backend I/O error the durable state must
+	// stay exactly as the failure left it, so only the record write is
+	// skipped — Close still releases the descriptors.
+	if !s.crashed.Load() && !s.dev.PowerFailed() && s.arena.MediumErr() == nil {
+		s.persistHostMeta()
+	}
+	return med.Close()
 }
 
 // readable gates session operations on the store's lifecycle state.
@@ -256,6 +283,12 @@ func (s *Store) readable() error {
 	}
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if err := s.arena.MediumErr(); err != nil {
+		// A persist failed to reach the backing store: some acknowledged
+		// write may not be durable, so the store fails stop rather than
+		// acknowledging more.
+		return fmt.Errorf("core: persistence backend failed: %w", err)
 	}
 	return nil
 }

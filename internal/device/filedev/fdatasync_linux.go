@@ -1,0 +1,15 @@
+//go:build linux
+
+package filedev
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdatasync flushes file data (and any metadata needed to read it back)
+// without forcing an mtime/atime journal commit — the cheapest durability
+// point Linux offers, and the one every sync persist pays.
+func fdatasync(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}

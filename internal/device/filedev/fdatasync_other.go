@@ -1,0 +1,11 @@
+//go:build !linux
+
+package filedev
+
+import "os"
+
+// fdatasync falls back to a full fsync where the platform has no separate
+// data-only sync.
+func fdatasync(f *os.File) error {
+	return f.Sync()
+}

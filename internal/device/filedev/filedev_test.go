@@ -1,0 +1,259 @@
+package filedev
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testOpts(dir string) Options {
+	return Options{
+		Dir:           dir,
+		Capacity:      1 << 20,
+		AccessUnit:    256,
+		SegmentBytes:  64 << 10,
+		MetaSlotBytes: 4096,
+	}
+}
+
+func mustOpen(t *testing.T, opt Options) *Dev {
+	t.Helper()
+	d, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return d
+}
+
+// TestWriteReadRoundtrip writes across a segment boundary, reopens the
+// directory without a clean Close (the SIGKILL image: the page cache survives
+// in the test world exactly like synced data), and reads everything back.
+func TestWriteReadRoundtrip(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	data := bytes.Repeat([]byte("chameleon"), 20000) // ~180 KB, spans 3 segments
+	if err := d.WriteDurable(10_000, data, true); err != nil {
+		t.Fatalf("WriteDurable: %v", err)
+	}
+	if err := d.WriteMeta([]byte("host-state-1"), -1); err != nil {
+		t.Fatalf("WriteMeta: %v", err)
+	}
+	// No Close: reattach cold.
+	d2 := mustOpen(t, opt)
+	if !d2.Existing() {
+		t.Fatal("reopen did not find existing state")
+	}
+	if got := string(d2.Meta()); got != "host-state-1" {
+		t.Fatalf("Meta = %q, want host-state-1", got)
+	}
+	img := make([]byte, opt.Capacity)
+	if err := d2.LoadInto(img); err != nil {
+		t.Fatalf("LoadInto: %v", err)
+	}
+	if !bytes.Equal(img[10_000:10_000+len(data)], data) {
+		t.Fatal("reloaded image does not match written data")
+	}
+	for _, b := range img[:10_000] {
+		if b != 0 {
+			t.Fatal("bytes before the write are not zero")
+		}
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestMetaRecordAlternation checks that records alternate slots by sequence
+// parity and that reopen always returns the newest one.
+func TestMetaRecordAlternation(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	for i := 1; i <= 5; i++ {
+		payload := []byte{byte(i), 0xAB}
+		if err := d.WriteMeta(payload, -1); err != nil {
+			t.Fatalf("WriteMeta %d: %v", i, err)
+		}
+	}
+	d2 := mustOpen(t, opt)
+	if got := d2.Meta(); len(got) != 2 || got[0] != 5 {
+		t.Fatalf("Meta = %v, want [5 171]", got)
+	}
+}
+
+// TestTornMetaFallsBack writes a good record, then a torn one (the power-cut
+// image of a metadata persist); reopen must fall back to the good record.
+func TestTornMetaFallsBack(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	if err := d.WriteMeta([]byte("good-record"), -1); err != nil {
+		t.Fatal(err)
+	}
+	// Tear after 3 payload bytes: the header (with full length and checksum)
+	// lands but most of the payload does not.
+	if err := d.WriteMeta([]byte("newer-but-torn"), 3); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, opt)
+	if got := string(d2.Meta()); got != "good-record" {
+		t.Fatalf("Meta after torn write = %q, want good-record", got)
+	}
+}
+
+// TestZeroTearKeepsPrevious is the tear=0 case handled one level up (the
+// arena skips the write entirely); at this level a zero-byte tear still
+// writes the header, which must also fail validation.
+func TestZeroTearKeepsPrevious(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	if err := d.WriteMeta([]byte("kept"), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteMeta([]byte("gone"), 0); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, opt)
+	if got := string(d2.Meta()); got != "kept" {
+		t.Fatalf("Meta = %q, want kept", got)
+	}
+}
+
+// TestGeometryMismatchRejected reopens with different geometry and expects a
+// refusal, not a reinterpretation.
+func TestGeometryMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, testOpts(dir))
+	if err := d.WriteMeta([]byte("x"), -1); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	opt := testOpts(dir)
+	opt.SegmentBytes *= 2
+	if _, err := Open(opt); err == nil {
+		t.Fatal("Open with mismatched geometry succeeded")
+	}
+}
+
+// TestBootstrapCrashReinitializes models a crash after the manifest header
+// became durable but before the first metadata record: nothing was ever
+// acknowledged, so reopen must reinitialize rather than fail.
+func TestBootstrapCrashReinitializes(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, testOpts(dir))
+	// A segment file exists but no record was ever written.
+	if err := d.WriteDurable(0, []byte("pre-ack garbage"), true); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, testOpts(dir))
+	if d2.Existing() {
+		t.Fatal("directory with no metadata record reported as existing")
+	}
+	img := make([]byte, testOpts(dir).Capacity)
+	if err := d2.LoadInto(img); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range img {
+		if b != 0 {
+			t.Fatal("reinitialized directory still holds old segment data")
+		}
+	}
+}
+
+// TestZeroDurableSkipsMissingSegments zeroes a range with no backing file —
+// it must be a no-op, not a file creation.
+func TestZeroDurableSkipsMissingSegments(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	if err := d.ZeroDurable(opt.SegmentBytes*3, opt.SegmentBytes); err != nil {
+		t.Fatalf("ZeroDurable: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(opt.Dir, "seg-000003.dat")); !os.IsNotExist(err) {
+		t.Fatal("ZeroDurable created a segment file")
+	}
+}
+
+// TestSegmentCreateSyncsDirectory: with the fix in place, a segment file's
+// directory entry is fsync'd at creation (UnsyncedCreates stays empty), so a
+// crash immediately after the creating persist cannot unlink it.
+func TestSegmentCreateSyncsDirectory(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	base := d.DirSyncs() // initialize pays one
+	if err := d.WriteDurable(0, []byte("durable"), true); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.UnsyncedCreates(); len(got) != 0 {
+		t.Fatalf("UnsyncedCreates = %v, want none", got)
+	}
+	if d.DirSyncs() != base+1 {
+		t.Fatalf("segment creation issued %d dir syncs, want 1", d.DirSyncs()-base)
+	}
+}
+
+// TestCloseSyncsDirectory is the regression test for the Close bugfix: Close
+// must fsync the manifest and the directory entry before returning, so a
+// clean shutdown leaves nothing volatile even if creation-time syncs were
+// elided. The counter shows the Close-time sync; the DisableDirSync leg
+// demonstrates the data-loss scenario the sync prevents.
+func TestCloseSyncsDirectory(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	if err := d.WriteDurable(0, []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	before := d.DirSyncs()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d.DirSyncs() != before+1 {
+		t.Fatalf("Close issued %d dir syncs, want 1", d.DirSyncs()-before)
+	}
+}
+
+// TestDirSyncLossScenario demonstrates what the creation-time and Close-time
+// directory syncs prevent: with both disabled, a crash can unlink a freshly
+// created segment file, silently zeroing everything it held — including data
+// whose persist was acknowledged with a real fdatasync.
+func TestDirSyncLossScenario(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	opt.DisableDirSync = true
+	d := mustOpen(t, opt)
+	payload := []byte("acknowledged-but-doomed")
+	if err := d.WriteDurable(opt.SegmentBytes*2, payload, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteMeta([]byte("meta"), -1); err != nil {
+		t.Fatal(err)
+	}
+	lost := d.UnsyncedCreates()
+	if len(lost) == 0 {
+		t.Fatal("expected the new segment's directory entry to be unsynced")
+	}
+	// The simulated power failure: unsynced directory entries never became
+	// durable, so the files they named do not exist after restart.
+	for _, path := range lost {
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reopened := mustOpen(t, testOpts(opt.Dir))
+	img := make([]byte, opt.Capacity)
+	if err := reopened.LoadInto(img); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(img, payload) {
+		t.Fatal("data survived without directory syncs — the loss scenario no longer reproduces")
+	}
+}
+
+// TestWriteOutsideCapacityRejected bounds-checks the write path.
+func TestWriteOutsideCapacityRejected(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	if err := d.WriteDurable(opt.Capacity-4, make([]byte, 8), false); err == nil {
+		t.Fatal("write past capacity succeeded")
+	}
+	if err := d.WriteMeta(make([]byte, opt.MetaSlotBytes), -1); err == nil {
+		t.Fatal("oversized metadata record accepted")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"chameleondb/internal/device"
 	"chameleondb/internal/simclock"
@@ -29,6 +30,14 @@ var ErrOutOfSpace = errors.New("pmem: arena out of space")
 // allocations is safe without locking, as with real memory.
 type Arena struct {
 	dev *device.Device
+
+	// med, when non-nil, is the real persistence backend mirrored behind the
+	// in-memory durable image (see Medium). The simulated default is nil.
+	med Medium
+	// medErr latches the first Medium I/O error: once a persist has failed to
+	// reach stable storage the arena can no longer honour durability, so the
+	// store fails stop (core checks MediumErr on the session paths).
+	medErr atomic.Pointer[error]
 
 	mu       sync.Mutex
 	volatile []byte
@@ -53,8 +62,81 @@ func NewArena(dev *device.Device, capacity int64) *Arena {
 	return a
 }
 
+// NewArenaOn creates an arena whose durable image is mirrored write-through
+// onto med (a file-backed persistence backend). The in-memory durable image
+// is still maintained, so Crash/Recover and the device timing model behave
+// exactly as on the simulated backend; med additionally makes every sync
+// persist reach real stable storage.
+func NewArenaOn(dev *device.Device, capacity int64, med Medium) *Arena {
+	a := NewArena(dev, capacity)
+	a.med = med
+	return a
+}
+
 // Device returns the backing device model.
 func (a *Arena) Device() *device.Device { return a.dev }
+
+// Medium returns the installed persistence backend, or nil on the simulated
+// default.
+func (a *Arena) Medium() Medium { return a.med }
+
+// MediumErr reports the first I/O error the persistence backend returned, or
+// nil. A non-nil value means some acknowledged persist may not be durable;
+// the store must stop acknowledging writes.
+func (a *Arena) MediumErr() error {
+	if e := a.medErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// failMedium latches a backend I/O error (first one wins).
+func (a *Arena) failMedium(err error) {
+	if err == nil {
+		return
+	}
+	a.medErr.CompareAndSwap(nil, &err)
+}
+
+// RestoreAllocator positions the bump allocator at next, used when the arena
+// is reattached to existing durable state after a process restart. The free
+// list starts empty — like the post-Crash rebuild, reattachment carves fresh
+// space rather than trusting host allocator state that died with the process.
+func (a *Arena) RestoreAllocator(next int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	unit := a.dev.Profile().AccessUnit
+	if next < unit {
+		next = unit
+	}
+	a.next = next
+	a.free = make(map[int64][]int64)
+}
+
+// ReserveFloor raises the bump allocator to at least floor, so future
+// allocations can never land on durable state below it. Recovery calls it for
+// every region a durable manifest references: the persisted allocator mark is
+// only synced at log-segment granularity and can trail table allocations made
+// since. A floor at or below the current mark is a no-op.
+func (a *Arena) ReserveFloor(floor int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if floor > a.next {
+		a.next = floor
+	}
+}
+
+// LoadDurable fills the durable image by calling load on it (a reattach reads
+// the medium's segment files into it), then makes the volatile image identical
+// — the state a freshly restarted process observes. Must be called before any
+// session touches the arena.
+func (a *Arena) LoadDurable(load func(durable []byte) error) error {
+	if err := load(a.durable); err != nil {
+		return err
+	}
+	copy(a.volatile, a.durable)
+	return nil
+}
 
 // Capacity returns the arena size in bytes.
 func (a *Arena) Capacity() int64 { return int64(len(a.volatile)) }
@@ -111,6 +193,12 @@ func (a *Arena) Free(off, size int64) {
 	// exactly as the crash left it for recovery to observe.
 	if !a.dev.PowerFailed() {
 		clear(a.durable[off : off+size])
+		if a.med != nil {
+			// The zeroes need not be synced: they become durable with the
+			// next synced write to the region, which always precedes any
+			// acknowledgement that depends on the region's reuse.
+			a.failMedium(a.med.ZeroDurable(off, size))
+		}
 	}
 	a.mu.Lock()
 	a.free[size] = append(a.free[size], off)
@@ -154,6 +242,11 @@ func (a *Arena) Persist(c *simclock.Clock, off, size int64) {
 				a.crashMu.RLock()
 				copy(a.durable[off:off+keep], a.volatile[off:off+keep])
 				a.crashMu.RUnlock()
+				if a.med != nil {
+					// The torn prefix is what a reopen from the backing
+					// store must observe; the dead process never syncs it.
+					a.failMedium(a.med.WriteDurable(off, a.durable[off:off+keep], false))
+				}
 			}
 			return
 		}
@@ -161,7 +254,38 @@ func (a *Arena) Persist(c *simclock.Clock, off, size int64) {
 	a.crashMu.RLock()
 	copy(a.durable[off:off+size], a.volatile[off:off+size])
 	a.crashMu.RUnlock()
+	if a.med != nil {
+		// Write-through with sync: the persist point is the durability point.
+		a.failMedium(a.med.WriteDurable(off, a.durable[off:off+size], true))
+	}
 	a.dev.WritePersist(c, off, size)
+}
+
+// PersistMeta durably replaces the engine's host-metadata record on the
+// persistence backend (a no-op on the simulated default, whose host state
+// lives in the process). The write counts as a persist event against any
+// installed fault plan — on the file backend it is an fsync like any other
+// persist point — and a plan that fires on it tears the freshly framed record,
+// which the medium's record checksum must detect on reopen. No virtual time
+// is charged: metadata persists exist only on the real backend, which the
+// deterministic virtual-time experiments never use.
+func (a *Arena) PersistMeta(payload []byte) {
+	if a.med == nil {
+		return
+	}
+	tear := int64(-1)
+	if p := a.dev.FaultPlan(); p != nil {
+		keep, normal := p.NotePersist(a.dev.Profile().AccessUnit, 0, int64(len(payload)))
+		if !normal {
+			if keep == 0 {
+				// Nothing of the record reached the store; the previous
+				// record remains the newest valid one.
+				return
+			}
+			tear = keep
+		}
+	}
+	a.failMedium(a.med.WriteMeta(payload, tear))
 }
 
 // Store writes data into the volatile image without persisting it. It models
@@ -208,6 +332,9 @@ func (a *Arena) TamperDurable(off int64, data []byte) {
 	a.crashMu.Lock()
 	copy(a.durable[off:off+int64(len(data))], data)
 	a.crashMu.Unlock()
+	if a.med != nil {
+		a.failMedium(a.med.WriteDurable(off, data, false))
+	}
 }
 
 // Stats returns the backing device's media counters.

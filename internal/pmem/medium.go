@@ -1,0 +1,44 @@
+package pmem
+
+// Medium is the persistence backend behind the arena's durable image: where
+// bytes go when they are persisted, and where they come back from after a
+// real process restart.
+//
+// The arena always maintains its in-memory durable image (the simulated
+// media), so the virtual-time device model, Crash(), and recovery code are
+// identical on every backend. A Medium, when installed, is a write-through
+// mirror of that image onto real storage: every Persist that lands in the
+// durable image is also written to the medium, and sync persists are made
+// durable (fdatasync) before the call returns — the file-backed equivalent of
+// the clwb+sfence boundary the simulated device models. The nil Medium is the
+// default simulated backend: the durable image lives only in heap memory.
+//
+// Implementations must be safe for concurrent use; the arena may call
+// WriteDurable from multiple sessions and ZeroDurable from background
+// reclamation at the same time (always for disjoint ranges).
+type Medium interface {
+	// WriteDurable mirrors data (the bytes just copied into the durable image
+	// at [off, off+len(data))) onto the backing store. When sync is true the
+	// write is a durability point and must reach stable storage before the
+	// call returns. sync=false writes (torn persists after a simulated power
+	// failure, deferred zeroing) may linger in host caches.
+	WriteDurable(off int64, data []byte, sync bool) error
+
+	// ZeroDurable zeroes [off, off+size) on the backing store without
+	// syncing. The arena calls it when a block is freed: the zeroes become
+	// durable at the latest with the next synced write to the same region,
+	// which is always ordered before the region's reuse can be acknowledged.
+	ZeroDurable(off, size int64) error
+
+	// WriteMeta replaces the engine's host-metadata record (the wlog segment
+	// directory and allocator marks; see core's hostState). tear < 0 writes
+	// the full record and syncs it; otherwise only the first tear payload
+	// bytes of the freshly framed record reach the store and nothing is
+	// synced — the torn-write image of a metadata persist interrupted by
+	// power failure, which the record checksum must detect on reopen.
+	WriteMeta(payload []byte, tear int64) error
+
+	// Close flushes all host-cached state (manifest record, directory
+	// entries) to stable storage and releases the backing resources.
+	Close() error
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"chameleondb/internal/resp"
+)
+
+// buildServerBinary compiles cmd/chameleon-server into dir and returns the
+// binary path. The test's working directory is inside the module, so the
+// import path resolves without extra flags.
+func buildServerBinary(t *testing.T, dir string) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := filepath.Join(dir, "chameleon-server")
+	cmd := exec.Command(goTool, "build", "-o", bin, "chameleondb/cmd/chameleon-server")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build chameleon-server: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// serverProc is a chameleon-server child process bound to an ephemeral port.
+type serverProc struct {
+	cmd  *exec.Cmd
+	addr string
+	out  *bytes.Buffer
+}
+
+// startServerProc execs the server binary against dataDir and waits for its
+// startup banner to learn the listen address.
+func startServerProc(t *testing.T, bin, dataDir string) *serverProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-backend", "file",
+		"-dir", dataDir,
+		"-shards", "8",
+		"-arena-mb", "16",
+		"-log-mb", "8",
+	)
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	p := &serverProc{cmd: cmd, out: &errBuf}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				addrCh <- strings.Fields(rest)[0]
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+			t.Fatalf("server exited before listening; stderr:\n%s", errBuf.String())
+		}
+		p.addr = addr
+	case <-time.After(30 * time.Second):
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+		t.Fatalf("timed out waiting for server banner; stderr:\n%s", errBuf.String())
+	}
+	return p
+}
+
+func restartValue(i int) []byte {
+	return []byte(fmt.Sprintf("val-%05d-%s", i, strings.Repeat("x", i%64)))
+}
+
+// TestServerRestartDurability is the restart-durability e2e: a real
+// chameleon-server child process on the file backend is loaded with pipelined
+// SETs, SIGKILLed mid-load with a batch in flight, and restarted on the same
+// directory. Every SET the client saw acknowledged must be readable after the
+// restart; in-flight unacknowledged SETs may have landed or not, but a key
+// that is present must carry the value that was written.
+func TestServerRestartDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs a server binary")
+	}
+	work := t.TempDir()
+	bin := buildServerBinary(t, work)
+	dataDir := filepath.Join(work, "data")
+	if err := os.Mkdir(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	p := startServerProc(t, bin, dataDir)
+
+	const (
+		batchSize = 16
+		ackTarget = 600
+	)
+	var (
+		mu     sync.Mutex
+		ackOps int                  // total SETs acknowledged (counts overwrites)
+		acked  = make(map[int]bool) // reply received: durably acknowledged
+		sent   = make(map[int]bool) // on the wire: may or may not have landed
+	)
+	loadDone := make(chan error, 1)
+	go func() {
+		c, err := resp.Dial(p.addr, 5*time.Second)
+		if err != nil {
+			loadDone <- err
+			return
+		}
+		defer c.Close()
+		c.SetDeadline(time.Now().Add(2 * time.Minute))
+		for i := 0; ; {
+			batch := make([]int, 0, batchSize)
+			mu.Lock()
+			for len(batch) < batchSize {
+				// Mostly-fresh keys so the final in-flight batch holds keys
+				// never acked before; every 4th op rewrites an older key
+				// (same per-key value) so overwrites ride along.
+				k := i
+				if i%4 == 3 {
+					k = i / 8
+				}
+				c.Send([]byte("SET"), []byte(fmt.Sprintf("rk-%05d", k)), restartValue(k))
+				sent[k] = true
+				batch = append(batch, k)
+				i++
+			}
+			mu.Unlock()
+			if err := c.Flush(); err != nil {
+				loadDone <- err
+				return
+			}
+			for _, k := range batch {
+				rp, err := c.Receive()
+				if err != nil {
+					loadDone <- err // killed mid-batch: expected
+					return
+				}
+				if err := rp.Err(); err != nil {
+					loadDone <- err
+					return
+				}
+				mu.Lock()
+				acked[k] = true
+				ackOps++
+				mu.Unlock()
+			}
+		}
+	}()
+
+	// Wait for enough acknowledged writes, then pull the plug.
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		mu.Lock()
+		n := ackOps
+		mu.Unlock()
+		if n >= ackTarget {
+			break
+		}
+		select {
+		case err := <-loadDone:
+			t.Fatalf("loader exited early: %v\nserver stderr:\n%s", err, p.out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d acks (have %d)", ackTarget, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p.cmd.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+	if err := <-loadDone; err == nil {
+		t.Fatal("loader finished cleanly despite SIGKILL")
+	}
+
+	// Restart on the same directory. The banner only prints after recovery, so
+	// a successful dial means the log replay completed.
+	p2 := startServerProc(t, bin, dataDir)
+	c, err := resp.Dial(p2.addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial restarted server: %v\nstderr:\n%s", err, p2.out.String())
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Minute))
+
+	mu.Lock()
+	ackedKeys := make([]int, 0, len(acked))
+	for k := range acked {
+		ackedKeys = append(ackedKeys, k)
+	}
+	unacked := make([]int, 0, len(sent))
+	for k := range sent {
+		if !acked[k] {
+			unacked = append(unacked, k)
+		}
+	}
+	mu.Unlock()
+	if len(ackedKeys) == 0 {
+		t.Fatal("no acked keys recorded")
+	}
+	for _, k := range ackedKeys {
+		got, ok, err := c.Get([]byte(fmt.Sprintf("rk-%05d", k)))
+		if err != nil {
+			t.Fatalf("GET rk-%05d after restart: %v", k, err)
+		}
+		if !ok {
+			t.Fatalf("acknowledged key rk-%05d lost across SIGKILL restart", k)
+		}
+		if !bytes.Equal(got, restartValue(k)) {
+			t.Fatalf("key rk-%05d corrupted: got %q want %q", k, got, restartValue(k))
+		}
+	}
+	for _, k := range unacked {
+		got, ok, err := c.Get([]byte(fmt.Sprintf("rk-%05d", k)))
+		if err != nil {
+			t.Fatalf("GET unacked rk-%05d: %v", k, err)
+		}
+		if ok && !bytes.Equal(got, restartValue(k)) {
+			t.Fatalf("unacked key rk-%05d present with wrong value %q", k, got)
+		}
+	}
+	t.Logf("verified %d acked keys (+%d in-flight) across SIGKILL restart", len(ackedKeys), len(unacked))
+
+	// The restarted server must still accept writes and shut down cleanly.
+	if err := c.Set([]byte("post-restart"), []byte("ok")); err != nil {
+		t.Fatalf("SET after restart: %v", err)
+	}
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown after restart: %v\nstderr:\n%s", err, p2.out.String())
+	}
+}

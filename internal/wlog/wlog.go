@@ -97,8 +97,31 @@ type Log struct {
 	apMu      sync.Mutex
 	appenders []*Appender
 
+	// metaHook, when set, runs under mu after every segment-map change
+	// (reserveChunk, FreeBefore), receiving the fresh snapshot. The
+	// file-backed store uses it to persist its host metadata — the segment
+	// directory and allocator marks — before any data in a fresh segment can
+	// be written, let alone acknowledged. The hook must not call back into
+	// Log methods that take the metadata mutex.
+	metaHook func(head, next int64, segs map[int64]int64)
+
 	entries atomic.Int64
 	bytes   atomic.Int64
+}
+
+// SegmentSizeFor returns the physical segment size New picks for a log of the
+// given capacity: the default 1 MiB, scaled down in whole chunks for small
+// test configurations. Exported so backends can size their host-metadata
+// records before the log exists.
+func SegmentSizeFor(capacity int64) int64 {
+	segSize := int64(DefaultSegmentSize)
+	if capacity < 4*segSize {
+		segSize = (capacity / 4 / DefaultChunkSize) * DefaultChunkSize
+		if segSize < DefaultChunkSize {
+			segSize = DefaultChunkSize
+		}
+	}
+	return segSize
 }
 
 // New creates a log with the given live-byte capacity inside arena.
@@ -109,13 +132,7 @@ func New(arena *pmem.Arena, capacity int64) (*Log, error) {
 			return nil, fmt.Errorf("wlog: capacity %d too small", capacity)
 		}
 	}
-	segSize := int64(DefaultSegmentSize)
-	if capacity < 4*segSize {
-		segSize = (capacity / 4 / DefaultChunkSize) * DefaultChunkSize
-		if segSize < DefaultChunkSize {
-			segSize = DefaultChunkSize
-		}
-	}
+	segSize := SegmentSizeFor(capacity)
 	l := &Log{
 		arena:     arena,
 		capacity:  capacity,
@@ -125,6 +142,52 @@ func New(arena *pmem.Arena, capacity int64) (*Log, error) {
 	l.next.Store(segSize) // LSN 0 is reserved as "nil" across the stores
 	l.head.Store(segSize)
 	return l, nil
+}
+
+// SetMetaHook installs fn to run (under the metadata mutex) after every
+// change to the segment map or GC head. Must be set before any append.
+func (l *Log) SetMetaHook(fn func(head, next int64, segs map[int64]int64)) {
+	l.mu.Lock()
+	l.metaHook = fn
+	l.mu.Unlock()
+}
+
+// snapshotLocked builds the restart-critical state: the GC head, the tail,
+// and the segment-index -> arena-offset map. Caller holds mu.
+func (l *Log) snapshotLocked() (head, next int64, segs map[int64]int64) {
+	segs = make(map[int64]int64)
+	l.segments.Range(func(k, v any) bool {
+		segs[k.(int64)] = v.(int64)
+		return true
+	})
+	return l.head.Load(), l.next.Load(), segs
+}
+
+// SegmentSnapshot returns the log's restart-critical state: the GC head, the
+// tail, and the segment-index -> arena-offset map. Callers persist it through
+// the meta hook; RestoreSegments is its inverse.
+func (l *Log) SegmentSnapshot() (head, next int64, segs map[int64]int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+// RestoreSegments reinstates a snapshot taken by SegmentSnapshot on a fresh
+// log — reattaching to existing durable state after a process restart. Must
+// run before any appender is created.
+func (l *Log) RestoreSegments(head, next int64, segs map[int64]int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for seg, off := range segs {
+		l.segments.Store(seg, off)
+	}
+	l.segCount.Store(int64(len(segs)))
+	if head > l.head.Load() {
+		l.head.Store(head)
+	}
+	if next > l.next.Load() {
+		l.next.Store(next)
+	}
 }
 
 // Base returns the first potentially-live LSN (the GC head). Lock-free.
@@ -193,6 +256,12 @@ func (l *Log) reserveChunk(size int64) (int64, int64, error) {
 		l.segCount.Add(1)
 	}
 	l.next.Store(end)
+	if l.metaHook != nil {
+		// Persist the updated segment directory before the reservation is
+		// used: no entry in this chunk can be written — and so none can be
+		// acknowledged — until the mapping that recovers it is durable.
+		l.metaHook(l.snapshotLocked())
+	}
 	return start, n, nil
 }
 
@@ -225,6 +294,12 @@ func (l *Log) FreeBefore(v int64) (freedBytes int64) {
 	})
 	if h := lastSeg * l.segSize; h > l.head.Load() {
 		l.head.Store(h)
+	}
+	if freedBytes > 0 && l.metaHook != nil {
+		// Drop the freed segments from the durable directory so a restart
+		// does not resurrect mappings onto arena space the allocator may
+		// hand out again.
+		l.metaHook(l.snapshotLocked())
 	}
 	return freedBytes
 }
