@@ -15,8 +15,9 @@
 // A MANIFEST file carries a checksummed geometry header and two alternating
 // checksummed record slots for the engine's host metadata (the wlog segment
 // directory, allocator marks, shard manifest locations — see core's
-// hostState). Records are framed as [seq, length, checksum, payload]; a torn
-// record write fails its checksum on reopen and recovery falls back to the
+// hostState). Records are framed as [seq, length, checksum, payload], the
+// checksum covering the seq and length words as well as the payload; a torn
+// or corrupted record fails it on reopen and recovery falls back to the
 // other slot, exactly like the engine's own dual-slot shard manifests. The
 // first record is written before any data can be acknowledged, so a directory
 // with a valid header but no valid record is a store that crashed during
@@ -32,6 +33,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -121,6 +124,16 @@ type Dev struct {
 	// fsync'd. Always empty unless DisableDirSync is set.
 	unsynced []string
 
+	// zeroDirty holds the indices of segment files carrying zero writes
+	// (ZeroDurable) that have not reached stable storage yet. WriteMeta
+	// fdatasyncs and clears them before it makes the next metadata record
+	// durable: the record is what can make a freed-then-reused arena region
+	// reachable again (it carries the wlog segment directory), and a power
+	// cut must never be able to roll back the zeroes while keeping the
+	// mapping — that would resurrect the freed region's stale bytes at new
+	// LSNs.
+	zeroDirty map[int64]struct{}
+
 	// dirSyncs counts directory-entry fsyncs, so the regression tests can
 	// assert that creation and Close both pay one.
 	dirSyncs atomic.Int64
@@ -140,8 +153,22 @@ func Open(opt Options) (*Dev, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Dev{opt: opt, dir: dir, segs: make(map[int64]*os.File)}
+	d := &Dev{
+		opt:       opt,
+		dir:       dir,
+		segs:      make(map[int64]*os.File),
+		zeroDirty: make(map[int64]struct{}),
+	}
 	if err := d.attach(); err != nil {
+		// attach can fail partway through opening the manifest and segment
+		// files; close whatever it already opened so the error path does not
+		// leak descriptors.
+		if d.manifest != nil {
+			d.manifest.Close()
+		}
+		for _, f := range d.segs {
+			f.Close()
+		}
 		dir.Close()
 		return nil, err
 	}
@@ -277,6 +304,15 @@ func parseHeader(raw []byte, opt *Options) error {
 	return nil
 }
 
+// recordSum computes a record's checksum over the seq and len header words
+// (hdr16, the first 16 header bytes) chained with the payload, matching the
+// geometry header's whole-struct coverage: a corrupted-but-plausible seq or
+// len over an intact payload region cannot win newest-record selection or
+// misframe the payload.
+func recordSum(hdr16, payload []byte) uint64 {
+	return xhash.Seeded(xhash.Sum64(hdr16), payload)
+}
+
 // newestRecord decodes both record slots and returns the valid one with the
 // highest sequence (nil payload if neither validates). Tolerant of arbitrary
 // bytes: a torn or corrupted slot fails its checksum and is skipped.
@@ -299,7 +335,7 @@ func newestRecord(raw []byte, slotBytes int64) (seq uint64, payload []byte) {
 			continue
 		}
 		p := raw[off+recHeader : off+recHeader+plen]
-		if xhash.Sum64(p) != sum {
+		if recordSum(hdr[0:16], p) != sum {
 			continue
 		}
 		if s > seq {
@@ -324,6 +360,23 @@ func (d *Dev) segPath(idx int64) string {
 	return filepath.Join(d.opt.Dir, fmt.Sprintf("seg-%06d.dat", idx))
 }
 
+// parseSegName returns the index of a canonical segment file name
+// ("seg-%06d.dat", as segPath writes them) and false for everything else:
+// trailing suffixes, non-canonical zero-padding, signs, and out-of-range
+// indices are all rejected, never aliased onto a canonical index.
+func parseSegName(name string) (int64, bool) {
+	const prefix, suffix = "seg-", ".dat"
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	digits := name[len(prefix) : len(name)-len(suffix)]
+	idx, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil || idx < 0 || fmt.Sprintf("seg-%06d.dat", idx) != name {
+		return 0, false
+	}
+	return idx, true
+}
+
 // scanSegments lists the indices of existing segment files.
 func (d *Dev) scanSegments() ([]int64, error) {
 	ents, err := os.ReadDir(d.opt.Dir)
@@ -332,8 +385,7 @@ func (d *Dev) scanSegments() ([]int64, error) {
 	}
 	var out []int64
 	for _, e := range ents {
-		var idx int64
-		if n, _ := fmt.Sscanf(e.Name(), "seg-%d.dat", &idx); n == 1 {
+		if idx, ok := parseSegName(e.Name()); ok {
 			out = append(out, idx)
 		}
 	}
@@ -447,7 +499,11 @@ func (d *Dev) WriteDurable(off int64, data []byte, sync bool) error {
 }
 
 // ZeroDurable implements pmem.Medium: write zeroes over the range, skipping
-// segments that have no file (they already read as zero), without syncing.
+// segments that have no file (they already read as zero). The writes are not
+// synced here; the touched files are marked zero-dirty and fdatasync'd by the
+// next synced WriteMeta, before the record that could make the freed region
+// reachable again becomes durable (an fdatasync of the same file on any
+// intervening sync persist also carries them to media).
 func (d *Dev) ZeroDurable(off, size int64) error {
 	if size <= 0 {
 		return nil
@@ -478,11 +534,31 @@ func (d *Dev) ZeroDurable(off, size int64) error {
 				}
 				w += c
 			}
+			// Mark after the writes have landed: WriteMeta holds the mutex
+			// across its zero syncs, so a mark it observes is a write its
+			// fdatasync covers.
+			d.mu.Lock()
+			d.zeroDirty[idx] = struct{}{}
+			d.mu.Unlock()
 		}
 		off += n
 		size -= n
 	}
 	return nil
+}
+
+// ZeroDirtySegments returns the indices of segment files holding zero writes
+// not yet carried to stable storage (test introspection for the WriteMeta
+// zero-durability barrier).
+func (d *Dev) ZeroDirtySegments() []int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int64, 0, len(d.zeroDirty))
+	for idx := range d.zeroDirty {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // WriteMeta implements pmem.Medium: frame payload as the next record and
@@ -503,7 +579,7 @@ func (d *Dev) WriteMeta(payload []byte, tear int64) error {
 	rec := make([]byte, recHeader+len(payload))
 	binary.LittleEndian.PutUint64(rec[0:8], seq)
 	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(payload)))
-	binary.LittleEndian.PutUint64(rec[16:24], xhash.Sum64(payload))
+	binary.LittleEndian.PutUint64(rec[16:24], recordSum(rec[0:16], payload))
 	copy(rec[recHeader:], payload)
 	slotOff := slot0Off + int64(seq%2)*d.opt.MetaSlotBytes
 	if tear >= 0 {
@@ -513,6 +589,18 @@ func (d *Dev) WriteMeta(payload []byte, tear int64) error {
 		}
 		_, err := d.manifest.WriteAt(rec[:end], slotOff)
 		return err
+	}
+	// Pending zeroes must be durable before this record is: once it commits,
+	// it can carry a segment mapping that reuses a freed region, and a power
+	// cut that rolled back unsynced zeroes while keeping the record would let
+	// the region's stale bytes validate as fresh entries on replay.
+	for idx := range d.zeroDirty {
+		if f := d.segs[idx]; f != nil {
+			if err := fdatasync(f); err != nil {
+				return err
+			}
+		}
+		delete(d.zeroDirty, idx)
 	}
 	if _, err := d.manifest.WriteAt(rec, slotOff); err != nil {
 		return err
@@ -575,6 +663,7 @@ func (d *Dev) Close() error {
 		keep(fdatasync(f))
 		keep(f.Close())
 	}
+	clear(d.zeroDirty) // every segment file was just fdatasync'd
 	// The Close-time directory sync is the last line of defence for any
 	// directory entry still volatile (see UnsyncedCreates); skipping it under
 	// DisableDirSync is what the regression test exploits to model the loss.

@@ -246,6 +246,175 @@ func TestDirSyncLossScenario(t *testing.T) {
 	}
 }
 
+// TestZeroDurableSyncedBeforeMeta is the regression test for the
+// freed-region resurrection bug: zeroes written by ZeroDurable stay
+// host-cached, so a metadata record that reuses the region must not become
+// durable before them. The synced WriteMeta path must fdatasync every
+// zero-dirty segment file (clearing the tracking); the torn path models a
+// power failure and must sync nothing.
+func TestZeroDurableSyncedBeforeMeta(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	// Put real bytes in segments 0 and 1 so ZeroDurable has files to dirty.
+	if err := d.WriteDurable(0, bytes.Repeat([]byte{0xEE}, int(opt.SegmentBytes)+512), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ZeroDurable(256, opt.SegmentBytes); err != nil { // spans seg 0 and 1
+		t.Fatal(err)
+	}
+	if got := d.ZeroDirtySegments(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("ZeroDirtySegments after zeroing = %v, want [0 1]", got)
+	}
+	// A torn metadata persist is the power-cut image: nothing is synced, the
+	// zeroes stay pending.
+	if err := d.WriteMeta([]byte("torn"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ZeroDirtySegments(); len(got) != 2 {
+		t.Fatalf("torn WriteMeta synced pending zeroes: dirty = %v", got)
+	}
+	// The synced record is what can make the region reachable again; it must
+	// carry the zeroes to stable storage first.
+	if err := d.WriteMeta([]byte("committed"), -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ZeroDirtySegments(); len(got) != 0 {
+		t.Fatalf("synced WriteMeta left zero-dirty segments %v", got)
+	}
+}
+
+// TestParseSegName rejects every non-canonical segment file name a directory
+// scan can encounter, so junk names can never alias onto a real index.
+func TestParseSegName(t *testing.T) {
+	cases := []struct {
+		name string
+		idx  int64
+		ok   bool
+	}{
+		{"seg-000000.dat", 0, true},
+		{"seg-000042.dat", 42, true},
+		{"seg-1000000.dat", 1000000, true}, // beyond the %06d padding width
+		{"seg-1.dat", 0, false},            // non-canonical padding
+		{"seg-0000001.dat", 0, false},      // over-padded
+		{"seg-000001.dat.bak", 0, false},   // trailing suffix
+		{"seg--00001.dat", 0, false},       // negative
+		{"seg-+00001.dat", 0, false},       // signed
+		{"seg-00000x.dat", 0, false},
+		{"seg-.dat", 0, false},
+		{"MANIFEST", 0, false},
+	}
+	for _, c := range cases {
+		idx, ok := parseSegName(c.name)
+		if ok != c.ok || (ok && idx != c.idx) {
+			t.Errorf("parseSegName(%q) = (%d, %v), want (%d, %v)", c.name, idx, ok, c.idx, c.ok)
+		}
+	}
+}
+
+// TestScanIgnoresJunkNames drops non-canonical look-alike files into a valid
+// store directory; reopen must ignore them instead of aliasing them onto
+// canonical indices (which would fail with ErrNotExist or leak descriptors).
+func TestScanIgnoresJunkNames(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	data := []byte("real segment data")
+	if err := d.WriteDurable(0, data, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteMeta([]byte("meta"), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, junk := range []string{"seg-1.dat", "seg-000000.dat.bak", "seg--00001.dat"} {
+		if err := os.WriteFile(filepath.Join(opt.Dir, junk), []byte("junk"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2 := mustOpen(t, opt)
+	defer d2.Close()
+	if !d2.Existing() {
+		t.Fatal("junk file names broke reattach")
+	}
+	img := make([]byte, opt.Capacity)
+	if err := d2.LoadInto(img); err != nil {
+		t.Fatalf("LoadInto: %v", err)
+	}
+	if !bytes.Equal(img[:len(data)], data) {
+		t.Fatal("junk file content aliased onto a canonical segment")
+	}
+}
+
+// TestAttachErrorClosesFiles forces attach to fail after the manifest and the
+// first segment file were opened (the second canonical segment path is a
+// directory) and checks no descriptors leak from the error path.
+func TestAttachErrorClosesFiles(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	if err := d.WriteDurable(0, []byte("seg zero exists"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteMeta([]byte("meta"), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A canonical segment name that cannot be opened as a file.
+	if err := os.Mkdir(filepath.Join(opt.Dir, "seg-000001.dat"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	openFDs := func() int {
+		ents, err := os.ReadDir("/proc/self/fd")
+		if err != nil {
+			t.Skip("no /proc/self/fd on this platform")
+		}
+		return len(ents)
+	}
+	before := openFDs()
+	if _, err := Open(opt); err == nil {
+		t.Fatal("Open over an unopenable segment path succeeded")
+	}
+	if after := openFDs(); after != before {
+		t.Fatalf("failed Open leaked descriptors: %d open before, %d after", before, after)
+	}
+}
+
+// TestRecordChecksumCoversHeader corrupts a stale record's seq word to a
+// higher value of the right parity — under a payload-only checksum it would
+// win newest-record selection over the intact newer record. The header-covered
+// checksum must reject it.
+func TestRecordChecksumCoversHeader(t *testing.T) {
+	opt := testOpts(t.TempDir())
+	d := mustOpen(t, opt)
+	if err := d.WriteMeta([]byte("stale"), -1); err != nil { // seq 1 -> slot 1
+		t.Fatal(err)
+	}
+	if err := d.WriteMeta([]byte("newest"), -1); err != nil { // seq 2 -> slot 0
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(opt.Dir, ManifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump slot 1's seq from 1 to 3: same parity (passes the slot check),
+	// higher than the genuine newest record's seq 2.
+	raw[slot0Off+opt.MetaSlotBytes] = 3
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, opt)
+	defer d2.Close()
+	if got := string(d2.Meta()); got != "newest" {
+		t.Fatalf("Meta = %q, want %q — a corrupted seq word won newest-record selection", got, "newest")
+	}
+}
+
 // TestWriteOutsideCapacityRejected bounds-checks the write path.
 func TestWriteOutsideCapacityRejected(t *testing.T) {
 	opt := testOpts(t.TempDir())

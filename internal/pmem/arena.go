@@ -194,9 +194,10 @@ func (a *Arena) Free(off, size int64) {
 	if !a.dev.PowerFailed() {
 		clear(a.durable[off : off+size])
 		if a.med != nil {
-			// The zeroes need not be synced: they become durable with the
-			// next synced write to the region, which always precedes any
-			// acknowledgement that depends on the region's reuse.
+			// The zeroes need not be synced here: the medium guarantees they
+			// are durable by the next synced WriteMeta, which is always
+			// ordered before a durable mapping can make the region reachable
+			// again (see Medium.ZeroDurable).
 			a.failMedium(a.med.ZeroDurable(off, size))
 		}
 	}

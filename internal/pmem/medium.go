@@ -24,10 +24,14 @@ type Medium interface {
 	// failure, deferred zeroing) may linger in host caches.
 	WriteDurable(off int64, data []byte, sync bool) error
 
-	// ZeroDurable zeroes [off, off+size) on the backing store without
-	// syncing. The arena calls it when a block is freed: the zeroes become
-	// durable at the latest with the next synced write to the same region,
-	// which is always ordered before the region's reuse can be acknowledged.
+	// ZeroDurable zeroes [off, off+size) on the backing store. The arena
+	// calls it when a block is freed. The zeroes need not reach stable
+	// storage before the call returns, but the implementation must make them
+	// durable no later than the next synced WriteMeta: host metadata is what
+	// can make a freed-then-reused region reachable again (the wlog segment
+	// directory persists from reserveChunk before any entry is written), and
+	// a power cut must never preserve such a record while rolling back the
+	// zeroes — the region's stale bytes would replay as live entries.
 	ZeroDurable(off, size int64) error
 
 	// WriteMeta replaces the engine's host-metadata record (the wlog segment
