@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"chameleondb/internal/core"
+	"chameleondb/internal/kvstore"
 	"chameleondb/internal/simclock"
 )
 
@@ -201,6 +202,34 @@ func (s *Session) Delete(key []byte) error { return s.inner.Delete(key) }
 // batch).
 func (s *Session) Flush() error { return s.inner.Flush() }
 
+// DeleteIfPresent deletes key and reports whether it existed. Probe and
+// tombstone run atomically under the store's write path, so the answer is
+// exact even with concurrent writers.
+func (s *Session) DeleteIfPresent(key []byte) (bool, error) { return s.inner.DeleteIfPresent(key) }
+
+// IncrBy atomically adds delta to the decimal integer stored at key (missing
+// keys count from 0) and returns the new value.
+func (s *Session) IncrBy(key []byte, delta int64) (int64, error) { return s.inner.IncrBy(key, delta) }
+
+// KV is one key/value pair returned by a scan.
+type KV = kvstore.KV
+
+// Snapshot is a stable point-in-time view for multi-call scans; see
+// Session.Snapshot. Release it when done.
+type Snapshot = kvstore.Snapshot
+
+// Scan pages through the store in hash order: pass cursor 0 to start, feed
+// the returned cursor back in, stop when it returns 0. Each call captures its
+// own per-shard view (Redis-SCAN guarantees); use Snapshot for a stable view.
+func (s *Session) Scan(cursor uint64, limit int) ([]KV, uint64, error) {
+	return s.inner.Scan(cursor, limit)
+}
+
+// Snapshot captures a stable view of the whole store: scans against it never
+// see writes issued after this call. The snapshot pins internal resources
+// (epoch reclamation) until released.
+func (s *Session) Snapshot() (Snapshot, error) { return s.inner.Snapshot() }
+
 // VirtualNanos returns the simulated time this session's operations have
 // consumed on the modeled hardware.
 func (s *Session) VirtualNanos() int64 { return s.clock.Now() }
@@ -277,7 +306,7 @@ type Stats struct {
 	// Background maintenance pipeline activity (zero when
 	// Options.MaintenanceWorkers is 0): MemTable freezes, write
 	// backpressure events, and jobs run per kind.
-	MemFreezes, PutSlowdowns, PutStalls                              int64
+	MemFreezes, PutSlowdowns, PutStalls                             int64
 	MaintJobsFlush, MaintJobsSpill, MaintJobsCompact, MaintJobsLast int64
 	// Device-level media accounting (the simulated ipmwatch).
 	LogicalBytesWritten, MediaBytesWritten, MediaBytesRead int64

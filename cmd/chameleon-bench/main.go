@@ -74,12 +74,14 @@ func main() {
 	}
 }
 
-// compareScaling is the CI regression gate: for each scaling experiment this
+// compareScaling is the CI regression gate: for each gated experiment this
 // run produced (readscale for the lock-free get path, writescale for the
-// async write path), it compares the top-end speedup (wall-clock at 1 worker
-// / wall-clock at the top worker count) against the checked-in baseline. The
-// ratio, not absolute wall time, is compared so the gate holds across machine
-// speeds; a >10% drop means the path reintroduced serialization.
+// async write path, scan for the merging iterator's batch amortization), it
+// compares the experiment's headline ratio — speedup at the top worker count,
+// or ns/key amortization at the top COUNT — against the checked-in baseline.
+// A ratio, not absolute time, is compared so the gate holds across machine
+// speeds; a >10% drop means the path reintroduced serialization (or the
+// iterator stopped amortizing its snapshot captures).
 func compareScaling(baselinePath string, reports []*bench.Report) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -103,6 +105,7 @@ func compareScaling(baselinePath string, reports []*bench.Report) error {
 	}{
 		{"readscale", bench.ReadScaleSpeedup},
 		{"writescale", bench.WriteScaleSpeedup},
+		{"scan", bench.ScanAmortization},
 	}
 	gated := false
 	for _, g := range gates {
@@ -123,17 +126,17 @@ func compareScaling(baselinePath string, reports []*bench.Report) error {
 			return fmt.Errorf("%s current run: %w", g.id, err)
 		}
 		if cw != bw {
-			return fmt.Errorf("%s worker counts differ (baseline %d, current %d); rerun with matching -threads", g.id, bw, cw)
+			return fmt.Errorf("%s sweep endpoints differ (baseline %d, current %d); rerun with matching flags", g.id, bw, cw)
 		}
 		const tolerance = 0.90
 		if cs < bs*tolerance {
-			return fmt.Errorf("%s speedup at %d workers regressed: %.2fx vs baseline %.2fx (>10%% drop)", g.id, cw, cs, bs)
+			return fmt.Errorf("%s ratio at endpoint %d regressed: %.2fx vs baseline %.2fx (>10%% drop)", g.id, cw, cs, bs)
 		}
-		fmt.Printf("%s gate ok: %.2fx speedup at %d workers (baseline %.2fx, floor %.2fx)\n", g.id, cs, cw, bs, bs*tolerance)
+		fmt.Printf("%s gate ok: %.2fx at endpoint %d (baseline %.2fx, floor %.2fx)\n", g.id, cs, cw, bs, bs*tolerance)
 		gated = true
 	}
 	if !gated {
-		return fmt.Errorf("this run produced no readscale or writescale report (add -experiment readscale or writescale)")
+		return fmt.Errorf("this run produced no readscale, writescale, or scan report (add -experiment readscale, writescale, or scan)")
 	}
 	return nil
 }

@@ -39,13 +39,14 @@ const help = `commands:
 func crashSweepCmd(args []string) {
 	fs := flag.NewFlagSet("crashsweep", flag.ExitOnError)
 	var (
-		seed   = fs.Int64("seed", 1, "workload script seed")
-		mode   = fs.String("mode", "direct", "compaction mode: direct, lbl, or wim")
-		ops    = fs.Int("ops", 1500, "scripted operations")
-		keys   = fs.Int("keys", 96, "key-space size")
-		stride = fs.Int("stride", 1, "test every stride-th crash point")
+		seed    = fs.Int64("seed", 1, "workload script seed")
+		mode    = fs.String("mode", "direct", "compaction mode: direct, lbl, or wim")
+		ops     = fs.Int("ops", 1500, "scripted operations")
+		keys    = fs.Int("keys", 96, "key-space size")
+		stride  = fs.Int("stride", 1, "test every stride-th crash point")
 		tear    = fs.Bool("tear", true, "also replay each point with torn persists")
 		maint   = fs.Int("maintenance-workers", 0, "background maintenance workers (0: inline maintenance, fully deterministic sweep)")
+		scanEv  = fs.Int("scan-every", 0, "interleave a full snapshot scan every N ops, checked exactly against applied state (0: off)")
 		backend = fs.String("backend", "sim", "persistence backend: sim, or file (one fresh directory per crash point, every Recover a real cold reopen)")
 		dir     = fs.String("dir", "", "parent directory for -backend=file sweep stores (default: a temp dir, removed on success)")
 	)
@@ -120,6 +121,7 @@ func crashSweepCmd(args []string) {
 			MaxValueLen:   120,
 			FlushEvery:    20,
 			MaintainEvery: 50,
+			ScanEvery:     *scanEv,
 			Maintenance:   storetest.StandardMaintenance(),
 			Stride:        *stride,
 			Tear:          *tear,

@@ -67,11 +67,11 @@ func (o Options) withDefaults() Options {
 
 // Report is one regenerated table or figure series.
 type Report struct {
-	ID      string   `json:"id"`
-	Title   string   `json:"title"`
-	Columns []string `json:"columns"`
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
-	Notes   []string `json:"notes,omitempty"`
+	Notes   []string   `json:"notes,omitempty"`
 	// Metrics is the store's observability snapshot at the end of the
 	// experiment phase, when the store exposes a registry (chameleon-bench
 	// -json emits it into the figure JSON).

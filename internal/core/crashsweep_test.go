@@ -36,6 +36,11 @@ func sweepOpen(mutate func(*Config)) func() (kvstore.Store, error) {
 	}
 }
 
+// sweepWorkload mixes scans into every sweep variant (ScanEvery): mid-script
+// scans are exact-checked against the applied state, and every recovery is
+// followed by a scan/get parity check — so tombstone resurrection or key loss
+// visible only through the merging iterator fails the sweep at the exact
+// crash point that produced it.
 func sweepWorkload() storetest.SweepConfig {
 	return storetest.SweepConfig{
 		Seed:          1,
@@ -45,6 +50,7 @@ func sweepWorkload() storetest.SweepConfig {
 		FlushEvery:    20,
 		MaintainEvery: 50,
 		Maintenance:   storetest.StandardMaintenance(),
+		ScanEvery:     75,
 		Tear:          true,
 	}
 }

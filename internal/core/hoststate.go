@@ -43,9 +43,9 @@ type hostState struct {
 // with a different geometry would misinterpret every arena offset, so it is
 // rejected outright rather than recovered incorrectly.
 type configFingerprint struct {
-	Shards, ArenaBytes, LogBytes     int64
-	MemTableSlots, ABISlots          int64
-	Levels, Ratio, MaxDumps          int64
+	Shards, ArenaBytes, LogBytes int64
+	MemTableSlots, ABISlots      int64
+	Levels, Ratio, MaxDumps      int64
 }
 
 func fingerprintOf(cfg Config) configFingerprint {

@@ -3,13 +3,14 @@ package core
 import (
 	"bytes"
 	"errors"
+	"math"
+	"strconv"
 
 	"chameleondb/internal/device"
 	"chameleondb/internal/hashtable"
 	"chameleondb/internal/kvstore"
 	"chameleondb/internal/simclock"
 	"chameleondb/internal/wlog"
-	"chameleondb/internal/xhash"
 )
 
 // ErrCrashed is returned by operations issued between Crash and Recover.
@@ -19,6 +20,10 @@ var ErrCrashed = errors.New("core: store has crashed; call Recover first")
 // server draining connections can race a late session against shutdown; the
 // session fails cleanly here instead of touching a store being discarded.
 var ErrClosed = errors.New("core: store is closed")
+
+// ErrNotInteger is returned by IncrBy when the stored value is not a decimal
+// 64-bit integer, or the increment would overflow one.
+var ErrNotInteger = errors.New("value is not an integer or out of range")
 
 // Session is a per-worker handle on the store: it owns a virtual clock, a
 // private log appender (the DRAM write batch of Section 2.5), and a reader
@@ -63,21 +68,13 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 	c := se.clock
 	arrive := c.Now()
 	c.Advance(device.CostHash64)
-	h := xhash.Sum64(key)
+	h := se.store.hashFn(key)
 	// Copying the entry into the DRAM batch buffer.
 	c.Advance(int64(float64(wlog.EntrySize(len(key), len(value))) * device.CostDRAMSeqPerByte))
 
 	sh := se.store.shardFor(h)
-	if se.store.maintActive() {
-		// Backpressure first, outside the shard lock: a put never blocks
-		// other writers while it waits for the pool to work off debt.
-		if err := se.throttle(sh); err != nil {
-			return err
-		}
-		if se.dirty == nil {
-			se.dirty = make(map[int]struct{})
-		}
-		se.dirty[sh.id] = struct{}{}
+	if err := se.admitWrite(sh); err != nil {
+		return err
 	}
 	sh.mu.Lock()
 	opStart := c.Now()
@@ -122,6 +119,23 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 	return nil
 }
 
+// admitWrite applies write-path backpressure and dirty-shard tracking before
+// the shard lock is taken: a writer never blocks other writers while it waits
+// for the pool to work off debt. No-op on synchronous stores.
+func (se *Session) admitWrite(sh *shard) error {
+	if !se.store.maintActive() {
+		return nil
+	}
+	if err := se.throttle(sh); err != nil {
+		return err
+	}
+	if se.dirty == nil {
+		se.dirty = make(map[int]struct{})
+	}
+	se.dirty[sh.id] = struct{}{}
+	return nil
+}
+
 // Get implements kvstore.Session: MemTable, then ABI, then (dumped tables,)
 // then last level — at most three structures in the common case (Figure 6b)
 // — followed by one log read for the value.
@@ -132,23 +146,9 @@ func (se *Session) Get(key []byte) ([]byte, bool, error) {
 	c := se.clock
 	arrive := c.Now()
 	c.Advance(device.CostHash64)
-	h := xhash.Sum64(key)
+	h := se.store.hashFn(key)
 
 	sh := se.store.shardFor(h)
-	opStart := c.Now()
-	// Lock-free index probe: pin a reader epoch so no compaction recycles
-	// the tables the published view references mid-probe, load the view,
-	// probe, unpin. No mutex is acquired anywhere on this path — MemTable
-	// and ABI probes are seqlock-validated, the persisted tables are
-	// immutable, and the log read below resolves segments through atomics.
-	se.slot.pin(se.store.em)
-	slot, src, ok := sh.lookup(c, h)
-	se.slot.unpin()
-	// Readers share the shard timeline: unlike a writer's exclusive
-	// Reserve, a shared reservation never queues, it only records the
-	// reader's completion so the modeled timeline knows when gets drained.
-	c.AdvanceTo(sh.tl.ReserveShared(opStart, c.Now()-opStart))
-
 	// The source is counted once the outcome is known, so the per-source
 	// counters (and their latency histograms) always sum consistently with
 	// what callers observed. A tombstone is a definitive answer from its
@@ -159,28 +159,204 @@ func (se *Session) Get(key []byte) ([]byte, bool, error) {
 		se.store.lat.get[src].Record(now - arrive)
 		se.store.recordGetLatency(now, now-arrive)
 	}
-	if !ok || slot.Tombstone() {
+	// Collision fallback: a 64-bit hash match does not prove key identity, so
+	// a candidate whose full key (read from the log) differs is stepped past
+	// and the probe resumes at older tiers. skip > 0 passes only ever run
+	// with engineered collisions — the real mixer makes them a 2^-64 event —
+	// so the common case is exactly one pass.
+	for skip := 0; ; skip++ {
+		opStart := c.Now()
+		// Lock-free index probe: pin a reader epoch so no compaction recycles
+		// the tables the published view references mid-probe, load the view,
+		// probe, unpin. No mutex is acquired anywhere on this path — MemTable
+		// and ABI probes are seqlock-validated, the persisted tables are
+		// immutable, and the log read below resolves segments through atomics.
+		se.slot.pin(se.store.em)
+		slot, src, ok := sh.lookupView(c, sh.view.Load(), h, skip)
+		se.slot.unpin()
+		// Readers share the shard timeline: unlike a writer's exclusive
+		// Reserve, a shared reservation never queues, it only records the
+		// reader's completion so the modeled timeline knows when gets drained.
+		c.AdvanceTo(sh.tl.ReserveShared(opStart, c.Now()-opStart))
+
+		if !ok {
+			finish(src)
+			return nil, false, nil
+		}
+		e, err := se.store.log.Read(c, slot.LSN())
+		if err != nil {
+			if slot.Tombstone() {
+				// Log GC drops settled tombstone entries while their index
+				// slots survive, so the slot may reference reclaimed bytes.
+				// GC only settles a tombstone that is the live version of its
+				// hash — no older version survives below it — so the slot
+				// stays authoritative: the key is deleted.
+				finish(src)
+				return nil, false, nil
+			}
+			finish(src)
+			return nil, false, err
+		}
+		if !bytes.Equal(e.Key, key) {
+			// A full 64-bit hash collision between distinct keys: this
+			// candidate belongs to someone else, but an older tier may still
+			// hold the probed key — retry past it.
+			se.store.stats.HashMismatches.Add(1)
+			continue
+		}
+		if slot.Tombstone() {
+			finish(src)
+			return nil, false, nil
+		}
+		val := make([]byte, len(e.Value))
+		copy(val, e.Value)
 		finish(src)
-		return nil, false, nil
+		return val, true, nil
 	}
-	e, err := se.store.log.Read(c, slot.LSN())
+}
+
+// probeEntry resolves key's current log entry under sh.mu, walking the same
+// collision fallback as Get. live reports the key is present and not
+// tombstoned. The read-modify-write session ops (DeleteIfPresent, IncrBy)
+// call it with the shard lock held so probe and subsequent append are atomic
+// with respect to every other writer.
+func (sh *shard) probeEntry(c *simclock.Clock, h uint64, key []byte) (e wlog.Entry, live bool, err error) {
+	v := sh.view.Load()
+	for skip := 0; ; skip++ {
+		slot, _, ok := sh.lookupView(c, v, h, skip)
+		if !ok {
+			return wlog.Entry{}, false, nil
+		}
+		e, err := sh.store.log.Read(c, slot.LSN())
+		if err != nil {
+			if slot.Tombstone() {
+				// Settled tombstone whose log bytes GC reclaimed: authoritative
+				// absence (see Session.Get).
+				return wlog.Entry{}, false, nil
+			}
+			return wlog.Entry{}, false, err
+		}
+		if !bytes.Equal(e.Key, key) {
+			sh.store.stats.HashMismatches.Add(1)
+			continue
+		}
+		return e, !slot.Tombstone(), nil
+	}
+}
+
+// appendLocked appends one entry to the session's log batch and indexes it in
+// the MemTable. Called with sh.mu held; the caller has already charged the
+// DRAM batch-copy cost and runs inside an opStart/Reserve bracket.
+func (se *Session) appendLocked(sh *shard, c *simclock.Clock, h uint64, key, value []byte, flags uint16) error {
+	lsn, err := se.ap.Append(c, h, key, value, flags)
 	if err != nil {
-		finish(src)
-		return nil, false, err
+		return err
 	}
-	if !bytes.Equal(e.Key, key) {
-		// A full 64-bit hash collision between distinct keys: the hashed
-		// index cannot tell them apart (the same limitation every
-		// hash-keyed store in the paper shares). The get reports a miss, so
-		// it counts as one — the index structure did not produce a hit.
-		se.store.stats.HashMismatches.Add(1)
-		finish(srcMiss)
-		return nil, false, nil
+	if sh.memMinLSN == 0 || lsn < sh.memMinLSN {
+		sh.memMinLSN = lsn
 	}
-	val := make([]byte, len(e.Value))
-	copy(val, e.Value)
-	finish(src)
-	return val, true, nil
+	if lsn > sh.memMaxLSN {
+		sh.memMaxLSN = lsn
+	}
+	err = sh.insertMem(c, h, hashtable.MakeRef(lsn, flags&wlog.FlagTombstone != 0))
+	if err == nil && sh.pendingMerge.Load() && !se.store.gpmActive.Load() {
+		// A postponed Get-Protect dump is merged back once the burst is
+		// over (Section 2.4).
+		sh.pendingMerge.Store(false)
+		if len(sh.dumped) > 0 {
+			err = sh.async(c, func() error { return sh.lastLevelCompaction(c) })
+		}
+	}
+	return err
+}
+
+// DeleteIfPresent implements kvstore.ConditionalDeleter: probe and tombstone
+// run under one shard-lock acquisition, so the existed answer is exact even
+// with concurrent writers — the TOCTOU a Get-then-Delete pair has across
+// sessions cannot happen here.
+func (se *Session) DeleteIfPresent(key []byte) (bool, error) {
+	if err := se.store.readable(); err != nil {
+		return false, err
+	}
+	c := se.clock
+	arrive := c.Now()
+	c.Advance(device.CostHash64)
+	h := se.store.hashFn(key)
+	c.Advance(int64(float64(wlog.EntrySize(len(key), 0)) * device.CostDRAMSeqPerByte))
+
+	sh := se.store.shardFor(h)
+	if err := se.admitWrite(sh); err != nil {
+		return false, err
+	}
+	sh.mu.Lock()
+	opStart := c.Now()
+	sh.asyncNs = 0
+	_, existed, err := sh.probeEntry(c, h, key)
+	if err == nil && existed {
+		err = se.appendLocked(sh, c, h, key, nil, wlog.FlagTombstone)
+	}
+	dur := c.Now() - opStart - sh.asyncNs
+	sh.mu.Unlock()
+	c.AdvanceTo(sh.tl.Reserve(opStart, dur))
+	if err != nil {
+		return false, err
+	}
+	if existed {
+		se.store.stats.Deletes.Add(1)
+		se.store.lat.put.Record(c.Now() - arrive)
+	}
+	return existed, nil
+}
+
+// IncrBy implements kvstore.Incrementer: an atomic read-modify-write of a
+// decimal integer value under the shard lock. A missing key counts from 0
+// (Redis semantics); a non-integer value or a 64-bit overflow returns
+// ErrNotInteger without appending anything.
+func (se *Session) IncrBy(key []byte, delta int64) (int64, error) {
+	if err := se.store.readable(); err != nil {
+		return 0, err
+	}
+	c := se.clock
+	arrive := c.Now()
+	c.Advance(device.CostHash64)
+	h := se.store.hashFn(key)
+
+	sh := se.store.shardFor(h)
+	if err := se.admitWrite(sh); err != nil {
+		return 0, err
+	}
+	sh.mu.Lock()
+	opStart := c.Now()
+	sh.asyncNs = 0
+	e, live, err := sh.probeEntry(c, h, key)
+	var next int64
+	if err == nil {
+		var old int64
+		if live {
+			old, err = strconv.ParseInt(string(e.Value), 10, 64)
+			if err != nil {
+				err = ErrNotInteger
+			}
+		}
+		if err == nil && ((delta > 0 && old > math.MaxInt64-delta) || (delta < 0 && old < math.MinInt64-delta)) {
+			err = ErrNotInteger
+		}
+		if err == nil {
+			next = old + delta
+			value := strconv.AppendInt(nil, next, 10)
+			c.Advance(int64(float64(wlog.EntrySize(len(key), len(value))) * device.CostDRAMSeqPerByte))
+			err = se.appendLocked(sh, c, h, key, value, 0)
+		}
+	}
+	dur := c.Now() - opStart - sh.asyncNs
+	sh.mu.Unlock()
+	c.AdvanceTo(sh.tl.Reserve(opStart, dur))
+	if err != nil {
+		return 0, err
+	}
+	se.store.stats.Puts.Add(1)
+	se.store.lat.put.Record(c.Now() - arrive)
+	return next, nil
 }
 
 // Flush implements kvstore.Session: seals the session's log batch, making

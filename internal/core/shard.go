@@ -313,11 +313,29 @@ func (sh *shard) freezeMem() {
 // (GC, verify) call it with sh.mu held, where the latest published view is
 // by construction the current structure.
 func (sh *shard) lookup(c *simclock.Clock, h uint64) (hashtable.Slot, getSource, bool) {
-	v := sh.view.Load()
+	return sh.lookupView(c, sh.view.Load(), h, 0)
+}
+
+// lookupView walks one immutable view in version order and returns the
+// (skip+1)-th structure whose table holds hash h. skip == 0 is the plain
+// lookup; larger skips let the collision fallback (Session.Get,
+// shard.probeEntry) step past a candidate whose full key turned out not to
+// match and keep probing older tiers, since a 64-bit hash match does not
+// prove key identity. The caller owns the view's lifetime (epoch pin or
+// sh.mu).
+func (sh *shard) lookupView(c *simclock.Clock, v *shardView, h uint64, skip int) (hashtable.Slot, getSource, bool) {
+	seen := 0
+	take := func() bool {
+		if seen < skip {
+			seen++
+			return false
+		}
+		return true
+	}
 	// 1. MemTable.
 	ref, probes, ok := v.mem.Get(h)
 	c.Advance(device.DRAMProbeCost(probes))
-	if ok {
+	if ok && take() {
 		return hashtable.Slot{Hash: h, Ref: ref}, srcMemTable, true
 	}
 	// 1b. Frozen MemTables awaiting background flush, newest first: they sit
@@ -326,7 +344,7 @@ func (sh *shard) lookup(c *simclock.Clock, h uint64) (hashtable.Slot, getSource,
 	for i := len(v.frozen) - 1; i >= 0; i-- {
 		ref, probes, ok = v.frozen[i].mem.Get(h)
 		c.Advance(device.DRAMProbeCost(probes))
-		if ok {
+		if ok && take() {
 			return hashtable.Slot{Hash: h, Ref: ref}, srcMemTable, true
 		}
 	}
@@ -334,13 +352,13 @@ func (sh *shard) lookup(c *simclock.Clock, h uint64) (hashtable.Slot, getSource,
 	if v.abi != nil {
 		ref, probes, ok = v.abi.Get(h)
 		c.Advance(device.DRAMProbeCost(probes))
-		if ok {
+		if ok && take() {
 			return hashtable.Slot{Hash: h, Ref: ref}, srcABI, true
 		}
 	}
 	// 3. Dumped ABI tables, newest first (Section 2.4).
 	for i := len(v.dumped) - 1; i >= 0; i-- {
-		if s, ok := v.dumped[i].get(c, h); ok {
+		if s, ok := v.dumped[i].get(c, h); ok && take() {
 			return s, srcDumped, true
 		}
 	}
@@ -350,7 +368,7 @@ func (sh *shard) lookup(c *simclock.Clock, h uint64) (hashtable.Slot, getSource,
 		for lvl := 0; lvl < len(v.levels); lvl++ {
 			tables := v.levels[lvl]
 			for i := len(tables) - 1; i >= 0; i-- {
-				if s, ok := tables[i].get(c, h); ok {
+				if s, ok := tables[i].get(c, h); ok && take() {
 					return s, srcUpper, true
 				}
 			}
@@ -358,7 +376,7 @@ func (sh *shard) lookup(c *simclock.Clock, h uint64) (hashtable.Slot, getSource,
 	}
 	// 5. Last level.
 	if v.last != nil {
-		if s, ok := v.last.get(c, h); ok {
+		if s, ok := v.last.get(c, h); ok && take() {
 			return s, srcLast, true
 		}
 	}

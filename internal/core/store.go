@@ -12,6 +12,7 @@ import (
 	"chameleondb/internal/pmem"
 	"chameleondb/internal/simclock"
 	"chameleondb/internal/wlog"
+	"chameleondb/internal/xhash"
 )
 
 // Store is a ChameleonDB instance. Create one with Open; drive it through
@@ -24,6 +25,14 @@ type Store struct {
 
 	shards     []*shard
 	shardShift uint
+
+	// hashFn computes the 64-bit index hash for a key. It defaults to
+	// xhash.Sum64 and is overridable only by in-package tests that need to
+	// engineer full hash collisions (infeasible against the real mixer) to
+	// exercise the collision fallback on the read and scan paths. Must be set
+	// before any session runs; log entries persist the hash, so recovery is
+	// self-consistent under any function.
+	hashFn func([]byte) uint64
 
 	// em defers arena reclamation of compacted-away tables until no
 	// lock-free reader can still be probing them.
@@ -52,6 +61,12 @@ type Store struct {
 	maint *maintPool
 
 	crashed atomic.Bool
+
+	// crashGen counts crashes. Snapshots record it at creation and refuse to
+	// scan across a crash/recovery boundary: recovery rebuilds the arena, so
+	// a pre-crash snapshot's table references are dead even though the store
+	// is readable again.
+	crashGen atomic.Int64
 
 	// closed is set (permanently) by Close. Session operations check it the
 	// way they check crashed; NewSession during or after Close is safe — the
@@ -121,6 +136,7 @@ func newStoreShell(cfg Config, dev *device.Device, arena *pmem.Arena, log *wlog.
 		arena:      arena,
 		log:        log,
 		shardShift: 64 - uint(log2(cfg.Shards)),
+		hashFn:     xhash.Sum64,
 		em:         newEpochManager(),
 	}
 	s.replayPos.Store(int64(1) << 62)
@@ -214,6 +230,7 @@ func (s *Store) DRAMFootprint() int64 {
 // Crash implements kvstore.Store: power loss. All sessions must be quiesced.
 func (s *Store) Crash() {
 	s.crashed.Store(true)
+	s.crashGen.Add(1)
 	// Quiesce the maintenance pool before touching shared state: workers
 	// mid-job stop at their next persist (the arena drops modelled writes
 	// after the failure instant), and pause waits for them to park so the

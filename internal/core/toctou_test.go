@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"chameleondb/internal/simclock"
+)
+
+// TestDeleteIfPresentRace is the DEL-count TOCTOU regression: two sessions
+// race a conditional delete of the same key; exactly one may observe it. A
+// probe-then-Delete pair would let both observe the key and double-count.
+// Run under -race in CI.
+func TestDeleteIfPresentRace(t *testing.T) {
+	s := openTest(t)
+	writer := s.NewSession(simclock.New(0)).(*Session)
+	se1 := s.NewSession(simclock.New(0)).(*Session)
+	se2 := s.NewSession(simclock.New(0)).(*Session)
+
+	for iter := 0; iter < 300; iter++ {
+		k := []byte(fmt.Sprintf("race-%05d", iter))
+		if err := writer.Put(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		results := [2]bool{}
+		errs := [2]error{}
+		for i, se := range []*Session{se1, se2} {
+			wg.Add(1)
+			go func(i int, se *Session) {
+				defer wg.Done()
+				results[i], errs[i] = se.DeleteIfPresent(k)
+			}(i, se)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("iter %d racer %d: %v", iter, i, err)
+			}
+		}
+		if results[0] == results[1] {
+			t.Fatalf("iter %d: racers reported existed=%v,%v — exactly one must win", iter, results[0], results[1])
+		}
+		if _, ok, _ := writer.Get(k); ok {
+			t.Fatalf("iter %d: key survived both deletes", iter)
+		}
+	}
+}
+
+func TestDeleteIfPresentBasic(t *testing.T) {
+	s := openTest(t)
+	se := s.NewSession(simclock.New(0)).(*Session)
+	if existed, err := se.DeleteIfPresent(key(1)); err != nil || existed {
+		t.Fatalf("delete of absent key = %v, %v", existed, err)
+	}
+	se.Put(key(1), val(1))
+	if existed, err := se.DeleteIfPresent(key(1)); err != nil || !existed {
+		t.Fatalf("delete of present key = %v, %v", existed, err)
+	}
+	if existed, err := se.DeleteIfPresent(key(1)); err != nil || existed {
+		t.Fatalf("second delete = %v, %v; tombstone must read as absent", existed, err)
+	}
+	if _, ok, _ := se.Get(key(1)); ok {
+		t.Fatal("key readable after conditional delete")
+	}
+	// Deleting a flushed key: the probe walks deeper tiers.
+	c := simclock.New(0)
+	se.Put(key(2), val(2))
+	if err := s.FlushAll(c); err != nil {
+		t.Fatal(err)
+	}
+	if existed, err := se.DeleteIfPresent(key(2)); err != nil || !existed {
+		t.Fatalf("delete of flushed key = %v, %v", existed, err)
+	}
+	if _, ok, _ := se.Get(key(2)); ok {
+		t.Fatal("flushed key readable after conditional delete")
+	}
+}
+
+func TestIncrBySemantics(t *testing.T) {
+	s := openTest(t)
+	se := s.NewSession(simclock.New(0)).(*Session)
+	// Absent key counts from zero (Redis semantics).
+	if n, err := se.IncrBy(key(1), 5); err != nil || n != 5 {
+		t.Fatalf("IncrBy absent = %d, %v", n, err)
+	}
+	if n, err := se.IncrBy(key(1), -8); err != nil || n != -3 {
+		t.Fatalf("IncrBy = %d, %v; want -3", n, err)
+	}
+	if got, ok, _ := se.Get(key(1)); !ok || string(got) != "-3" {
+		t.Fatalf("counter value = %q, %v", got, ok)
+	}
+	// Non-integer value refuses without clobbering.
+	se.Put(key(2), []byte("not a number"))
+	if _, err := se.IncrBy(key(2), 1); err != ErrNotInteger {
+		t.Fatalf("IncrBy on text = %v, want ErrNotInteger", err)
+	}
+	if got, _, _ := se.Get(key(2)); string(got) != "not a number" {
+		t.Fatalf("failed incr clobbered value: %q", got)
+	}
+	// Overflow in both directions refuses and preserves.
+	se.Put(key(3), []byte("9223372036854775807"))
+	if _, err := se.IncrBy(key(3), 1); err != ErrNotInteger {
+		t.Fatalf("overflow = %v, want ErrNotInteger", err)
+	}
+	if got, _, _ := se.Get(key(3)); string(got) != "9223372036854775807" {
+		t.Fatalf("overflowed incr clobbered value: %q", got)
+	}
+	se.Put(key(4), []byte("-9223372036854775808"))
+	if _, err := se.IncrBy(key(4), -1); err != ErrNotInteger {
+		t.Fatalf("underflow = %v, want ErrNotInteger", err)
+	}
+	// A flushed counter keeps counting.
+	c := simclock.New(0)
+	if err := s.FlushAll(c); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := se.IncrBy(key(1), 3); err != nil || n != 0 {
+		t.Fatalf("IncrBy after flush = %d, %v; want 0", n, err)
+	}
+}
+
+// TestIncrByConcurrent: increments are atomic under the shard lock, so N
+// racing sessions never lose an update. Run under -race in CI.
+func TestIncrByConcurrent(t *testing.T) {
+	s := openTest(t)
+	const workers, per = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			se := s.NewSession(simclock.New(0)).(*Session)
+			for i := 0; i < per; i++ {
+				if _, err := se.IncrBy([]byte("ctr"), 1); err != nil {
+					t.Errorf("incr: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	se := s.NewSession(simclock.New(0)).(*Session)
+	got, ok, err := se.Get([]byte("ctr"))
+	if err != nil || !ok || string(got) != fmt.Sprint(workers*per) {
+		t.Fatalf("counter = %q, %v, %v; want %d", got, ok, err, workers*per)
+	}
+}

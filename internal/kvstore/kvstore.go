@@ -27,6 +27,45 @@ type Session interface {
 	Clock() *simclock.Clock
 }
 
+// KV is one key/value pair produced by a scan, in hash order.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Snapshot is a point-in-time, immutable view of a store. Scan pages through
+// it with a resumable cursor: pass 0 to start, feed the returned cursor back
+// in, and stop when it returns 0. A snapshot pins store resources (epoch
+// reclamation, arena space) until Release is called. Not safe for concurrent
+// use.
+type Snapshot interface {
+	Scan(cursor uint64, limit int) ([]KV, uint64, error)
+	Release()
+}
+
+// Scanner is an optional Session capability: stores with sorted or hashed
+// range iteration implement it. Scan is the one-shot form (each call captures
+// its own per-shard view, Redis-SCAN-style guarantees); Snapshot returns a
+// stable view for multi-call iteration.
+type Scanner interface {
+	Scan(cursor uint64, limit int) ([]KV, uint64, error)
+	Snapshot() (Snapshot, error)
+}
+
+// ConditionalDeleter is an optional Session capability: a delete that runs
+// probe and tombstone atomically under the store's write path and reports
+// whether the key existed. Fixes the probe-then-delete TOCTOU a Get+Delete
+// pair has across sessions.
+type ConditionalDeleter interface {
+	DeleteIfPresent(key []byte) (bool, error)
+}
+
+// Incrementer is an optional Session capability: an atomic read-modify-write
+// of a decimal integer value (Redis INCR/INCRBY semantics).
+type Incrementer interface {
+	IncrBy(key []byte, delta int64) (int64, error)
+}
+
 // Store is a key-value store under evaluation.
 type Store interface {
 	// Name identifies the store in reports ("ChameleonDB", "Pmem-Hash", ...).

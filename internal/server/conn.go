@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"time"
 
 	"chameleondb/internal/kvstore"
@@ -30,6 +31,20 @@ type conn struct {
 	se   kvstore.Session
 	done chan error // group-commit ack channel, reused across batches
 	pend []pendingCmd
+
+	// MULTI state. Queued commands are deep copies — decoded args alias the
+	// reader's buffer, which the next ReadCommand overwrites. txnErr latches a
+	// queue-time error (unknown command, bad arity); EXEC then aborts the
+	// whole transaction, Redis-style.
+	inTxn  bool
+	txnErr bool
+	txn    []queuedCmd
+}
+
+// queuedCmd is one command buffered between MULTI and EXEC.
+type queuedCmd struct {
+	kind cmdKind
+	args [][]byte
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -153,8 +168,16 @@ func (c *conn) flushReplies() error {
 // args alias the reader's internal buffer: valid only for this call, which is
 // fine — the engine copies keys and values into its own arena on Put/Delete,
 // and Get returns a fresh copy.
+// maxScanCount caps a single SCAN batch so one command cannot buffer an
+// unbounded reply.
+const maxScanCount = 4096
+
 func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 	m := c.srv.metrics
+	if c.inTxn && kind != cmdMulti && kind != cmdExec && kind != cmdDiscard {
+		c.enqueue(kind, args)
+		return
+	}
 	switch kind {
 	case cmdGet:
 		if len(args) != 2 {
@@ -189,27 +212,33 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			return
 		}
 		// RESP's DEL reports how many keys existed, but the engine's Delete
-		// is an unconditional tombstone append: probe first, delete only what
-		// is there, so the count and the write amplification both match the
-		// contract.
+		// is an unconditional tombstone append. The conditional delete runs
+		// probe and tombstone under one shard-lock acquisition, so the count
+		// is exact even when another connection races the same key; the
+		// probe-then-delete fallback (stores without the capability) can
+		// miscount across sessions and tombstone an already-absent key.
+		cd, _ := c.se.(kvstore.ConditionalDeleter)
 		var n int64
 		for _, key := range args[1:] {
-			_, ok, err := c.se.Get(key)
+			var existed bool
+			var err error
+			if cd != nil {
+				existed, err = cd.DeleteIfPresent(key)
+			} else {
+				_, existed, err = c.se.Get(key)
+				if err == nil && existed {
+					err = c.se.Delete(key)
+				}
+			}
 			if err != nil {
 				m.StoreErrors.Add(1)
 				c.w.Error("ERR " + err.Error())
 				return
 			}
-			if !ok {
-				continue
+			if existed {
+				n++
+				*dirty = true
 			}
-			if err := c.se.Delete(key); err != nil {
-				m.StoreErrors.Add(1)
-				c.w.Error("ERR " + err.Error())
-				return
-			}
-			n++
-			*dirty = true
 		}
 		c.w.Int(n)
 	case cmdExists:
@@ -259,6 +288,180 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			lp.Log().SyncAll(c.se.Clock())
 		}
 		c.w.SimpleString("OK")
+	case cmdMGet:
+		if len(args) < 2 {
+			c.arity("mget")
+			return
+		}
+		// Collect every result before emitting a single byte: a mid-batch
+		// store error must produce one canonical -ERR frame, never a
+		// partially written array stranded in the pipelined reply buffer.
+		vals := make([][]byte, len(args)-1)
+		hits := make([]bool, len(args)-1)
+		for i, key := range args[1:] {
+			val, ok, err := c.se.Get(key)
+			if err != nil {
+				m.StoreErrors.Add(1)
+				c.w.Error("ERR " + err.Error())
+				return
+			}
+			vals[i], hits[i] = val, ok
+		}
+		c.w.ArrayHeader(len(vals))
+		for i, v := range vals {
+			if hits[i] {
+				c.w.Bulk(v)
+			} else {
+				c.w.Null()
+			}
+		}
+	case cmdMSet:
+		if len(args) < 3 || (len(args)-1)%2 != 0 {
+			c.arity("mset")
+			return
+		}
+		// Writes apply left to right; on a store error the already-written
+		// prefix stays applied (documented deviation: Redis MSET is atomic),
+		// but the reply is still a single canonical -ERR frame and dirty
+		// stays set, so the prefix is group-committed like any other write.
+		for i := 1; i+1 < len(args); i += 2 {
+			if err := c.se.Put(args[i], args[i+1]); err != nil {
+				m.StoreErrors.Add(1)
+				c.w.Error("ERR " + err.Error())
+				return
+			}
+			*dirty = true
+		}
+		c.w.SimpleString("OK")
+	case cmdIncr, cmdIncrBy:
+		want := 2
+		if kind == cmdIncrBy {
+			want = 3
+		}
+		if len(args) != want {
+			c.arity(kind.String())
+			return
+		}
+		inc, ok := c.se.(kvstore.Incrementer)
+		if !ok {
+			c.w.Error("ERR " + kind.String() + " is not supported by this store")
+			return
+		}
+		delta := int64(1)
+		if kind == cmdIncrBy {
+			var err error
+			delta, err = strconv.ParseInt(string(args[2]), 10, 64)
+			if err != nil {
+				c.w.Error("ERR value is not an integer or out of range")
+				return
+			}
+		}
+		v, err := inc.IncrBy(args[1], delta)
+		if err != nil {
+			m.StoreErrors.Add(1)
+			c.w.Error("ERR " + err.Error())
+			return
+		}
+		*dirty = true
+		c.w.Int(v)
+	case cmdScan:
+		// SCAN cursor [COUNT n] [WITHVALUES]. WITHVALUES is this server's
+		// extension: values interleave with keys in the reply so a scan does
+		// not need an MGET per batch.
+		if len(args) < 2 {
+			c.arity("scan")
+			return
+		}
+		sc, ok := c.se.(kvstore.Scanner)
+		if !ok {
+			c.w.Error("ERR scan is not supported by this store")
+			return
+		}
+		cursor, err := strconv.ParseUint(string(args[1]), 10, 64)
+		if err != nil {
+			c.w.Error("ERR invalid cursor")
+			return
+		}
+		count := 10
+		withValues := false
+		for i := 2; i < len(args); i++ {
+			switch {
+			case equalFoldUpper(args[i], "COUNT") && i+1 < len(args):
+				n, err := strconv.Atoi(string(args[i+1]))
+				if err != nil || n < 1 {
+					c.w.Error("ERR value is not an integer or out of range")
+					return
+				}
+				if n > maxScanCount {
+					n = maxScanCount
+				}
+				count = n
+				i++
+			case equalFoldUpper(args[i], "WITHVALUES"):
+				withValues = true
+			default:
+				c.w.Error("ERR syntax error")
+				return
+			}
+		}
+		pairs, next, err := sc.Scan(cursor, count)
+		if err != nil {
+			m.StoreErrors.Add(1)
+			c.w.Error("ERR " + err.Error())
+			return
+		}
+		c.w.ArrayHeader(2)
+		c.w.Bulk(strconv.AppendUint(nil, next, 10))
+		if withValues {
+			c.w.ArrayHeader(len(pairs) * 2)
+			for _, kv := range pairs {
+				c.w.Bulk(kv.Key)
+				c.w.Bulk(kv.Value)
+			}
+		} else {
+			c.w.ArrayHeader(len(pairs))
+			for _, kv := range pairs {
+				c.w.Bulk(kv.Key)
+			}
+		}
+	case cmdMulti:
+		if c.inTxn {
+			c.w.Error("ERR MULTI calls can not be nested")
+			return
+		}
+		c.inTxn = true
+		c.txnErr = false
+		c.txn = c.txn[:0]
+		c.w.SimpleString("OK")
+	case cmdExec:
+		if !c.inTxn {
+			c.w.Error("ERR EXEC without MULTI")
+			return
+		}
+		queued := c.txn
+		aborted := c.txnErr
+		c.inTxn, c.txnErr, c.txn = false, false, nil
+		if aborted {
+			c.w.Error("EXECABORT Transaction discarded because of previous errors.")
+			return
+		}
+		// The queued commands run back to back on this connection's session;
+		// their replies land inside one array, and their writes ride the same
+		// group commit as any pipelined batch — every ack in the array is
+		// durable when it reaches the wire. Commands from other connections
+		// may interleave at the engine (documented deviation from Redis's
+		// single-threaded isolation).
+		c.w.ArrayHeader(len(queued))
+		for _, q := range queued {
+			c.execute(q.kind, q.args, dirty, quit)
+		}
+	case cmdDiscard:
+		if !c.inTxn {
+			c.w.Error("ERR DISCARD without MULTI")
+			return
+		}
+		c.inTxn, c.txnErr, c.txn = false, false, nil
+		c.w.SimpleString("OK")
 	case cmdQuit:
 		c.w.SimpleString("OK")
 		*quit = true
@@ -268,6 +471,54 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 	default:
 		c.w.Error(fmt.Sprintf("ERR unknown command '%s'", args[0]))
 	}
+}
+
+// enqueue buffers one command between MULTI and EXEC, deep-copying args out
+// of the reader's reused buffer. Unknown commands, wrong arities, and
+// non-transactional commands are rejected immediately and poison the
+// transaction — EXEC then aborts, Redis-style, instead of burying the error
+// inside the reply array.
+func (c *conn) enqueue(kind cmdKind, args [][]byte) {
+	switch {
+	case kind == cmdUnknown:
+		c.txnErr = true
+		c.w.Error(fmt.Sprintf("ERR unknown command '%s'", args[0]))
+		return
+	case kind == cmdQuit || kind == cmdFlushAll:
+		c.txnErr = true
+		c.w.Error("ERR " + kind.String() + " is not allowed in transactions")
+		return
+	case !arityOK(kind, len(args)):
+		c.txnErr = true
+		c.w.Error("ERR wrong number of arguments for '" + kind.String() + "' command")
+		return
+	}
+	cp := make([][]byte, len(args))
+	for i, a := range args {
+		cp[i] = append([]byte(nil), a...)
+	}
+	c.txn = append(c.txn, queuedCmd{kind: kind, args: cp})
+	c.w.SimpleString("QUEUED")
+}
+
+// arityOK validates argument counts at MULTI queue time, mirroring the checks
+// each execute case performs.
+func arityOK(kind cmdKind, n int) bool {
+	switch kind {
+	case cmdGet, cmdIncr:
+		return n == 2
+	case cmdSet, cmdIncrBy:
+		return n == 3
+	case cmdDel, cmdExists, cmdMGet:
+		return n >= 2
+	case cmdMSet:
+		return n >= 3 && (n-1)%2 == 0
+	case cmdPing, cmdInfo:
+		return n <= 2
+	case cmdScan:
+		return n >= 2 && n <= 5
+	}
+	return true
 }
 
 func (c *conn) arity(name string) {

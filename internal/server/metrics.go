@@ -21,6 +21,14 @@ const (
 	cmdFlushAll
 	cmdQuit
 	cmdCommand
+	cmdMGet
+	cmdMSet
+	cmdIncr
+	cmdIncrBy
+	cmdScan
+	cmdMulti
+	cmdExec
+	cmdDiscard
 	cmdUnknown
 	numCmdKinds
 )
@@ -45,6 +53,22 @@ func (k cmdKind) String() string {
 		return "quit"
 	case cmdCommand:
 		return "command"
+	case cmdMGet:
+		return "mget"
+	case cmdMSet:
+		return "mset"
+	case cmdIncr:
+		return "incr"
+	case cmdIncrBy:
+		return "incrby"
+	case cmdScan:
+		return "scan"
+	case cmdMulti:
+		return "multi"
+	case cmdExec:
+		return "exec"
+	case cmdDiscard:
+		return "discard"
 	}
 	return "unknown"
 }
@@ -88,6 +112,22 @@ func commandKind(name []byte) cmdKind {
 		return cmdQuit
 	case equalFoldUpper(name, "COMMAND"):
 		return cmdCommand
+	case equalFoldUpper(name, "MGET"):
+		return cmdMGet
+	case equalFoldUpper(name, "MSET"):
+		return cmdMSet
+	case equalFoldUpper(name, "INCR"):
+		return cmdIncr
+	case equalFoldUpper(name, "INCRBY"):
+		return cmdIncrBy
+	case equalFoldUpper(name, "SCAN"):
+		return cmdScan
+	case equalFoldUpper(name, "MULTI"):
+		return cmdMulti
+	case equalFoldUpper(name, "EXEC"):
+		return cmdExec
+	case equalFoldUpper(name, "DISCARD"):
+		return cmdDiscard
 	}
 	return cmdUnknown
 }
@@ -103,11 +143,13 @@ func wireHistIndex(k cmdKind) int {
 		return 1
 	case cmdDel:
 		return 2
+	case cmdScan:
+		return 3
 	}
-	return 3
+	return 4
 }
 
-var wireHistNames = [4]string{"get", "set", "del", "other"}
+var wireHistNames = [5]string{"get", "set", "del", "scan", "other"}
 
 // Metrics is the serving layer's observability block. It registers into the
 // store's own registry when the store exposes one (obs.Provider), so wire
@@ -132,7 +174,7 @@ type Metrics struct {
 	// Wire is wall-clock latency from command decode to its reply reaching
 	// the socket, including any group-commit wait — what a loopback client
 	// observes minus its own RTT share.
-	Wire [4]histogram.Histogram
+	Wire [5]histogram.Histogram
 	// PipelineDepth is the observed commands-per-batch distribution, the
 	// direct measure of how much pipelining clients actually achieve.
 	PipelineDepth histogram.Histogram

@@ -17,7 +17,7 @@ import (
 
 // startServer opens a test store (unless one is supplied), binds the server
 // on an ephemeral loopback port, and tears both down with the test.
-func startServer(t *testing.T, store kvstore.Store, cfg Config) (*Server, string) {
+func startServer(t testing.TB, store kvstore.Store, cfg Config) (*Server, string) {
 	t.Helper()
 	if store == nil {
 		st, err := core.Open(core.TestConfig())
@@ -47,7 +47,7 @@ func startServer(t *testing.T, store kvstore.Store, cfg Config) (*Server, string
 	return s, s.Addr().String()
 }
 
-func dialT(t *testing.T, addr string) *resp.Client {
+func dialT(t testing.TB, addr string) *resp.Client {
 	t.Helper()
 	c, err := resp.Dial(addr, 5*time.Second)
 	if err != nil {

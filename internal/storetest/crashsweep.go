@@ -57,6 +57,15 @@ type SweepConfig struct {
 	MaintainEvery int
 	Maintenance   MaintenanceFunc
 
+	// ScanEvery issues a full cursor-loop scan every this many ops (0 =
+	// none) on stores whose sessions implement kvstore.Scanner, checked
+	// exactly against the applied state — scans never persist, so the
+	// schedule does not disturb the persist count. Post-recovery scans run
+	// regardless: whenever the recovered session is a Scanner, the scanned
+	// set must exactly equal the point-get view (no resurrected tombstones,
+	// no lost survivors).
+	ScanEvery int
+
 	// Stride tests every Stride-th crash point (0 or 1 = exhaustive).
 	Stride int
 	// Tear additionally replays each tested point with a TearRandom plan, so
@@ -146,6 +155,7 @@ const (
 	opGet
 	opFlush
 	opMaint
+	opScan
 )
 
 type scriptOp struct {
@@ -175,6 +185,9 @@ func buildScript(cfg SweepConfig) []scriptOp {
 		}
 		if cfg.FlushEvery > 0 && i > 0 && i%cfg.FlushEvery == 0 {
 			script = append(script, scriptOp{kind: opFlush})
+		}
+		if cfg.ScanEvery > 0 && i > 0 && i%cfg.ScanEvery == 0 {
+			script = append(script, scriptOp{kind: opScan})
 		}
 		key := rng.Intn(cfg.Keys)
 		switch r := rng.Intn(10); {
@@ -280,6 +293,56 @@ func (rs *runState) legal(key int, got []byte, ok bool) (bool, string) {
 	return false, fmt.Sprintf("flushed value (%d bytes) lost: key absent after recovery with no delete acknowledged since the flush", len(durVal))
 }
 
+// fullScan drives a cursor loop to completion, collecting every returned pair
+// and rejecting duplicate keys (a key must never be emitted twice in one
+// logical iteration over a quiesced store).
+func fullScan(sc kvstore.Scanner) (map[string]string, error) {
+	got := make(map[string]string)
+	var cursor uint64
+	for {
+		kvs, next, err := sc.Scan(cursor, 64)
+		if err != nil {
+			return nil, fmt.Errorf("scan(cursor=%d): %w", cursor, err)
+		}
+		for _, kv := range kvs {
+			if _, dup := got[string(kv.Key)]; dup {
+				return nil, fmt.Errorf("scan returned key %q twice", kv.Key)
+			}
+			got[string(kv.Key)] = string(kv.Value)
+		}
+		if next == 0 {
+			return got, nil
+		}
+		cursor = next
+	}
+}
+
+// diffScan checks a scanned key set exactly against a want state: same keys,
+// same values, nothing extra. The map keys of want are script key indices.
+func diffScan(got map[string]string, want map[int]string) error {
+	for k, wv := range want {
+		gv, ok := got[string(sweepKey(k))]
+		if !ok {
+			return fmt.Errorf("live key %d missing from scan", k)
+		}
+		if gv != wv {
+			return fmt.Errorf("scan key %d = %q want %q", k, trunc([]byte(gv)), trunc([]byte(wv)))
+		}
+	}
+	if len(got) != len(want) {
+		wantKeys := make(map[string]bool, len(want))
+		for k := range want {
+			wantKeys[string(sweepKey(k))] = true
+		}
+		for gk := range got {
+			if !wantKeys[gk] {
+				return fmt.Errorf("scan returned key %q which must be absent (resurrected delete or invented key)", gk)
+			}
+		}
+	}
+	return nil
+}
+
 func trunc(b []byte) []byte {
 	if len(b) > 24 {
 		return b[:24]
@@ -320,6 +383,22 @@ func executeScript(st kvstore.Store, plan *device.FaultPlan, script []scriptOp, 
 			err = se.Flush()
 		case opMaint:
 			err = cfg.Maintenance(st, c, op.phase)
+		case opScan:
+			sc, isScanner := se.(kvstore.Scanner)
+			if !isScanner {
+				continue
+			}
+			got, serr := fullScan(sc)
+			if serr != nil {
+				err = serr
+				break
+			}
+			if plan.Triggered() {
+				break // mid-scan trigger: state comparison no longer exact
+			}
+			if derr := diffScan(got, rs.applied); derr != nil {
+				return rs, fmt.Errorf("op %d: mid-script scan: %w", n, derr)
+			}
 		case opGet:
 			var got []byte
 			var ok bool
@@ -437,8 +516,9 @@ func runCrashPoint(newStore NewStoreFunc, script []scriptOp, cfg SweepConfig, po
 
 // recoverAndCheck recovers the store and asserts the post-crash contract:
 // recovery succeeds, the store's own integrity verifier passes, every key's
-// state is legal per the oracle, and the store accepts and flushes new
-// writes.
+// state is legal per the oracle, a full scan (when the store supports one)
+// agrees exactly with the point-get view, and the store accepts and flushes
+// new writes.
 func recoverAndCheck(st kvstore.Store, rs *runState, cfg SweepConfig) error {
 	if err := st.Recover(simclock.New(0)); err != nil {
 		return fmt.Errorf("recovery failed: %w", err)
@@ -451,6 +531,7 @@ func recoverAndCheck(st kvstore.Store, rs *runState, cfg SweepConfig) error {
 		}
 	}
 	se := st.NewSession(simclock.New(0))
+	present := make(map[string]string)
 	for key := 0; key < cfg.Keys; key++ {
 		got, ok, err := se.Get(sweepKey(key))
 		if err != nil {
@@ -458,6 +539,45 @@ func recoverAndCheck(st kvstore.Store, rs *runState, cfg SweepConfig) error {
 		}
 		if legal, why := rs.legal(key, got, ok); !legal {
 			return fmt.Errorf("key %d: %s", key, why)
+		}
+		if ok {
+			present[string(sweepKey(key))] = string(got)
+		}
+	}
+	// Scan/get parity: on a quiesced recovered store, a full scan must return
+	// exactly the point-get view — a scanned key the gets call absent is a
+	// resurrected tombstone; a present key the scan misses is a lost survivor.
+	// Runs before the writability probe so the probe key cannot pollute it.
+	if sc, ok := se.(kvstore.Scanner); ok {
+		scanned, err := fullScan(sc)
+		if err != nil {
+			return fmt.Errorf("post-recovery scan: %w", err)
+		}
+		for k, v := range present {
+			sv, ok := scanned[k]
+			if !ok {
+				return fmt.Errorf("post-recovery scan: live key %q missing", k)
+			}
+			if sv != v {
+				return fmt.Errorf("post-recovery scan: key %q = %q, get sees %q", k, trunc([]byte(sv)), trunc([]byte(v)))
+			}
+		}
+		for gk, sv := range scanned {
+			if _, ok := present[gk]; ok {
+				continue
+			}
+			// A scanned key outside the checked keyspace (e.g. a probe key a
+			// prior recovery cycle flushed) still has to agree with Get.
+			got, ok, err := se.Get([]byte(gk))
+			if err != nil {
+				return fmt.Errorf("post-recovery get of scanned key %q: %w", gk, err)
+			}
+			if !ok {
+				return fmt.Errorf("post-recovery scan: key %q returned but absent per get (resurrected tombstone)", gk)
+			}
+			if string(got) != sv {
+				return fmt.Errorf("post-recovery scan: key %q = %q, get sees %q", gk, trunc([]byte(sv)), trunc(got))
+			}
 		}
 	}
 	// Writability probe: the recovered store must function as a store.
