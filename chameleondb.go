@@ -192,8 +192,28 @@ func (db *DB) NewSession() *Session {
 // Put inserts or updates a key.
 func (s *Session) Put(key, value []byte) error { return s.inner.Put(key, value) }
 
-// Get returns the value stored for key and whether it exists.
+// Get returns the value stored for key and whether it exists. The value is a
+// fresh copy; use GetInto to reuse a buffer across gets.
 func (s *Session) Get(key []byte) ([]byte, bool, error) { return s.inner.Get(key) }
+
+// GetInto is the allocation-free read: the value is appended to dst (which may
+// be nil) and the extended slice returned, strconv.Append style. A caller
+// looping `buf, ok, _ = s.GetInto(key, buf[:0])` allocates nothing once buf
+// has grown to the working value size. On a miss or error dst is returned
+// unchanged. The result is a copy the caller owns — it never aliases store
+// memory.
+func (s *Session) GetInto(key, dst []byte) ([]byte, bool, error) {
+	return s.inner.GetInto(key, dst)
+}
+
+// PutBatch applies n independent puts in one call, grouping keys by
+// destination shard so each group is applied under a single shard-lock
+// acquisition. Final state is identical to n sequential Puts (same-key writes
+// keep their order); on error an arbitrary subset may have been applied. See
+// kvstore.BatchWriter.
+func (s *Session) PutBatch(keys, values [][]byte) error {
+	return s.inner.PutBatch(keys, values)
+}
 
 // Delete removes a key.
 func (s *Session) Delete(key []byte) error { return s.inner.Delete(key) }
@@ -258,6 +278,12 @@ func (db *DB) Get(key []byte) (val []byte, ok bool, err error) {
 // Delete removes a key.
 func (db *DB) Delete(key []byte) error {
 	return db.withSession(func(s *Session) error { return s.Delete(key) })
+}
+
+// PutBatch applies n independent puts with shard-affine dispatch; see
+// Session.PutBatch.
+func (db *DB) PutBatch(keys, values [][]byte) error {
+	return db.withSession(func(s *Session) error { return s.PutBatch(keys, values) })
 }
 
 // Flush makes all pooled sessions' acknowledged writes durable. Sessions

@@ -76,12 +76,17 @@ func main() {
 
 // compareScaling is the CI regression gate: for each gated experiment this
 // run produced (readscale for the lock-free get path, writescale for the
-// async write path, scan for the merging iterator's batch amortization), it
-// compares the experiment's headline ratio — speedup at the top worker count,
-// or ns/key amortization at the top COUNT — against the checked-in baseline.
-// A ratio, not absolute time, is compared so the gate holds across machine
-// speeds; a >10% drop means the path reintroduced serialization (or the
-// iterator stopped amortizing its snapshot captures).
+// async write path, scan for the merging iterator's batch amortization,
+// netbench for the wire hot path's pipelining gain), it compares the
+// experiment's headline ratio — speedup at the top worker count, ns/key
+// amortization at the top COUNT, or deep-pipeline throughput over depth-1 —
+// against the checked-in baseline. A ratio, not absolute time, is compared so
+// the gate holds across machine speeds; a >10% drop means the path
+// reintroduced serialization (or the iterator stopped amortizing its snapshot
+// captures, or a per-command cost crept back into the serving loop). The
+// allocs experiment is gated differently: allocations per op are
+// machine-independent, so wire_get_hit and wire_set get a hard ceiling plus a
+// no-regression check against the baseline's absolute numbers.
 func compareScaling(baselinePath string, reports []*bench.Report) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -106,6 +111,7 @@ func compareScaling(baselinePath string, reports []*bench.Report) error {
 		{"readscale", bench.ReadScaleSpeedup},
 		{"writescale", bench.WriteScaleSpeedup},
 		{"scan", bench.ScanAmortization},
+		{"netbench", bench.NetBenchPipelineGain},
 	}
 	gated := false
 	for _, g := range gates {
@@ -135,8 +141,39 @@ func compareScaling(baselinePath string, reports []*bench.Report) error {
 		fmt.Printf("%s gate ok: %.2fx at endpoint %d (baseline %.2fx, floor %.2fx)\n", g.id, cs, cw, bs, bs*tolerance)
 		gated = true
 	}
+	if cur, ok := find(reports, "allocs"); ok {
+		base, hasBase := find(baseline, "allocs")
+		// The ceiling is absolute: allocs/op does not depend on machine
+		// speed, so "at most 2 allocations per wire op" is enforceable
+		// everywhere. The baseline check catches smaller creep (a path going
+		// from 0 to 1.5 stays under the ceiling but is still a regression).
+		const ceiling = 2.0
+		const slack = 0.75
+		for _, name := range []string{"wire_get_hit", "wire_set"} {
+			cv, err := bench.AllocsPerOp(cur, name)
+			if err != nil {
+				return fmt.Errorf("allocs current run: %w", err)
+			}
+			if cv > ceiling {
+				return fmt.Errorf("allocs %s = %.3f allocs/op, over the hard ceiling %.1f", name, cv, ceiling)
+			}
+			if hasBase {
+				bv, err := bench.AllocsPerOp(base, name)
+				if err != nil {
+					return fmt.Errorf("allocs baseline: %w", err)
+				}
+				if cv > bv+slack {
+					return fmt.Errorf("allocs %s regressed: %.3f allocs/op vs baseline %.3f (>%.2f increase)", name, cv, bv, slack)
+				}
+				fmt.Printf("allocs gate ok: %s %.3f allocs/op (baseline %.3f, ceiling %.1f)\n", name, cv, bv, ceiling)
+			} else {
+				fmt.Printf("allocs gate ok: %s %.3f allocs/op (no baseline, ceiling %.1f)\n", name, cv, ceiling)
+			}
+		}
+		gated = true
+	}
 	if !gated {
-		return fmt.Errorf("this run produced no readscale, writescale, or scan report (add -experiment readscale, writescale, or scan)")
+		return fmt.Errorf("this run produced no gated report (add -experiment readscale, writescale, scan, netbench, or allocs)")
 	}
 	return nil
 }

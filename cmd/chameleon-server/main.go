@@ -40,6 +40,7 @@ func main() {
 		commitDelay = flag.Duration("commit-delay", 200*time.Microsecond, "group-commit coalescing window")
 		commitSize  = flag.Int("commit-size", 64, "group-commit size threshold")
 		asyncAck    = flag.Bool("async-ack", false, "acknowledge writes before group commit (faster, weaker)")
+		replyRetain = flag.Int("reply-retain", 0, "per-connection reply buffer bytes kept across batches (0: default 1MiB)")
 		readTO      = flag.Duration("read-timeout", 5*time.Minute, "idle connection timeout (<0: none)")
 		writeTO     = flag.Duration("write-timeout", time.Minute, "per-write socket deadline (<0: none)")
 		maintWork   = flag.Int("maintenance-workers", -1, "background maintenance workers (0: run flushes/compactions inline on the put path; <0: min(shards, GOMAXPROCS))")
@@ -98,6 +99,7 @@ func main() {
 		GroupCommitDelay: *commitDelay,
 		GroupCommitSize:  *commitSize,
 		AsyncAck:         *asyncAck,
+		ReplyRetainBytes: *replyRetain,
 	})
 	if err := srv.Listen(); err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/simclock"
+)
+
+// scribble overwrites every byte of b, simulating the server reusing its RESP
+// read buffer for the next batch after a call returned.
+func scribble(b []byte) {
+	for i := range b {
+		b[i] = 0xAA
+	}
+}
+
+// aliasingCheck enforces the buffer-ownership contract (DESIGN.md §7) on one
+// store: Put, Delete, and PutBatch must not retain the caller's key or value
+// buffers — scribbling them after the call returns must not change what any
+// later Get (or recovery) observes. This is exactly what the server relies on
+// when it passes RESP arg spans straight into the engine and then reuses the
+// read buffer for the next pipelined batch.
+func aliasingCheck(t *testing.T, s kvstore.Store) {
+	t.Helper()
+	se := s.NewSession(simclock.New(0))
+
+	// Put: key and value buffers are the caller's to trash afterwards.
+	kbuf := []byte("alias-key-1")
+	vbuf := []byte("alias-value-1")
+	if err := se.Put(kbuf, vbuf); err != nil {
+		t.Fatal(err)
+	}
+	scribble(kbuf)
+	scribble(vbuf)
+	got, ok, err := se.Get([]byte("alias-key-1"))
+	if err != nil || !ok || string(got) != "alias-value-1" {
+		t.Fatalf("after scribbling Put buffers: Get = %q,%v,%v", got, ok, err)
+	}
+
+	// The returned value is a private copy too: scribbling it must not
+	// corrupt the store.
+	scribble(got)
+	got2, ok, _ := se.Get([]byte("alias-key-1"))
+	if !ok || string(got2) != "alias-value-1" {
+		t.Fatalf("scribbling a Get result corrupted the store: %q", got2)
+	}
+
+	// PutBatch: same contract for every key/value in the batch.
+	var keys, vals [][]byte
+	for i := 0; i < 16; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("alias-bk-%02d", i)))
+		vals = append(vals, []byte(fmt.Sprintf("alias-bv-%02d", i)))
+	}
+	bw, isBW := se.(kvstore.BatchWriter)
+	if !isBW {
+		t.Fatalf("%T does not implement kvstore.BatchWriter", se)
+	}
+	if err := bw.PutBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		scribble(keys[i])
+		scribble(vals[i])
+	}
+	for i := 0; i < 16; i++ {
+		want := fmt.Sprintf("alias-bv-%02d", i)
+		got, ok, err := se.Get([]byte(fmt.Sprintf("alias-bk-%02d", i)))
+		if err != nil || !ok || string(got) != want {
+			t.Fatalf("batch key %d after scribble: Get = %q,%v,%v want %q", i, got, ok, err, want)
+		}
+	}
+
+	// Delete: the tombstone's key is copied as well.
+	dkey := []byte("alias-bk-00")
+	if err := se.Delete(dkey); err != nil {
+		t.Fatal(err)
+	}
+	scribble(dkey)
+	if _, ok, _ := se.Get([]byte("alias-bk-00")); ok {
+		t.Fatal("deleted key still readable after scribbling the delete's key buffer")
+	}
+	if _, ok, _ := se.Get([]byte("alias-bk-01")); !ok {
+		t.Fatal("scribbled delete key buffer tombstoned a different key")
+	}
+
+	if err := se.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferOwnershipSim enforces the contract on the simulated-pmem backend.
+func TestBufferOwnershipSim(t *testing.T) {
+	s := openTest(t)
+	defer s.Close()
+	aliasingCheck(t, s)
+}
+
+// TestBufferOwnershipFile enforces it on the file backend, then additionally
+// crashes and recovers: the durable image must hold the original bytes, not
+// the scribbled ones — a retained alias that survives to the fsync would show
+// up here.
+func TestBufferOwnershipFile(t *testing.T) {
+	cfg := TestConfig()
+	s, existing, err := OpenFile(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existing {
+		t.Fatal("fresh dir reported existing")
+	}
+	defer s.Close()
+	aliasingCheck(t, s)
+	s.Crash()
+	if err := s.Recover(simclock.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	se := s.NewSession(simclock.New(0))
+	got, ok, err := se.Get([]byte("alias-key-1"))
+	if err != nil || !ok || string(got) != "alias-value-1" {
+		t.Fatalf("post-recovery Get = %q,%v,%v", got, ok, err)
+	}
+	if got, ok, _ := se.Get([]byte("alias-bk-07")); !ok || string(got) != "alias-bv-07" {
+		t.Fatalf("post-recovery batched key = %q,%v", got, ok)
+	}
+}
+
+// TestGetIntoSemantics pins the append-style contract: the value is appended
+// to dst (preserving any prefix), a miss or error returns dst unchanged with
+// its length intact, and a dst with enough capacity is reused, not replaced.
+func TestGetIntoSemantics(t *testing.T) {
+	s := openTest(t)
+	defer s.Close()
+	se := s.NewSession(simclock.New(0)).(*Session)
+	if err := se.Put([]byte("gik"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append preserves the prefix.
+	dst := []byte("prefix:")
+	out, ok, err := se.GetInto([]byte("gik"), dst)
+	if err != nil || !ok || string(out) != "prefix:value" {
+		t.Fatalf("GetInto with prefix = %q,%v,%v", out, ok, err)
+	}
+
+	// Miss returns dst as passed.
+	dst = []byte("keepme")
+	out, ok, err = se.GetInto([]byte("absent"), dst)
+	if err != nil || ok {
+		t.Fatalf("GetInto(miss) = %q,%v,%v", out, ok, err)
+	}
+	if string(out) != "keepme" {
+		t.Fatalf("miss mutated dst: %q", out)
+	}
+
+	// Sufficient capacity means no reallocation: the result aliases dst.
+	dst = make([]byte, 0, 64)
+	out, ok, err = se.GetInto([]byte("gik"), dst)
+	if err != nil || !ok || string(out) != "value" {
+		t.Fatalf("GetInto = %q,%v,%v", out, ok, err)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("GetInto reallocated despite sufficient dst capacity")
+	}
+
+	// nil dst behaves like Get.
+	out, ok, err = se.GetInto([]byte("gik"), nil)
+	if err != nil || !ok || string(out) != "value" {
+		t.Fatalf("GetInto(nil dst) = %q,%v,%v", out, ok, err)
+	}
+}
+
+// TestPutBatchEquivalence checks that a PutBatch-driven workload converges to
+// exactly the state the same ops produce sequentially — including same-key
+// ordering within a batch (last write in batch order wins) — on both a fresh
+// read and after crash+recovery.
+func TestPutBatchEquivalence(t *testing.T) {
+	mkKV := func(n int) (keys, vals [][]byte) {
+		for i := 0; i < n; i++ {
+			// Key space smaller than the batch count forces same-key
+			// collisions inside batches.
+			keys = append(keys, []byte(fmt.Sprintf("pbk-%02d", i%40)))
+			vals = append(vals, []byte(fmt.Sprintf("pbv-%04d", i)))
+		}
+		return
+	}
+
+	seq := openTest(t)
+	defer seq.Close()
+	sseq := seq.NewSession(simclock.New(0))
+	keys, vals := mkKV(200)
+	for i := range keys {
+		if err := sseq.Put(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bat := openTest(t)
+	defer bat.Close()
+	sbat := bat.NewSession(simclock.New(0)).(*Session)
+	for off := 0; off < len(keys); off += 16 {
+		end := min(off+16, len(keys))
+		if err := sbat.PutBatch(keys[off:end], vals[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 40; i++ {
+		k := []byte(fmt.Sprintf("pbk-%02d", i))
+		want, wok, _ := sseq.Get(k)
+		got, gok, err := sbat.Get(k)
+		if err != nil || gok != wok || !bytes.Equal(got, want) {
+			t.Fatalf("key %q: batched=%q,%v seq=%q,%v err=%v", k, got, gok, want, wok, err)
+		}
+	}
+
+	// The batch must survive crash+recovery like sequential writes do.
+	if err := sbat.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bat.Crash()
+	if err := bat.Recover(simclock.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	sr := bat.NewSession(simclock.New(0))
+	for i := 0; i < 40; i++ {
+		k := []byte(fmt.Sprintf("pbk-%02d", i))
+		want, wok, _ := sseq.Get(k)
+		got, gok, err := sr.Get(k)
+		if err != nil || gok != wok || !bytes.Equal(got, want) {
+			t.Fatalf("post-recovery key %q: batched=%q,%v seq=%q,%v err=%v", k, got, gok, want, wok, err)
+		}
+	}
+}
+
+// TestPutBatchValidation covers the error contract: mismatched slice lengths
+// fail up front (nothing applied), and an empty batch is a no-op.
+func TestPutBatchValidation(t *testing.T) {
+	s := openTest(t)
+	defer s.Close()
+	se := s.NewSession(simclock.New(0)).(*Session)
+	if err := se.PutBatch([][]byte{[]byte("a")}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, ok, _ := se.Get([]byte("a")); ok {
+		t.Fatal("failed batch applied a write")
+	}
+	if err := se.PutBatch(nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}

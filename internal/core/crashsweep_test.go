@@ -107,6 +107,21 @@ func TestCrashSweepAsync(t *testing.T) {
 	}), wl)
 }
 
+// TestCrashSweepBatchedPuts replays the Direct-mode sweep with runs of
+// consecutive puts grouped through PutBatch — the path the server's
+// shard-affine SET dispatch uses. Batched writes must replay exactly like
+// sequential ones at every crash point (any subset of a crashed batch may be
+// durable; the oracle's pending set accounts for all of them), and the
+// mid-script and post-recovery scan checks run unchanged.
+func TestCrashSweepBatchedPuts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	wl := sweepWorkload()
+	wl.BatchPuts = 8
+	storetest.RunCrashSweep(t, "ChameleonDB-Batched", sweepOpen(nil), wl)
+}
+
 // TestCrashSoak layers randomized workloads over the fixed sweep script:
 // transient allocation-error tolerance plus one random torn crash point per
 // iteration.

@@ -39,9 +39,18 @@ type Session struct {
 	// pending jobs — the barrier that preserves the server's group-commit
 	// durable-ack contract. Lazily allocated; nil while the pool is off.
 	dirty map[int]struct{}
+
+	// PutBatch scratch, reused across calls so a steady stream of batches
+	// allocates nothing.
+	bhash []uint64
+	bdone []bool
 }
 
-var _ kvstore.Session = (*Session)(nil)
+var (
+	_ kvstore.Session     = (*Session)(nil)
+	_ kvstore.ValueReader = (*Session)(nil)
+	_ kvstore.BatchWriter = (*Session)(nil)
+)
 
 // NewSession implements kvstore.Store.
 func (s *Store) NewSession(c *simclock.Clock) kvstore.Session {
@@ -51,7 +60,10 @@ func (s *Store) NewSession(c *simclock.Clock) kvstore.Session {
 // Clock returns the session's virtual clock.
 func (se *Session) Clock() *simclock.Clock { return se.clock }
 
-// Put implements kvstore.Session.
+// Put implements kvstore.Session. Neither key nor value is retained: the log
+// appender copies both into its batch chunk before Put returns, so the caller
+// may immediately reuse the backing arrays (the RESP server passes spans of
+// its per-connection read buffer straight through here).
 func (se *Session) Put(key, value []byte) error {
 	return se.write(key, value, 0)
 }
@@ -119,6 +131,81 @@ func (se *Session) write(key, value []byte, flags uint16) error {
 	return nil
 }
 
+// PutBatch implements kvstore.BatchWriter: n independent puts with
+// shard-affine dispatch. Keys are hashed up front, then grouped by destination
+// shard (in first-appearance order, preserving index order within each group)
+// and each group is applied under a single shard-lock acquisition and a single
+// timeline reservation — the per-op lock/reserve overhead of n sequential Puts
+// collapses to one per shard touched. Writes to the same key always hash to
+// the same shard and keep their relative order, so the final state is
+// identical to n sequential Puts. Durability is unchanged: entries land in the
+// session's log batch in dispatch order and become durable on the next Flush,
+// exactly like Put. On error, an arbitrary subset of the batch (never a
+// same-key reordering) may have been applied; callers needing strict
+// sequential failure semantics should fall back to Put. Like Put, neither keys
+// nor values are retained after return.
+func (se *Session) PutBatch(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return errors.New("core: PutBatch: keys and values length mismatch")
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	if err := se.store.readable(); err != nil {
+		return err
+	}
+	c := se.clock
+	arrive := c.Now()
+	// Hash every key and charge the per-entry hash + DRAM batch-copy costs up
+	// front, exactly as n sequential writes would.
+	se.bhash = se.bhash[:0]
+	se.bdone = se.bdone[:0]
+	for i, key := range keys {
+		c.Advance(device.CostHash64)
+		se.bhash = append(se.bhash, se.store.hashFn(key))
+		c.Advance(int64(float64(wlog.EntrySize(len(key), len(values[i]))) * device.CostDRAMSeqPerByte))
+		se.bdone = append(se.bdone, false)
+	}
+	for i := range keys {
+		if se.bdone[i] {
+			continue
+		}
+		sh := se.store.shardFor(se.bhash[i])
+		if err := se.admitWrite(sh); err != nil {
+			return err
+		}
+		sh.mu.Lock()
+		opStart := c.Now()
+		sh.asyncNs = 0
+		var err error
+		applied := int64(0)
+		for j := i; j < len(keys); j++ {
+			if se.bdone[j] || se.store.shardFor(se.bhash[j]) != sh {
+				continue
+			}
+			if err = se.appendLocked(sh, c, se.bhash[j], keys[j], values[j], 0); err != nil {
+				break
+			}
+			se.bdone[j] = true
+			applied++
+		}
+		dur := c.Now() - opStart - sh.asyncNs
+		sh.mu.Unlock()
+		c.AdvanceTo(sh.tl.Reserve(opStart, dur))
+		se.store.stats.Puts.Add(applied)
+		if err != nil {
+			return err
+		}
+	}
+	// Every op in the batch completes when the batch does; record them at the
+	// batch's end-to-end latency like n puts that all waited for the slowest.
+	end := c.Now()
+	for range keys {
+		se.store.lat.put.Record(end - arrive)
+	}
+	return nil
+}
+
 // admitWrite applies write-path backpressure and dirty-shard tracking before
 // the shard lock is taken: a writer never blocks other writers while it waits
 // for the pool to work off debt. No-op on synchronous stores.
@@ -138,10 +225,22 @@ func (se *Session) admitWrite(sh *shard) error {
 
 // Get implements kvstore.Session: MemTable, then ABI, then (dumped tables,)
 // then last level — at most three structures in the common case (Figure 6b)
-// — followed by one log read for the value.
+// — followed by one log read for the value. The returned value is a fresh
+// copy; callers that reuse a buffer across gets should prefer GetInto.
 func (se *Session) Get(key []byte) ([]byte, bool, error) {
+	return se.GetInto(key, nil)
+}
+
+// GetInto implements kvstore.ValueReader: the probe and log read of Get, with
+// the value appended to dst (which may be nil) instead of freshly allocated.
+// The returned slice is dst extended — it aliases dst's backing array whenever
+// capacity suffices, so a caller looping `buf, ok, _ = se.GetInto(key, buf[:0])`
+// performs zero allocations once its buffer has grown to the working value
+// size. On a miss or error dst is returned unchanged. The result is always a
+// copy the caller owns; it never aliases the store's log or tables.
+func (se *Session) GetInto(key, dst []byte) ([]byte, bool, error) {
 	if err := se.store.readable(); err != nil {
-		return nil, false, err
+		return dst, false, err
 	}
 	c := se.clock
 	arrive := c.Now()
@@ -181,7 +280,7 @@ func (se *Session) Get(key []byte) ([]byte, bool, error) {
 
 		if !ok {
 			finish(src)
-			return nil, false, nil
+			return dst, false, nil
 		}
 		e, err := se.store.log.Read(c, slot.LSN())
 		if err != nil {
@@ -192,10 +291,10 @@ func (se *Session) Get(key []byte) ([]byte, bool, error) {
 				// hash — no older version survives below it — so the slot
 				// stays authoritative: the key is deleted.
 				finish(src)
-				return nil, false, nil
+				return dst, false, nil
 			}
 			finish(src)
-			return nil, false, err
+			return dst, false, err
 		}
 		if !bytes.Equal(e.Key, key) {
 			// A full 64-bit hash collision between distinct keys: this
@@ -206,10 +305,9 @@ func (se *Session) Get(key []byte) ([]byte, bool, error) {
 		}
 		if slot.Tombstone() {
 			finish(src)
-			return nil, false, nil
+			return dst, false, nil
 		}
-		val := make([]byte, len(e.Value))
-		copy(val, e.Value)
+		val := append(dst, e.Value...)
 		finish(src)
 		return val, true, nil
 	}

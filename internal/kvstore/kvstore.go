@@ -13,6 +13,12 @@ import (
 // compaction worker) owns one session; the session's clock accumulates the
 // virtual time of everything the worker does. Sessions are not safe for
 // concurrent use; different sessions of the same store are.
+//
+// Buffer ownership: Put and Delete must not retain key or value after they
+// return — the caller may reuse or overwrite the backing arrays immediately
+// (the RESP server passes spans of a per-connection read buffer straight
+// through). Stores that keep data copy it into their own storage before
+// returning.
 type Session interface {
 	// Put inserts or updates a key.
 	Put(key, value []byte) error
@@ -50,6 +56,28 @@ type Snapshot interface {
 type Scanner interface {
 	Scan(cursor uint64, limit int) ([]KV, uint64, error)
 	Snapshot() (Snapshot, error)
+}
+
+// ValueReader is an optional Session capability: an allocation-free read. The
+// value is appended to dst (strconv.Append style) and the extended slice
+// returned, so a caller that reuses one buffer across gets allocates only when
+// a value outgrows it. On a miss or error the returned slice is dst unchanged.
+// The result never aliases store-internal memory — it is a copy the caller
+// owns, like Get's.
+type ValueReader interface {
+	GetInto(key, dst []byte) ([]byte, bool, error)
+}
+
+// BatchWriter is an optional Session capability: n independent puts applied in
+// one call so the store can amortize per-operation overhead (ChameleonDB
+// groups keys by destination shard and applies each group under a single
+// shard-lock acquisition). Semantics match n sequential Puts: writes to the
+// same key keep their relative order, and on error a prefix of the batch may
+// be applied — callers that need exactly-sequential failure semantics fall
+// back to Put. keys and values must be parallel slices; like Put, neither is
+// retained after the call returns.
+type BatchWriter interface {
+	PutBatch(keys, values [][]byte) error
 }
 
 // ConditionalDeleter is an optional Session capability: a delete that runs

@@ -1,0 +1,61 @@
+package resp
+
+import "math"
+
+// ParseInt parses a decimal int64 from b without allocating, accepting and
+// rejecting exactly what strconv.ParseInt(string(b), 10, 64) does: an
+// optional leading '+' or '-', then one or more ASCII digits, with full-range
+// overflow detection (MinInt64 parses, one past it does not). The server's
+// hot commands (INCRBY deltas, SCAN COUNT) parse their integer arguments
+// through here so no string conversion ever happens on the command path.
+func ParseInt(b []byte) (int64, bool) {
+	neg := false
+	i := 0
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i = 1
+	}
+	if i == len(b) {
+		return 0, false
+	}
+	limit := uint64(math.MaxInt64) // magnitude bound: 2^63-1, or 2^63 negated
+	if neg {
+		limit++
+	}
+	var n uint64
+	for ; i < len(b); i++ {
+		d := b[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if n > (limit-uint64(d))/10 {
+			return 0, false // n*10+d would pass the representable magnitude
+		}
+		n = n*10 + uint64(d)
+	}
+	if neg {
+		return -int64(n), true // exact for n == 2^63 too: -int64(1<<63) == MinInt64
+	}
+	return int64(n), true
+}
+
+// ParseUint parses a decimal uint64 from b without allocating, matching
+// strconv.ParseUint(string(b), 10, 64): digits only (no sign), full-range
+// overflow detection. SCAN cursors — raw 64-bit hashes — parse through here.
+func ParseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		d := c - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if n > (math.MaxUint64-uint64(d))/10 {
+			return 0, false
+		}
+		n = n*10 + uint64(d)
+	}
+	return n, true
+}

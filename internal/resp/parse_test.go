@@ -1,0 +1,215 @@
+package resp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// TestParseIntParity checks ParseInt against strconv.ParseInt on every input
+// class the RESP hot path can see: valid numbers across the full range, both
+// boundary values and one-past-them, signs, and every malformed shape the
+// strconv grammar rejects (strconv's base-10 64-bit grammar is the contract).
+func TestParseIntParity(t *testing.T) {
+	cases := []string{
+		"", "+", "-", "0", "-0", "+0", "1", "-1", "+1",
+		"007", "-007",
+		"9223372036854775806", "9223372036854775807", // MaxInt64-1, MaxInt64
+		"9223372036854775808", "9999999999999999999", // one past, way past
+		"-9223372036854775807", "-9223372036854775808", // MinInt64+1, MinInt64
+		"-9223372036854775809", "-9999999999999999999",
+		"18446744073709551615", "18446744073709551616",
+		" 1", "1 ", "1x", "x1", "1.5", "0x10", "1e3",
+		"++1", "--1", "+-1", "-+1", "_1", "1_0",
+		"\x001", "1\x00", "١٢٣", // non-ASCII digits must be rejected
+	}
+	for _, s := range cases {
+		want, werr := strconv.ParseInt(s, 10, 64)
+		got, ok := ParseInt([]byte(s))
+		if ok != (werr == nil) {
+			t.Errorf("ParseInt(%q) ok=%v, strconv err=%v", s, ok, werr)
+			continue
+		}
+		if ok && got != want {
+			t.Errorf("ParseInt(%q) = %d, strconv = %d", s, got, want)
+		}
+	}
+}
+
+// TestParseUintParity does the same for ParseUint: digits only, no signs,
+// full-uint64-range overflow detection.
+func TestParseUintParity(t *testing.T) {
+	cases := []string{
+		"", "0", "1", "007",
+		"18446744073709551614", "18446744073709551615", // MaxUint64-1, MaxUint64
+		"18446744073709551616", "99999999999999999999", // one past, way past
+		"+1", "-1", " 1", "1 ", "1x", "1.5",
+	}
+	for _, s := range cases {
+		want, werr := strconv.ParseUint(s, 10, 64)
+		got, ok := ParseUint([]byte(s))
+		if ok != (werr == nil) {
+			t.Errorf("ParseUint(%q) ok=%v, strconv err=%v", s, ok, werr)
+			continue
+		}
+		if ok && got != want {
+			t.Errorf("ParseUint(%q) = %d, strconv = %d", s, got, want)
+		}
+	}
+}
+
+// TestParseIntRandomParity fuzzes the parity across random in-range values
+// and random digit strings near the overflow boundary.
+func TestParseIntRandomParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		var s string
+		switch rng.Intn(3) {
+		case 0:
+			s = strconv.FormatInt(rng.Int63()-rng.Int63(), 10)
+		case 1:
+			s = strconv.FormatUint(rng.Uint64(), 10) // half overflow int64
+		case 2:
+			s = fmt.Sprintf("%c%019d", "+-"[rng.Intn(2)], rng.Int63())
+		}
+		want, werr := strconv.ParseInt(s, 10, 64)
+		got, ok := ParseInt([]byte(s))
+		if ok != (werr == nil) || (ok && got != want) {
+			t.Fatalf("ParseInt(%q) = %d,%v; strconv = %d,%v", s, got, ok, want, werr)
+		}
+		uwant, uwerr := strconv.ParseUint(s, 10, 64)
+		ugot, uok := ParseUint([]byte(s))
+		if uok != (uwerr == nil) || (uok && ugot != uwant) {
+			t.Fatalf("ParseUint(%q) = %d,%v; strconv = %d,%v", s, ugot, uok, uwant, uwerr)
+		}
+	}
+}
+
+// TestParseIntZeroAlloc is the point of the exercise: parsing allocates
+// nothing.
+func TestParseIntZeroAlloc(t *testing.T) {
+	b := []byte("-9223372036854775808")
+	u := []byte("18446744073709551615")
+	if n := testing.AllocsPerRun(100, func() {
+		ParseInt(b)
+		ParseUint(u)
+	}); n != 0 {
+		t.Fatalf("ParseInt+ParseUint allocate %v per run, want 0", n)
+	}
+}
+
+// TestWriterRetentionCap is the shrink-policy regression test: a single
+// oversized reply may grow the buffer arbitrarily, but the capacity kept
+// across Flushes must drop back to the initial size, and small steady-state
+// replies must never re-grow it.
+func TestWriterRetentionCap(t *testing.T) {
+	w := NewWriter(bytes.NewBuffer(nil))
+	w.SetMaxRetain(8 << 10)
+
+	big := make([]byte, 64<<10)
+	w.Bulk(big)
+	if cap(w.buf) < len(big) {
+		t.Fatalf("big reply did not grow the buffer: cap=%d", cap(w.buf))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(w.buf) != writerInitSize {
+		t.Fatalf("after oversized flush cap=%d, want shrink to %d", cap(w.buf), writerInitSize)
+	}
+
+	// Steady state: small replies never exceed the initial capacity, so the
+	// buffer is stable — no shrink, no growth, flush after flush.
+	for i := 0; i < 100; i++ {
+		w.SimpleString("OK")
+		w.Int(int64(i))
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if cap(w.buf) != writerInitSize {
+			t.Fatalf("steady-state flush %d: cap=%d, want %d", i, cap(w.buf), writerInitSize)
+		}
+	}
+
+	// Replies under the retain cap but over the initial size are kept: the
+	// shrink only fires past maxRetain.
+	w.Bulk(make([]byte, 6<<10))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(w.buf) < 6<<10 {
+		t.Fatalf("under-cap buffer was shrunk: cap=%d", cap(w.buf))
+	}
+}
+
+// TestReaderKeepPinsPayloads exercises the keep-mode contract ReadCommandKeep
+// documents: args decoded earlier in a batch stay intact — byte-for-byte —
+// while later commands are decoded, until Release.
+func TestReaderKeepPinsPayloads(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 64
+	for i := 0; i < n; i++ {
+		w.CommandStrings("SET", fmt.Sprintf("key-%03d", i), fmt.Sprintf("val-%03d", i))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var keys, vals [][]byte
+	for i := 0; i < n; i++ {
+		var args [][]byte
+		var err error
+		if i == 0 {
+			args, err = r.ReadCommand()
+		} else {
+			args, err = r.ReadCommandKeep()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(args) != 3 {
+			t.Fatalf("command %d: %d args", i, len(args))
+		}
+		keys = append(keys, args[1])
+		vals = append(vals, args[2])
+	}
+	// Every pinned arg — including those decoded 63 growths ago — must still
+	// read back exactly.
+	for i := 0; i < n; i++ {
+		if want := fmt.Sprintf("key-%03d", i); string(keys[i]) != want {
+			t.Fatalf("pinned key %d = %q, want %q", i, keys[i], want)
+		}
+		if want := fmt.Sprintf("val-%03d", i); string(vals[i]) != want {
+			t.Fatalf("pinned val %d = %q, want %q", i, vals[i], want)
+		}
+	}
+	r.Release()
+	if len(r.buf) != 0 || len(r.spans) != 0 {
+		t.Fatalf("Release left %d buf bytes, %d spans", len(r.buf), len(r.spans))
+	}
+}
+
+// TestReaderReleaseShrinks checks the reader side of the retention policy: a
+// batch of huge values must not pin its high-water mark past Release.
+func TestReaderReleaseShrinks(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Command([]byte("SET"), []byte("k"), make([]byte, 2<<20))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.ReadCommand(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(r.buf) < 2<<20 {
+		t.Fatalf("huge value did not grow the buffer: cap=%d", cap(r.buf))
+	}
+	r.Release()
+	if cap(r.buf) > readerMaxRetain {
+		t.Fatalf("Release kept cap=%d, want <= %d", cap(r.buf), readerMaxRetain)
+	}
+}

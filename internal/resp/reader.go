@@ -34,6 +34,10 @@ type span struct{ off, n int }
 // must fit in it.
 const readerBufSize = 64 << 10
 
+// readerMaxRetain caps the backing buffer kept across batches: one batch of
+// huge values does not pin its high-water mark for the connection's lifetime.
+const readerMaxRetain = 1 << 20
+
 // NewReader creates a Reader with DefaultLimits.
 func NewReader(r io.Reader) *Reader { return NewReaderLimits(r, DefaultLimits()) }
 
@@ -70,6 +74,37 @@ func (r *Reader) readLine() ([]byte, error) {
 // redis does. The returned arguments alias the Reader's internal buffer and
 // are valid only until the next ReadCommand call.
 func (r *Reader) ReadCommand() ([][]byte, error) {
+	r.Release()
+	return r.readCommand()
+}
+
+// ReadCommandKeep decodes the next command like ReadCommand but pins the
+// payloads of every command decoded since the last Release (or plain
+// ReadCommand): earlier pinned args stay readable, because the backing buffer
+// only accumulates — it is never rewound or overwritten in place, and growth
+// reallocates, which leaves old views pointing at intact bytes. This is what
+// lets the server collect a run of pipelined SETs and hand their key/value
+// spans to the engine's PutBatch with zero copies.
+//
+// Two caveats: the returned [][]byte header slice is still reused per call
+// (append the individual arg slices to caller-owned storage before the next
+// read), and pinned memory is only released by Release/ReadCommand — a caller
+// that pins must release at batch end or the buffer grows without bound.
+func (r *Reader) ReadCommandKeep() ([][]byte, error) {
+	return r.readCommand()
+}
+
+// Release unpins everything ReadCommandKeep accumulated and (cap-bounded)
+// shrinks the backing buffer. The next decoded command starts at offset zero.
+func (r *Reader) Release() {
+	if cap(r.buf) > readerMaxRetain {
+		r.buf = nil
+	}
+	r.buf = r.buf[:0]
+	r.spans = r.spans[:0]
+}
+
+func (r *Reader) readCommand() ([][]byte, error) {
 	for {
 		line, err := r.readLine()
 		if err != nil {
@@ -102,10 +137,10 @@ func (r *Reader) ReadCommand() ([][]byte, error) {
 	}
 }
 
-// multibulk reads n bulk-string arguments into the reused backing buffer.
+// multibulk reads n bulk-string arguments into the backing buffer, appending
+// after whatever earlier commands ReadCommandKeep has pinned there.
 func (r *Reader) multibulk(n int) ([][]byte, error) {
-	r.buf = r.buf[:0]
-	r.spans = r.spans[:0]
+	base := len(r.spans)
 	for i := 0; i < n; i++ {
 		line, err := r.readLine()
 		if err != nil {
@@ -138,23 +173,24 @@ func (r *Reader) multibulk(n int) ([][]byte, error) {
 		r.buf = r.buf[:off+int(sz)] // drop the CRLF from the logical buffer
 		r.spans = append(r.spans, span{off, int(sz)})
 	}
-	return r.argViews(), nil
+	return r.argViews(base), nil
 }
 
 // inlineCommand splits a raw line into whitespace-separated arguments. The
 // line aliases the bufio buffer, so payloads are copied into the backing
-// buffer first.
+// buffer first (after any pinned commands).
 func (r *Reader) inlineCommand(line []byte) ([][]byte, error) {
 	if len(line) > r.lim.MaxInlineLen {
 		return nil, protoErrf("inline command exceeds %d bytes", r.lim.MaxInlineLen)
 	}
-	r.buf = append(r.buf[:0], line...)
-	r.spans = r.spans[:0]
+	base := len(r.spans)
+	off := len(r.buf)
+	r.buf = append(r.buf, line...)
 	start := -1
-	for i, c := range r.buf {
+	for i, c := range r.buf[off:] {
 		if c == ' ' || c == '\t' {
 			if start >= 0 {
-				r.spans = append(r.spans, span{start, i - start})
+				r.spans = append(r.spans, span{off + start, i - start})
 				start = -1
 			}
 			continue
@@ -164,19 +200,19 @@ func (r *Reader) inlineCommand(line []byte) ([][]byte, error) {
 		}
 	}
 	if start >= 0 {
-		r.spans = append(r.spans, span{start, len(r.buf) - start})
+		r.spans = append(r.spans, span{off + start, len(r.buf) - off - start})
 	}
-	if len(r.spans) > r.lim.MaxArrayLen {
-		return nil, protoErrf("inline command has %d arguments (limit %d)", len(r.spans), r.lim.MaxArrayLen)
+	if len(r.spans)-base > r.lim.MaxArrayLen {
+		return nil, protoErrf("inline command has %d arguments (limit %d)", len(r.spans)-base, r.lim.MaxArrayLen)
 	}
-	return r.argViews(), nil
+	return r.argViews(base), nil
 }
 
-// argViews materializes the recorded spans as slices into the (now stable)
-// backing buffer.
-func (r *Reader) argViews() [][]byte {
+// argViews materializes the spans recorded from base on — the current
+// command's arguments — as slices into the (now stable) backing buffer.
+func (r *Reader) argViews(base int) [][]byte {
 	r.args = r.args[:0]
-	for _, sp := range r.spans {
+	for _, sp := range r.spans[base:] {
 		r.args = append(r.args, r.buf[sp.off:sp.off+sp.n])
 	}
 	return r.args

@@ -15,17 +15,35 @@ import (
 // Encode methods never fail (they only append to memory); all I/O errors
 // surface from Flush. Not safe for concurrent use.
 type Writer struct {
-	dst io.Writer
-	buf []byte
+	dst       io.Writer
+	buf       []byte
+	maxRetain int
 }
 
-// writerMaxRetain caps the buffer kept across batches: a single huge reply
-// burst does not pin its high-water mark forever.
+// writerMaxRetain is the default cap on the buffer kept across batches: a
+// single huge reply burst does not pin its high-water mark forever.
 const writerMaxRetain = 1 << 20
 
-// NewWriter creates a Writer over dst.
+// writerInitSize is the buffer a fresh (or just-shrunk) Writer starts with.
+const writerInitSize = 4096
+
+// NewWriter creates a Writer over dst with the default retention cap.
 func NewWriter(dst io.Writer) *Writer {
-	return &Writer{dst: dst, buf: make([]byte, 0, 4096)}
+	return &Writer{dst: dst, buf: make([]byte, 0, writerInitSize), maxRetain: writerMaxRetain}
+}
+
+// SetMaxRetain bounds the buffer capacity kept across Flushes: after a flush
+// that leaves more than n bytes of capacity, the buffer shrinks back to the
+// initial size, so one oversized reply (a large SCAN WITHVALUES page, say)
+// never pins its high-water mark for the connection's lifetime. n <= 0
+// restores the default. The cap applies between batches, not within one — a
+// single reply may still grow the buffer arbitrarily (subject to the
+// protocol-level Limits).
+func (w *Writer) SetMaxRetain(n int) {
+	if n <= 0 {
+		n = writerMaxRetain
+	}
+	w.maxRetain = n
 }
 
 var crlf = []byte{'\r', '\n'}
@@ -120,8 +138,8 @@ func (w *Writer) Flush() error {
 		return nil
 	}
 	_, err := w.dst.Write(w.buf)
-	if cap(w.buf) > writerMaxRetain {
-		w.buf = make([]byte, 0, 4096)
+	if cap(w.buf) > w.maxRetain {
+		w.buf = make([]byte, 0, writerInitSize)
 	} else {
 		w.buf = w.buf[:0]
 	}

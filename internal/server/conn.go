@@ -19,10 +19,35 @@ type pendingCmd struct {
 	t0   time.Time
 }
 
+// connScratchRetain caps the per-connection scratch buffers (GET/MGET value
+// buffer, MULTI queue arena) kept across batches, mirroring the RESP reader
+// and writer retention caps: one burst of huge values does not pin its
+// high-water mark for the connection's lifetime.
+const connScratchRetain = 1 << 20
+
+// mgetSpan records one MGET result inside the connection's shared value
+// buffer. Offsets, not slices: the buffer may reallocate as later values
+// append to it.
+type mgetSpan struct {
+	off, n int
+	hit    bool
+}
+
+// argSpan is one queued argument's location in the MULTI arena.
+type argSpan struct{ off, n int }
+
 // conn is one client connection: one goroutine, one session, one RESP
 // reader/writer pair. The writer buffers replies until the batch's group
 // commit has completed, so an ack can never reach the wire before the write
 // it acknowledges is durable.
+//
+// The hot path is allocation-free in steady state: decoded args are spans of
+// the reader's reused buffer and flow into the engine without copies (Put
+// copies into its log batch before returning), GET values land in the reused
+// vbuf via kvstore.ValueReader, and runs of pipelined SETs dispatch through
+// kvstore.BatchWriter under one shard-lock acquisition per shard touched.
+// Every scratch buffer is cap-bounded so one oversized batch cannot pin its
+// high-water mark.
 type conn struct {
 	srv  *Server
 	nc   net.Conn
@@ -32,23 +57,51 @@ type conn struct {
 	done chan error // group-commit ack channel, reused across batches
 	pend []pendingCmd
 
-	// MULTI state. Queued commands are deep copies — decoded args alias the
-	// reader's buffer, which the next ReadCommand overwrites. txnErr latches a
-	// queue-time error (unknown command, bad arity); EXEC then aborts the
-	// whole transaction, Redis-style.
-	inTxn  bool
-	txnErr bool
-	txn    []queuedCmd
+	// Optional engine capabilities, type-asserted once at accept time instead
+	// of per command.
+	vr  kvstore.ValueReader
+	bw  kvstore.BatchWriter
+	cd  kvstore.ConditionalDeleter
+	inc kvstore.Incrementer
+	sc  kvstore.Scanner
+
+	// vbuf is the reused value buffer for GET/EXISTS/MGET reads (GetInto
+	// appends into it); mget records MGET result spans inside it. num is
+	// integer-formatting scratch (SCAN cursors).
+	vbuf []byte
+	mget []mgetSpan
+	num  [24]byte
+
+	// runKeys/runVals collect a run of consecutive pipelined SETs whose args
+	// are pinned in the reader's buffer (ReadCommandKeep); dispatchRun hands
+	// them to PutBatch in one call. MSET borrows the same scratch.
+	runKeys [][]byte
+	runVals [][]byte
+
+	// MULTI state. Queued commands are copied into the txnBuf arena — decoded
+	// args alias the reader's buffer, which is released at batch end — with
+	// one argSpan per argument, so queuing allocates nothing in steady state.
+	// txnErr latches a queue-time error (unknown command, bad arity); EXEC
+	// then aborts the whole transaction, Redis-style. txnArgs is the scratch
+	// used to materialize one queued command's args at EXEC time.
+	inTxn    bool
+	txnErr   bool
+	txn      []queuedCmd
+	txnBuf   []byte
+	txnSpans []argSpan
+	txnArgs  [][]byte
 }
 
-// queuedCmd is one command buffered between MULTI and EXEC.
+// queuedCmd is one command buffered between MULTI and EXEC: its args are
+// txnSpans[start:start+n] inside the connection's txnBuf arena.
 type queuedCmd struct {
-	kind cmdKind
-	args [][]byte
+	kind  cmdKind
+	start int
+	n     int
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
-	return &conn{
+	c := &conn{
 		srv:  s,
 		nc:   nc,
 		r:    resp.NewReaderLimits(nc, s.cfg.Limits),
@@ -56,6 +109,15 @@ func newConn(s *Server, nc net.Conn) *conn {
 		se:   s.newSession(),
 		done: make(chan error, 1),
 	}
+	if s.cfg.ReplyRetainBytes > 0 {
+		c.w.SetMaxRetain(s.cfg.ReplyRetainBytes)
+	}
+	c.vr, _ = c.se.(kvstore.ValueReader)
+	c.bw, _ = c.se.(kvstore.BatchWriter)
+	c.cd, _ = c.se.(kvstore.ConditionalDeleter)
+	c.inc, _ = c.se.(kvstore.Incrementer)
+	c.sc, _ = c.se.(kvstore.Scanner)
+	return c
 }
 
 // nudge unblocks a handler parked in a read so shutdown does not wait out the
@@ -79,6 +141,7 @@ func (c *conn) serve() {
 			c.nc.SetReadDeadline(time.Now().Add(t))
 		}
 		// First command of a batch: block until the client sends something.
+		// ReadCommand releases whatever the previous batch pinned.
 		args, err := c.r.ReadCommand()
 		if err != nil {
 			c.fail(err)
@@ -95,20 +158,34 @@ func (c *conn) serve() {
 			t0 := time.Now()
 			m.CmdsInFlight.Add(1)
 			kind := commandKind(args[0])
-			c.execute(kind, args, &dirty, &quit)
+			// Shard-affine dispatch: a run of consecutive SETs is collected,
+			// not executed — its args stay pinned in the reader's buffer —
+			// and dispatchRun applies the whole run through PutBatch, one
+			// shard-lock acquisition per destination shard instead of one per
+			// SET. Replies stay in command order because the run is contiguous
+			// and is dispatched before the command that ends it executes.
+			if kind == cmdSet && len(args) == 3 && !c.inTxn && c.bw != nil {
+				c.runKeys = append(c.runKeys, args[1])
+				c.runVals = append(c.runVals, args[2])
+			} else {
+				c.dispatchRun(&dirty)
+				c.execute(kind, args, &dirty, &quit)
+			}
 			c.pend = append(c.pend, pendingCmd{kind, t0})
 			decoded++
 			if quit || decoded >= c.srv.cfg.MaxPipeline || c.r.Buffered() == 0 {
 				break
 			}
 			// Pipelining: drain commands the client already sent without
-			// touching the socket for replies in between. args alias the
-			// reader's buffer, so each command executes before the next
-			// ReadCommand overwrites it.
-			if args, decErr = c.r.ReadCommand(); decErr != nil {
+			// touching the socket for replies in between. ReadCommandKeep
+			// pins earlier payloads (the SET run above) while decoding the
+			// next command.
+			if args, decErr = c.r.ReadCommandKeep(); decErr != nil {
 				break
 			}
 		}
+		c.dispatchRun(&dirty)
+		c.r.Release()
 		// Durability before acknowledgment: the buffered replies do not move
 		// until every write in the batch has been group-committed.
 		if dirty && !c.srv.cfg.AsyncAck {
@@ -145,6 +222,41 @@ func (c *conn) serve() {
 	}
 }
 
+// dispatchRun applies the collected run of pipelined SETs and emits their
+// replies, in command order (the run is contiguous in the pipeline). A
+// single SET goes through the plain Put path; longer runs dispatch through
+// PutBatch, which groups keys by destination shard and applies each group
+// under one shard-lock acquisition. Durability is unchanged — the entries
+// land in this connection's session batch and the caller's group commit seals
+// them before any +OK reaches the wire. On error every SET in the run reports
+// it; a subset of the run may nevertheless have been applied (the same
+// ambiguity MSET documents), so the batch stays dirty and commits the subset.
+func (c *conn) dispatchRun(dirty *bool) {
+	n := len(c.runKeys)
+	if n == 0 {
+		return
+	}
+	var err error
+	if n == 1 {
+		err = c.se.Put(c.runKeys[0], c.runVals[0])
+	} else {
+		err = c.bw.PutBatch(c.runKeys, c.runVals)
+	}
+	*dirty = true
+	if err != nil {
+		c.srv.metrics.StoreErrors.Add(int64(n))
+		for i := 0; i < n; i++ {
+			c.w.Error("ERR " + err.Error())
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			c.w.SimpleString("OK")
+		}
+	}
+	c.runKeys = c.runKeys[:0]
+	c.runVals = c.runVals[:0]
+}
+
 // fail terminates the connection on a read error. Protocol violations get a
 // final -ERR so a confused client can tell what happened; EOF and deadline
 // expiry (idle timeout or a shutdown nudge) close silently.
@@ -161,13 +273,31 @@ func (c *conn) flushReplies() error {
 	if t := c.srv.cfg.WriteTimeout; t > 0 {
 		c.nc.SetWriteDeadline(time.Now().Add(t))
 	}
-	return c.w.Flush()
+	err := c.w.Flush()
+	// The shared value buffer follows the same retention policy as the RESP
+	// buffers: shrink after the batch that grew it past the cap.
+	if cap(c.vbuf) > connScratchRetain {
+		c.vbuf = nil
+	}
+	return err
+}
+
+// getInto reads key through the allocation-free path when the session
+// supports it, reusing (and growing) the connection's value buffer.
+func (c *conn) getInto(key []byte) ([]byte, bool, error) {
+	if c.vr == nil {
+		return c.se.Get(key)
+	}
+	val, ok, err := c.vr.GetInto(key, c.vbuf[:0])
+	c.vbuf = val[:0]
+	return val, ok, err
 }
 
 // execute runs one decoded command, appending its reply to the write buffer.
 // args alias the reader's internal buffer: valid only for this call, which is
 // fine — the engine copies keys and values into its own arena on Put/Delete,
-// and Get returns a fresh copy.
+// and Get returns a fresh copy (see the buffer-ownership contract, DESIGN.md
+// §7).
 // maxScanCount caps a single SCAN batch so one command cannot buffer an
 // unbounded reply.
 const maxScanCount = 4096
@@ -184,7 +314,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			c.arity("get")
 			return
 		}
-		val, ok, err := c.se.Get(args[1])
+		val, ok, err := c.getInto(args[1])
 		switch {
 		case err != nil:
 			m.StoreErrors.Add(1)
@@ -217,15 +347,14 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		// is exact even when another connection races the same key; the
 		// probe-then-delete fallback (stores without the capability) can
 		// miscount across sessions and tombstone an already-absent key.
-		cd, _ := c.se.(kvstore.ConditionalDeleter)
 		var n int64
 		for _, key := range args[1:] {
 			var existed bool
 			var err error
-			if cd != nil {
-				existed, err = cd.DeleteIfPresent(key)
+			if c.cd != nil {
+				existed, err = c.cd.DeleteIfPresent(key)
 			} else {
-				_, existed, err = c.se.Get(key)
+				_, existed, err = c.getInto(key)
 				if err == nil && existed {
 					err = c.se.Delete(key)
 				}
@@ -248,7 +377,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		}
 		var n int64
 		for _, key := range args[1:] {
-			_, ok, err := c.se.Get(key)
+			_, ok, err := c.getInto(key)
 			if err != nil {
 				m.StoreErrors.Add(1)
 				c.w.Error("ERR " + err.Error())
@@ -269,9 +398,9 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			c.arity("ping")
 		}
 	case cmdInfo:
-		var section string
+		var section []byte
 		if len(args) > 1 {
-			section = string(args[1])
+			section = args[1]
 		}
 		c.w.Bulk(c.srv.infoText(section))
 	case cmdFlushAll:
@@ -296,6 +425,34 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		// Collect every result before emitting a single byte: a mid-batch
 		// store error must produce one canonical -ERR frame, never a
 		// partially written array stranded in the pipelined reply buffer.
+		// Values accumulate in the shared vbuf with spans (offsets, because
+		// append may move the buffer), so a warm connection allocates nothing.
+		if c.vr != nil {
+			buf := c.vbuf[:0]
+			spans := c.mget[:0]
+			for _, key := range args[1:] {
+				off := len(buf)
+				nb, ok, err := c.vr.GetInto(key, buf)
+				if err != nil {
+					m.StoreErrors.Add(1)
+					c.w.Error("ERR " + err.Error())
+					c.vbuf, c.mget = nb[:0], spans[:0]
+					return
+				}
+				buf = nb
+				spans = append(spans, mgetSpan{off: off, n: len(buf) - off, hit: ok})
+			}
+			c.vbuf, c.mget = buf[:0], spans[:0]
+			c.w.ArrayHeader(len(spans))
+			for _, sp := range spans {
+				if sp.hit {
+					c.w.Bulk(buf[sp.off : sp.off+sp.n])
+				} else {
+					c.w.Null()
+				}
+			}
+			return
+		}
 		vals := make([][]byte, len(args)-1)
 		hits := make([]bool, len(args)-1)
 		for i, key := range args[1:] {
@@ -320,10 +477,30 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			c.arity("mset")
 			return
 		}
-		// Writes apply left to right; on a store error the already-written
-		// prefix stays applied (documented deviation: Redis MSET is atomic),
-		// but the reply is still a single canonical -ERR frame and dirty
-		// stays set, so the prefix is group-committed like any other write.
+		// Writes apply through PutBatch (shard-affine groups); on a store
+		// error some subset may stay applied (documented deviation: Redis
+		// MSET is atomic — here a failed MSET may leave an applied subset,
+		// where the sequential fallback leaves an applied prefix), but the
+		// reply is still a single canonical -ERR frame and dirty stays set,
+		// so whatever applied is group-committed like any other write.
+		if c.bw != nil {
+			keys := c.runKeys[:0]
+			vals := c.runVals[:0]
+			for i := 1; i+1 < len(args); i += 2 {
+				keys = append(keys, args[i])
+				vals = append(vals, args[i+1])
+			}
+			err := c.bw.PutBatch(keys, vals)
+			c.runKeys, c.runVals = keys[:0], vals[:0]
+			*dirty = true
+			if err != nil {
+				m.StoreErrors.Add(1)
+				c.w.Error("ERR " + err.Error())
+				return
+			}
+			c.w.SimpleString("OK")
+			return
+		}
 		for i := 1; i+1 < len(args); i += 2 {
 			if err := c.se.Put(args[i], args[i+1]); err != nil {
 				m.StoreErrors.Add(1)
@@ -342,21 +519,20 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			c.arity(kind.String())
 			return
 		}
-		inc, ok := c.se.(kvstore.Incrementer)
-		if !ok {
+		if c.inc == nil {
 			c.w.Error("ERR " + kind.String() + " is not supported by this store")
 			return
 		}
 		delta := int64(1)
 		if kind == cmdIncrBy {
-			var err error
-			delta, err = strconv.ParseInt(string(args[2]), 10, 64)
-			if err != nil {
+			var ok bool
+			delta, ok = resp.ParseInt(args[2])
+			if !ok {
 				c.w.Error("ERR value is not an integer or out of range")
 				return
 			}
 		}
-		v, err := inc.IncrBy(args[1], delta)
+		v, err := c.inc.IncrBy(args[1], delta)
 		if err != nil {
 			m.StoreErrors.Add(1)
 			c.w.Error("ERR " + err.Error())
@@ -372,13 +548,12 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			c.arity("scan")
 			return
 		}
-		sc, ok := c.se.(kvstore.Scanner)
-		if !ok {
+		if c.sc == nil {
 			c.w.Error("ERR scan is not supported by this store")
 			return
 		}
-		cursor, err := strconv.ParseUint(string(args[1]), 10, 64)
-		if err != nil {
+		cursor, ok := resp.ParseUint(args[1])
+		if !ok {
 			c.w.Error("ERR invalid cursor")
 			return
 		}
@@ -387,15 +562,15 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		for i := 2; i < len(args); i++ {
 			switch {
 			case equalFoldUpper(args[i], "COUNT") && i+1 < len(args):
-				n, err := strconv.Atoi(string(args[i+1]))
-				if err != nil || n < 1 {
+				n, ok := resp.ParseInt(args[i+1])
+				if !ok || n < 1 {
 					c.w.Error("ERR value is not an integer or out of range")
 					return
 				}
 				if n > maxScanCount {
 					n = maxScanCount
 				}
-				count = n
+				count = int(n)
 				i++
 			case equalFoldUpper(args[i], "WITHVALUES"):
 				withValues = true
@@ -404,14 +579,14 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 				return
 			}
 		}
-		pairs, next, err := sc.Scan(cursor, count)
+		pairs, next, err := c.sc.Scan(cursor, count)
 		if err != nil {
 			m.StoreErrors.Add(1)
 			c.w.Error("ERR " + err.Error())
 			return
 		}
 		c.w.ArrayHeader(2)
-		c.w.Bulk(strconv.AppendUint(nil, next, 10))
+		c.w.Bulk(strconv.AppendUint(c.num[:0], next, 10))
 		if withValues {
 			c.w.ArrayHeader(len(pairs) * 2)
 			for _, kv := range pairs {
@@ -431,17 +606,17 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		}
 		c.inTxn = true
 		c.txnErr = false
-		c.txn = c.txn[:0]
+		c.resetTxn()
 		c.w.SimpleString("OK")
 	case cmdExec:
 		if !c.inTxn {
 			c.w.Error("ERR EXEC without MULTI")
 			return
 		}
-		queued := c.txn
 		aborted := c.txnErr
-		c.inTxn, c.txnErr, c.txn = false, false, nil
+		c.inTxn, c.txnErr = false, false
 		if aborted {
+			c.resetTxn()
 			c.w.Error("EXECABORT Transaction discarded because of previous errors.")
 			return
 		}
@@ -450,17 +625,25 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		// group commit as any pipelined batch — every ack in the array is
 		// durable when it reaches the wire. Commands from other connections
 		// may interleave at the engine (documented deviation from Redis's
-		// single-threaded isolation).
-		c.w.ArrayHeader(len(queued))
-		for _, q := range queued {
-			c.execute(q.kind, q.args, dirty, quit)
+		// single-threaded isolation). Args materialize from the txnBuf arena;
+		// queued commands can never grow the queue (MULTI/EXEC/DISCARD are
+		// rejected at queue time), so iterating c.txn while executing is safe.
+		c.w.ArrayHeader(len(c.txn))
+		for _, q := range c.txn {
+			c.txnArgs = c.txnArgs[:0]
+			for _, sp := range c.txnSpans[q.start : q.start+q.n] {
+				c.txnArgs = append(c.txnArgs, c.txnBuf[sp.off:sp.off+sp.n])
+			}
+			c.execute(q.kind, c.txnArgs, dirty, quit)
 		}
+		c.resetTxn()
 	case cmdDiscard:
 		if !c.inTxn {
 			c.w.Error("ERR DISCARD without MULTI")
 			return
 		}
-		c.inTxn, c.txnErr, c.txn = false, false, nil
+		c.inTxn, c.txnErr = false, false
+		c.resetTxn()
 		c.w.SimpleString("OK")
 	case cmdQuit:
 		c.w.SimpleString("OK")
@@ -473,11 +656,24 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 	}
 }
 
-// enqueue buffers one command between MULTI and EXEC, deep-copying args out
-// of the reader's reused buffer. Unknown commands, wrong arities, and
-// non-transactional commands are rejected immediately and poison the
-// transaction — EXEC then aborts, Redis-style, instead of burying the error
-// inside the reply array.
+// resetTxn clears the MULTI queue and its arena, shrinking the arena back
+// under the retention cap if one huge transaction grew it.
+func (c *conn) resetTxn() {
+	c.txn = c.txn[:0]
+	c.txnSpans = c.txnSpans[:0]
+	if cap(c.txnBuf) > connScratchRetain {
+		c.txnBuf = nil
+	}
+	c.txnBuf = c.txnBuf[:0]
+}
+
+// enqueue buffers one command between MULTI and EXEC, copying args into the
+// connection's txnBuf arena — the decoded args alias the reader's reused
+// buffer, which is released at batch end. One growing arena plus span records
+// replaces a fresh [][]byte per command, so a warm connection queues without
+// allocating. Unknown commands, wrong arities, and non-transactional commands
+// are rejected immediately and poison the transaction — EXEC then aborts,
+// Redis-style, instead of burying the error inside the reply array.
 func (c *conn) enqueue(kind cmdKind, args [][]byte) {
 	switch {
 	case kind == cmdUnknown:
@@ -493,11 +689,13 @@ func (c *conn) enqueue(kind cmdKind, args [][]byte) {
 		c.w.Error("ERR wrong number of arguments for '" + kind.String() + "' command")
 		return
 	}
-	cp := make([][]byte, len(args))
-	for i, a := range args {
-		cp[i] = append([]byte(nil), a...)
+	start := len(c.txnSpans)
+	for _, a := range args {
+		off := len(c.txnBuf)
+		c.txnBuf = append(c.txnBuf, a...)
+		c.txnSpans = append(c.txnSpans, argSpan{off: off, n: len(a)})
 	}
-	c.txn = append(c.txn, queuedCmd{kind: kind, args: cp})
+	c.txn = append(c.txn, queuedCmd{kind: kind, start: start, n: len(args)})
 	c.w.SimpleString("QUEUED")
 }
 

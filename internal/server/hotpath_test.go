@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/resp"
+	"chameleondb/internal/simclock"
+)
+
+// rawConn is a test client that writes hand-built pipelined batches in one
+// syscall and reads replies one frame at a time — the shape that drives the
+// server's SET-run batching, which only engages when multiple commands are
+// buffered on the connection before the handler reads.
+type rawConn struct {
+	t  *testing.T
+	nc net.Conn
+	br *bufio.Reader
+	w  *resp.Writer
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.SetDeadline(time.Now().Add(30 * time.Second))
+	t.Cleanup(func() { nc.Close() })
+	return &rawConn{t: t, nc: nc, br: bufio.NewReader(nc), w: resp.NewWriter(nc)}
+}
+
+func (r *rawConn) flush() {
+	r.t.Helper()
+	if err := r.w.Flush(); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rawConn) expectLine(want string) {
+	r.t.Helper()
+	line, err := r.br.ReadString('\n')
+	if err != nil {
+		r.t.Fatalf("reading reply (want %q): %v", want, err)
+	}
+	if line != want+"\r\n" {
+		r.t.Fatalf("reply = %q, want %q", line, want+"\r\n")
+	}
+}
+
+func (r *rawConn) expectBulk(want string) {
+	r.t.Helper()
+	r.expectLine(fmt.Sprintf("$%d", len(want)))
+	buf := make([]byte, len(want)+2)
+	if _, err := r.br.Read(buf); err != nil {
+		r.t.Fatal(err)
+	}
+	if string(buf[:len(want)]) != want {
+		r.t.Fatalf("bulk payload = %q, want %q", buf[:len(want)], want)
+	}
+}
+
+// TestPipelinedSetRunBatching drives the shard-affine dispatch path: one
+// pipelined batch of many SETs (collected into a run and applied via
+// PutBatch), with GETs and a DEL breaking the run at known points. Replies
+// must come back in exact command order, and every value must read back —
+// including keys written twice in one run (within-batch ordering) and a key
+// whose SET is immediately followed by a GET in the same pipeline (the run
+// must be dispatched before the GET executes).
+func TestPipelinedSetRunBatching(t *testing.T) {
+	_, addr := startServer(t, nil, Config{})
+	c := dialRaw(t, addr)
+
+	const n = 40
+	// One write: a long SET run, a same-key overwrite inside it, then a GET
+	// of a key from the run, more SETs, DEL, and final GETs.
+	for i := 0; i < n; i++ {
+		c.w.CommandStrings("SET", fmt.Sprintf("run-%02d", i), fmt.Sprintf("v1-%02d", i))
+	}
+	c.w.CommandStrings("SET", "run-07", "v2-07") // overwrite, still same run
+	c.w.CommandStrings("GET", "run-07")          // breaks the run; must see v2
+	c.w.CommandStrings("SET", "run-99", "tail")  // new run of one
+	c.w.CommandStrings("DEL", "run-03")          // breaks it again
+	c.w.CommandStrings("GET", "run-99")
+	c.w.CommandStrings("GET", "run-03")
+	c.flush()
+
+	for i := 0; i < n+1; i++ {
+		c.expectLine("+OK")
+	}
+	c.expectBulk("v2-07")
+	c.expectLine("+OK")
+	c.expectLine(":1")
+	c.expectBulk("tail")
+	c.expectLine("$-1")
+
+	// A second client sees everything: the writes are in the store, not in
+	// connection-local state.
+	cl := dialT(t, addr)
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("v1-%02d", i)
+		if i == 7 {
+			want = "v2-07"
+		}
+		got, ok, err := cl.Get([]byte(fmt.Sprintf("run-%02d", i)))
+		if i == 3 {
+			if ok {
+				t.Fatalf("run-03 still present after DEL: %q", got)
+			}
+			continue
+		}
+		if err != nil || !ok || string(got) != want {
+			t.Fatalf("run-%02d = %q,%v,%v want %q", i, got, ok, err, want)
+		}
+	}
+}
+
+// TestPipelinedSetRunDurable checks the run's group-commit contract: after
+// the batch's +OKs arrive, a crash plus recovery must still serve every
+// value — batched SETs are not acked before durability.
+func TestPipelinedSetRunDurable(t *testing.T) {
+	st, err := core.Open(core.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	_, addr := startServer(t, st, Config{})
+	c := dialRaw(t, addr)
+	for i := 0; i < 16; i++ {
+		c.w.CommandStrings("SET", fmt.Sprintf("dur-%02d", i), fmt.Sprintf("dv-%02d", i))
+	}
+	c.flush()
+	for i := 0; i < 16; i++ {
+		c.expectLine("+OK")
+	}
+
+	st.Crash()
+	if err := st.Recover(simclock.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	se := st.NewSession(simclock.New(0))
+	for i := 0; i < 16; i++ {
+		got, ok, err := se.Get([]byte(fmt.Sprintf("dur-%02d", i)))
+		if err != nil || !ok || string(got) != fmt.Sprintf("dv-%02d", i) {
+			t.Fatalf("post-crash dur-%02d = %q,%v,%v", i, got, ok, err)
+		}
+	}
+}
+
+// TestMultiAcrossBatches exercises the MULTI arena across reply flushes: each
+// queued command arrives in its own TCP write (its own pipelined batch), so
+// the reader's buffer — which queued args alias at decode time — is released
+// between QUEUEDs. The arena copy must keep them intact through EXEC.
+func TestMultiAcrossBatches(t *testing.T) {
+	_, addr := startServer(t, nil, Config{})
+	c := dialRaw(t, addr)
+
+	c.w.CommandStrings("MULTI")
+	c.flush()
+	c.expectLine("+OK")
+	for i := 0; i < 10; i++ {
+		c.w.CommandStrings("SET", fmt.Sprintf("txn-%02d", i), fmt.Sprintf("tv-%02d", i))
+		c.flush()
+		c.expectLine("+QUEUED")
+	}
+	c.w.CommandStrings("GET", "txn-04")
+	c.flush()
+	c.expectLine("+QUEUED")
+	c.w.CommandStrings("EXEC")
+	c.flush()
+	c.expectLine("*11")
+	for i := 0; i < 10; i++ {
+		c.expectLine("+OK")
+	}
+	c.expectBulk("tv-04")
+
+	// And a second transaction on the same connection reuses the arena.
+	c.w.CommandStrings("MULTI")
+	c.w.CommandStrings("SET", "txn-04", "tv2-04")
+	c.w.CommandStrings("EXEC")
+	c.flush()
+	c.expectLine("+OK")
+	c.expectLine("+QUEUED")
+	c.expectLine("*1")
+	c.expectLine("+OK")
+
+	cl := dialT(t, addr)
+	got, ok, err := cl.Get([]byte("txn-04"))
+	if err != nil || !ok || string(got) != "tv2-04" {
+		t.Fatalf("txn-04 = %q,%v,%v", got, ok, err)
+	}
+}
+
+// TestMGetReusedBuffer covers the span-based MGET path: many keys of varied
+// sizes in one command, hits and misses interleaved, repeated so the second
+// round runs entirely on recycled scratch.
+func TestMGetReusedBuffer(t *testing.T) {
+	_, addr := startServer(t, nil, Config{})
+	cl := dialT(t, addr)
+	var big [3000]byte
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	if err := cl.Set([]byte("mg-small"), []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Set([]byte("mg-big"), big[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Set([]byte("mg-empty"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		rep, err := cl.DoStrings("MGET", "mg-small", "mg-missing", "mg-big", "mg-empty")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Array) != 4 {
+			t.Fatalf("round %d: %d elements", round, len(rep.Array))
+		}
+		if string(rep.Array[0].Str) != "s" ||
+			!rep.Array[1].Null ||
+			string(rep.Array[2].Str) != string(big[:]) ||
+			rep.Array[3].Null || len(rep.Array[3].Str) != 0 {
+			t.Fatalf("round %d: wrong MGET reply", round)
+		}
+	}
+}
+
+// TestWireAliasing is the protocol-level scribble test: a pipelined batch
+// whose SET is followed in the same batch by writes that force the reader to
+// grow and reuse its buffer, then a fresh batch reusing the buffer from
+// offset zero. If the engine retained any arg span, the later traffic would
+// corrupt the stored value.
+func TestWireAliasing(t *testing.T) {
+	_, addr := startServer(t, nil, Config{})
+	c := dialRaw(t, addr)
+	c.w.CommandStrings("SET", "alias-wire", "precious-value")
+	c.flush()
+	c.expectLine("+OK")
+	// Next batch reuses the released reader buffer, overwriting the bytes
+	// "alias-wire"/"precious-value" occupied.
+	c.w.CommandStrings("SET", "xxxxxxxxxx", "clobber-clobber")
+	c.flush()
+	c.expectLine("+OK")
+	cl := dialT(t, addr)
+	got, ok, err := cl.Get([]byte("alias-wire"))
+	if err != nil || !ok || string(got) != "precious-value" {
+		t.Fatalf("alias-wire = %q,%v,%v", got, ok, err)
+	}
+}

@@ -2,19 +2,42 @@ package server
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
 	"chameleondb/internal/obs"
 )
 
+// asciiEqualFold reports whether b equals s under ASCII case folding. The
+// section names INFO matches against are ASCII, so this avoids the
+// string(section) conversion a strings.EqualFold call would force on the
+// command path.
+func asciiEqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		cb, cs := b[i], s[i]
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if 'A' <= cs && cs <= 'Z' {
+			cs += 'a' - 'A'
+		}
+		if cb != cs {
+			return false
+		}
+	}
+	return true
+}
+
 // infoText renders the INFO reply: redis-style "# Section\nkey:value" lines,
-// restricted to one section when the client names one. The numbers are the
-// same atomics the obs registry exports — INFO is the wire-side view of the
-// same observability block /stats.json serves.
-func (s *Server) infoText(section string) []byte {
+// restricted to one section when the client names one (section aliases the
+// RESP arg buffer; it is read, never retained). The numbers are the same
+// atomics the obs registry exports — INFO is the wire-side view of the same
+// observability block /stats.json serves.
+func (s *Server) infoText(section []byte) []byte {
 	want := func(name string) bool {
-		return section == "" || strings.EqualFold(section, name)
+		return len(section) == 0 || asciiEqualFold(section, name)
 	}
 	m := s.metrics
 	var b []byte

@@ -62,6 +62,10 @@ type Config struct {
 	// (replies do not wait for durability — the engine's default in-process
 	// contract). The default, false, is durable acks.
 	AsyncAck bool
+	// ReplyRetainBytes bounds the reply buffer capacity a connection keeps
+	// across batches; after a batch whose replies grew past it, the buffer
+	// shrinks back to its initial size. 0 uses the resp.Writer default (1 MiB).
+	ReplyRetainBytes int
 	// Limits bound the RESP parser.
 	Limits resp.Limits
 }

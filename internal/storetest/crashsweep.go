@@ -57,6 +57,13 @@ type SweepConfig struct {
 	MaintainEvery int
 	Maintenance   MaintenanceFunc
 
+	// BatchPuts groups runs of up to this many consecutive scripted puts into
+	// one kvstore.BatchWriter.PutBatch call when the store's session supports
+	// it (0 or 1 = every put individual). Batched writes must replay exactly
+	// like sequential ones; a crash during a batch leaves every write in it
+	// ambiguous (any subset may be durable), which the oracle accounts for.
+	BatchPuts int
+
 	// ScanEvery issues a full cursor-loop scan every this many ops (0 =
 	// none) on stores whose sessions implement kvstore.Scanner, checked
 	// exactly against the applied state — scans never persist, so the
@@ -220,17 +227,22 @@ type sinceVal struct {
 // durable (state at the last successful un-triggered Flush), since
 // (everything acknowledged per key after that Flush, in order), and applied
 // (the exact state all acknowledged ops produce — what a clean run must
-// serve). pending records the single ambiguous op: the one in flight when the
-// fault plan triggered, whose effects may be partially durable whether or not
-// it returned an error.
+// serve). pending records the ambiguous ops: the op — or every write of the
+// PutBatch — in flight when the fault plan triggered, whose effects may be
+// partially durable whether or not the call returned an error.
 type runState struct {
 	durable map[int]string
 	since   map[int][]sinceVal
 	applied map[int]string
 
-	pendingValid bool
-	pendingKey   int
-	pending      sinceVal
+	pending []pendingOp
+}
+
+// pendingOp is one write whose durability is ambiguous: it was part of the
+// call in flight when the fault plan triggered.
+type pendingOp struct {
+	key int
+	v   sinceVal
 }
 
 func newRunState() *runState {
@@ -271,8 +283,10 @@ func (rs *runState) legal(key int, got []byte, ok bool) (bool, string) {
 				return true, ""
 			}
 		}
-		if rs.pendingValid && rs.pendingKey == key && !rs.pending.del && rs.pending.val == string(got) {
-			return true, ""
+		for _, p := range rs.pending {
+			if p.key == key && !p.v.del && p.v.val == string(got) {
+				return true, ""
+			}
 		}
 		if durOK {
 			return false, fmt.Sprintf("recovered value %q matches neither the flushed value (%d bytes) nor any acknowledged write since", trunc(got), len(durVal))
@@ -287,8 +301,10 @@ func (rs *runState) legal(key int, got []byte, ok bool) (bool, string) {
 			return true, "" // the acknowledged delete may have persisted
 		}
 	}
-	if rs.pendingValid && rs.pendingKey == key && rs.pending.del {
-		return true, ""
+	for _, p := range rs.pending {
+		if p.key == key && p.v.del {
+			return true, ""
+		}
 	}
 	return false, fmt.Sprintf("flushed value (%d bytes) lost: key absent after recovery with no delete acknowledged since the flush", len(durVal))
 }
@@ -369,13 +385,46 @@ func executeScript(st kvstore.Store, plan *device.FaultPlan, script []scriptOp, 
 	c := simclock.New(0)
 	se := st.NewSession(c)
 	rs := newRunState()
-	for n, op := range script {
+	var bw kvstore.BatchWriter
+	if cfg.BatchPuts > 1 {
+		bw, _ = se.(kvstore.BatchWriter)
+	}
+	var bkeys, bvals [][]byte
+	for n := 0; n < len(script); n++ {
+		op := script[n]
 		if plan.Triggered() {
 			return rs, nil
 		}
 		var err error
 		switch op.kind {
 		case opPut:
+			if bw != nil && n+1 < len(script) && script[n+1].kind == opPut {
+				// A run of consecutive puts goes through PutBatch, the path
+				// the server's shard-affine SET dispatch uses. The batch must
+				// replay exactly like the sequential puts; a trigger during it
+				// makes every write in it ambiguous.
+				end := n
+				bkeys, bvals = bkeys[:0], bvals[:0]
+				for ; end < len(script) && script[end].kind == opPut && end-n < cfg.BatchPuts; end++ {
+					bkeys = append(bkeys, sweepKey(script[end].key))
+					bvals = append(bvals, script[end].val)
+				}
+				err = bw.PutBatch(bkeys, bvals)
+				if plan.Triggered() {
+					for i := n; i < end; i++ {
+						rs.pending = append(rs.pending, pendingOp{key: script[i].key, v: sinceVal{val: string(script[i].val)}})
+					}
+					return rs, nil
+				}
+				if err != nil {
+					return rs, fmt.Errorf("op %d (batched put x%d): %w", n, end-n, err)
+				}
+				for i := n; i < end; i++ {
+					rs.ack(script[i].key, sinceVal{val: string(script[i].val)})
+				}
+				n = end - 1
+				continue
+			}
 			err = se.Put(sweepKey(op.key), op.val)
 		case opDelete:
 			err = se.Delete(sweepKey(op.key))
@@ -416,9 +465,9 @@ func executeScript(st kvstore.Store, plan *device.FaultPlan, script []scriptOp, 
 			// regardless of its return value.
 			switch op.kind {
 			case opPut:
-				rs.pendingValid, rs.pendingKey, rs.pending = true, op.key, sinceVal{val: string(op.val)}
+				rs.pending = append(rs.pending, pendingOp{key: op.key, v: sinceVal{val: string(op.val)}})
 			case opDelete:
-				rs.pendingValid, rs.pendingKey, rs.pending = true, op.key, sinceVal{del: true}
+				rs.pending = append(rs.pending, pendingOp{key: op.key, v: sinceVal{del: true}})
 			}
 			return rs, nil
 		}
