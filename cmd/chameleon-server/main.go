@@ -24,6 +24,7 @@ import (
 
 	"chameleondb/internal/core"
 	"chameleondb/internal/obs"
+	"chameleondb/internal/repl"
 	"chameleondb/internal/server"
 	"chameleondb/internal/simclock"
 )
@@ -46,6 +47,9 @@ func main() {
 		maintWork   = flag.Int("maintenance-workers", -1, "background maintenance workers (0: run flushes/compactions inline on the put path; <0: min(shards, GOMAXPROCS))")
 		backend     = flag.String("backend", "sim", "persistence backend: sim (in-memory simulated pmem) or file (fsync-backed segment files in -dir)")
 		dir         = flag.String("dir", "", "data directory for -backend=file")
+		replAddr    = flag.String("repl-addr", "", "replication listen address for log shipping to replicas (empty: off)")
+		replicaOf   = flag.String("replicaof", "", "start as a replica of this primary's repl-addr (host:port)")
+		replID      = flag.String("repl-id", "", "stable replica identity for GC holds across reconnects (default: local addr)")
 	)
 	flag.Parse()
 
@@ -88,9 +92,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "open store:", err)
 		os.Exit(1)
 	}
-	defer st.Close()
+	defer func() { st.Close() }()
 
-	srv := server.New(st, server.Config{
+	// Replication: start the repl node before the RESP server so a replica's
+	// bootstrap (including a possible full-resync store swap) finishes before
+	// any client can connect. ResetStore closes the stale store and reopens a
+	// fresh one — for the file backend that wipes the data directory, since a
+	// full resync replays the primary's entire live state from its log.
+	var node *repl.Node
+	if *replAddr != "" || *replicaOf != "" {
+		rcfg := repl.Config{Addr: *replAddr, PrimaryAddr: *replicaOf, ID: *replID}
+		old := st
+		if *backend == "file" {
+			dataDir := *dir
+			rcfg.ResetStore = func() (*core.Store, error) {
+				old.Close()
+				if err := os.RemoveAll(dataDir); err != nil {
+					return nil, err
+				}
+				fresh, _, err := core.OpenFile(cfg, dataDir)
+				return fresh, err
+			}
+		} else {
+			rcfg.ResetStore = func() (*core.Store, error) {
+				old.Close()
+				return core.Open(cfg)
+			}
+		}
+		node, err = repl.Start(st, rcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replication:", err)
+			os.Exit(1)
+		}
+		defer node.Close()
+		st = node.Store()
+	}
+
+	scfg := server.Config{
 		Addr:             *addr,
 		MaxConns:         *maxConns,
 		MaxPipeline:      *pipeline,
@@ -100,13 +138,24 @@ func main() {
 		GroupCommitSize:  *commitSize,
 		AsyncAck:         *asyncAck,
 		ReplyRetainBytes: *replyRetain,
-	})
+	}
+	if node != nil {
+		scfg.Repl = node
+	}
+	srv := server.New(st, scfg)
 	if err := srv.Listen(); err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("chameleon-server listening on %s (backend=%s shards=%d arena=%dMB log=%dMB maintenance-workers=%d)\n",
 		srv.Addr(), *backend, *shards, *arenaMB, *logMB, cfg.MaintenanceWorkers)
+	if node != nil {
+		if node.Role() == repl.RoleReplica {
+			fmt.Printf("replication: replica of %s (repl-addr=%s)\n", *replicaOf, node.Addr())
+		} else {
+			fmt.Printf("replication: primary shipping on %s\n", node.Addr())
+		}
+	}
 
 	if *statsAddr != "" {
 		go func() {

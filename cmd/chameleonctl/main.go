@@ -154,6 +154,10 @@ func main() {
 		pingCmd(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "repl" {
+		replCmd(os.Args[2:])
+		return
+	}
 	var (
 		shards    = flag.Int("shards", 64, "index shards (power of two)")
 		maintWork = flag.Int("maintenance-workers", 0, "background maintenance workers (0: inline maintenance)")

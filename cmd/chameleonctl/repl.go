@@ -1,0 +1,78 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chameleondb/internal/resp"
+)
+
+// replCmd is the replication control surface over the wire:
+//
+//	chameleonctl repl status [-addr host:port]   INFO replication
+//	chameleonctl repl promote [-addr host:port]  REPLICAOF NO ONE
+//	chameleonctl repl of <host> <port> [-addr …] REPLICAOF host port
+//	chameleonctl repl wait <n> <timeout-ms>      WAIT n timeout
+func replCmd(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: chameleonctl repl status|promote|of|wait [args] [-addr host:port]")
+		os.Exit(2)
+	}
+	sub, rest := args[0], args[1:]
+
+	// Subcommand operands come before flags; split them off first.
+	var operands []string
+	for len(rest) > 0 && (len(rest[0]) == 0 || rest[0][0] != '-') {
+		operands = append(operands, rest[0])
+		rest = rest[1:]
+	}
+	fs := flag.NewFlagSet("repl "+sub, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:6379", "server address")
+	timeout := fs.Duration("timeout", 5*time.Second, "dial and I/O timeout")
+	fs.Parse(rest)
+
+	c, err := resp.Dial(*addr, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dial %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(*timeout))
+
+	var rep resp.Reply
+	switch sub {
+	case "status":
+		rep, err = c.DoStrings("INFO", "replication")
+	case "promote":
+		rep, err = c.DoStrings("REPLICAOF", "NO", "ONE")
+	case "of":
+		if len(operands) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: chameleonctl repl of <host> <port>")
+			os.Exit(2)
+		}
+		rep, err = c.DoStrings("REPLICAOF", operands[0], operands[1])
+	case "wait":
+		if len(operands) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: chameleonctl repl wait <numreplicas> <timeout-ms>")
+			os.Exit(2)
+		}
+		// WAIT can legitimately block up to its own timeout; give the socket
+		// deadline room on top of it.
+		c.SetDeadline(time.Now().Add(*timeout + time.Minute))
+		rep, err = c.DoStrings("WAIT", operands[0], operands[1])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown repl subcommand %q (want status, promote, of, or wait)\n", sub)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repl %s: %v\n", sub, err)
+		os.Exit(1)
+	}
+	if err := rep.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "repl %s: %v\n", sub, err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.Text())
+}

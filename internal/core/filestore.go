@@ -118,6 +118,8 @@ func attachStore(cfg Config, dev *device.Device, arena *pmem.Arena, med *filedev
 	if cfg.MaintenanceWorkers > 0 {
 		s.maint = newMaintPool(s, cfg.MaintenanceWorkers)
 	}
+	s.replEpoch.Store(hs.ReplEpoch)
+	s.replApplied.Store(hs.ReplApplied)
 	// The store reattaches in the crashed state: sessions are rejected and
 	// maintenance stays synchronous until Recover replays the log and clears
 	// the flag — a restart is a crash whose volatile half is a new process.

@@ -51,7 +51,10 @@ func (s *Store) CompactLog(c *simclock.Clock, reclaimBytes int64) (int64, error)
 	// segment boundary the tail sits on the boundary too, and the chunk's
 	// segment would be freed while the session keeps appending into it
 	// through its cached arena offset — found by the crash-point sweep.)
-	if maxTarget := s.log.MinNextLSN() / seg * seg; target > maxTarget {
+	// GCFloor further clamps at any registered GC hold, so a lagging
+	// replica's unshipped suffix is neither relocated out from under its
+	// cursor nor freed.
+	if maxTarget := s.log.GCFloor() / seg * seg; target > maxTarget {
 		target = maxTarget
 	}
 	if target <= head {

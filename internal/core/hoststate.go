@@ -37,6 +37,16 @@ type hostState struct {
 	// Per-shard manifest slot locations (allocated once at first boot).
 	ManifestSlotBytes int64
 	ManifestOffs      []int64
+
+	// Replication identity (see internal/repl). ReplEpoch is the replication
+	// epoch this store last served under — bumped by failover promotion, so a
+	// deposed primary rejoining with a stale epoch is detected at handshake
+	// and fully resynced instead of resurrecting unacked writes. ReplApplied
+	// is a replica's durably-applied primary-LSN watermark: the resume point
+	// for catch-up after a restart. Both are zero on stores that never
+	// replicated.
+	ReplEpoch   int64
+	ReplApplied int64
 }
 
 // configFingerprint pins the geometry a directory was created with. A reopen
@@ -61,7 +71,7 @@ func fingerprintOf(cfg Config) configFingerprint {
 	}
 }
 
-const hostStateVersion = 1
+const hostStateVersion = 2
 
 // hostStateMax bounds the encoded size of any host state a config can
 // produce, so the medium's metadata slots can be sized before the store
@@ -69,7 +79,7 @@ const hostStateVersion = 1
 // LogBytes/segmentSize live segments.
 func hostStateMax(cfg Config) int64 {
 	maxSegs := cfg.LogBytes/wlog.SegmentSizeFor(cfg.LogBytes) + 2
-	n := int64(8) + 8*8 + 4*8 + 8 + int64(cfg.Shards)*8 + 8 + maxSegs*16
+	n := int64(8) + 8*8 + 6*8 + 8 + int64(cfg.Shards)*8 + 8 + maxSegs*16
 	return (n + 4095) / 4096 * 4096
 }
 
@@ -89,6 +99,8 @@ func encodeHostState(hs hostState) []byte {
 	u64(hs.LogHead)
 	u64(hs.LogNext)
 	u64(hs.ManifestSlotBytes)
+	u64(hs.ReplEpoch)
+	u64(hs.ReplApplied)
 	u64(int64(len(hs.ManifestOffs)))
 	for _, off := range hs.ManifestOffs {
 		u64(off)
@@ -127,6 +139,7 @@ func decodeHostState(b []byte) (hostState, error) {
 		&hs.fp.MemTableSlots, &hs.fp.ABISlots,
 		&hs.fp.Levels, &hs.fp.Ratio, &hs.fp.MaxDumps,
 		&hs.ArenaNext, &hs.LogHead, &hs.LogNext, &hs.ManifestSlotBytes,
+		&hs.ReplEpoch, &hs.ReplApplied,
 	} {
 		if *dst, err = u64(); err != nil {
 			return hs, err
@@ -206,6 +219,8 @@ func (s *Store) persistHostMetaWith(head, next int64, segs map[int64]int64) {
 		Segs:              segs,
 		ManifestSlotBytes: s.shards[0].manifest.slotBytes,
 		ManifestOffs:      make([]int64, len(s.shards)),
+		ReplEpoch:         s.replEpoch.Load(),
+		ReplApplied:       s.replApplied.Load(),
 	}
 	for i, sh := range s.shards {
 		hs.ManifestOffs[i] = sh.manifest.off

@@ -25,6 +25,11 @@ var ErrClosed = errors.New("core: store is closed")
 // 64-bit integer, or the increment would overflow one.
 var ErrNotInteger = errors.New("value is not an integer or out of range")
 
+// ErrReadOnly is returned by client write operations while the store serves
+// as a replica (Store.SetReadOnly). The text matches Redis's -READONLY reply
+// so the serving layer can pass it straight to the wire.
+var ErrReadOnly = errors.New("READONLY You can't write against a read only replica.")
+
 // Session is a per-worker handle on the store: it owns a virtual clock, a
 // private log appender (the DRAM write batch of Section 2.5), and a reader
 // epoch slot for the lock-free get path. Not safe for concurrent use.
@@ -65,12 +70,31 @@ func (se *Session) Clock() *simclock.Clock { return se.clock }
 // may immediately reuse the backing arrays (the RESP server passes spans of
 // its per-connection read buffer straight through here).
 func (se *Session) Put(key, value []byte) error {
+	if se.store.readOnly.Load() {
+		return ErrReadOnly
+	}
 	return se.write(key, value, 0)
 }
 
 // Delete implements kvstore.Session: a tombstone append plus index update.
 func (se *Session) Delete(key []byte) error {
+	if se.store.readOnly.Load() {
+		return ErrReadOnly
+	}
 	return se.write(key, nil, wlog.FlagTombstone)
+}
+
+// ApplyReplicated is the replication apply entry point: one shipped log entry
+// applied through the exact write path a local put takes — own-log append,
+// MemTable insert, maintenance, backpressure — but exempt from the replica
+// read-only gate. The entry takes a fresh local LSN; the primary-LSN ordering
+// is the stream's job (internal/repl applies frames in LSN order).
+func (se *Session) ApplyReplicated(key, value []byte, tombstone bool) error {
+	var flags uint16
+	if tombstone {
+		flags = wlog.FlagTombstone
+	}
+	return se.write(key, value, flags)
 }
 
 func (se *Session) write(key, value []byte, flags uint16) error {
@@ -150,6 +174,9 @@ func (se *Session) PutBatch(keys, values [][]byte) error {
 	}
 	if len(keys) == 0 {
 		return nil
+	}
+	if se.store.readOnly.Load() {
+		return ErrReadOnly
 	}
 	if err := se.store.readable(); err != nil {
 		return err
@@ -373,6 +400,9 @@ func (se *Session) appendLocked(sh *shard, c *simclock.Clock, h uint64, key, val
 // with concurrent writers — the TOCTOU a Get-then-Delete pair has across
 // sessions cannot happen here.
 func (se *Session) DeleteIfPresent(key []byte) (bool, error) {
+	if se.store.readOnly.Load() {
+		return false, ErrReadOnly
+	}
 	if err := se.store.readable(); err != nil {
 		return false, err
 	}
@@ -411,6 +441,9 @@ func (se *Session) DeleteIfPresent(key []byte) (bool, error) {
 // (Redis semantics); a non-integer value or a 64-bit overflow returns
 // ErrNotInteger without appending anything.
 func (se *Session) IncrBy(key []byte, delta int64) (int64, error) {
+	if se.store.readOnly.Load() {
+		return 0, ErrReadOnly
+	}
 	if err := se.store.readable(); err != nil {
 		return 0, err
 	}

@@ -80,6 +80,18 @@ type Store struct {
 	// table, so a second crash must scan them again.
 	replayPos atomic.Int64
 
+	// Replication state (see internal/repl). readOnly gates client writes
+	// while the store serves as a replica: Put/Delete/PutBatch/IncrBy return
+	// ErrReadOnly, while the replication apply path (Session.ApplyReplicated)
+	// bypasses the gate. replEpoch is the replication epoch (bumped on
+	// failover promotion); replApplied a replica's durably-applied
+	// primary-LSN watermark. Both are persisted in the host-state record on
+	// file-backed stores so a restarted replica resumes catch-up where its
+	// durable image actually is.
+	readOnly    atomic.Bool
+	replEpoch   atomic.Int64
+	replApplied atomic.Int64
+
 	// Recovery instrumentation (Table 4 restart times).
 	lastRecoverReadyNs int64
 	lastRecoverFullNs  int64
@@ -308,6 +320,33 @@ func (s *Store) readable() error {
 		return fmt.Errorf("core: persistence backend failed: %w", err)
 	}
 	return nil
+}
+
+// SetReadOnly flips the replica write gate: while set, client write paths
+// (Put, Delete, PutBatch, DeleteIfPresent, IncrBy) return ErrReadOnly and the
+// serving layer answers -READONLY; the replication apply path is exempt.
+// Promotion clears it. Safe to call while sessions are running.
+func (s *Store) SetReadOnly(on bool) { s.readOnly.Store(on) }
+
+// ReadOnly reports whether the replica write gate is set.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
+
+// ReplState returns the store's replication identity: the epoch it last
+// served under and (for replicas) the durably-applied primary-LSN watermark.
+func (s *Store) ReplState() (epoch, applied int64) {
+	return s.replEpoch.Load(), s.replApplied.Load()
+}
+
+// SetReplState records the replication identity and, on file-backed stores,
+// persists it in the host-state record. A replica calls it only after locally
+// flushing everything at or below applied, so the durable watermark never
+// runs ahead of the durable data it stands for.
+func (s *Store) SetReplState(epoch, applied int64) {
+	s.replEpoch.Store(epoch)
+	s.replApplied.Store(applied)
+	if !s.crashed.Load() && !s.closed.Load() {
+		s.persistHostMeta()
+	}
 }
 
 // SetWriteIntensive toggles Write-Intensive Mode at runtime (Section 2.3

@@ -1,0 +1,373 @@
+// Package repl is ChameleonDB's replication subsystem: a primary streams its
+// sealed wlog entries, in LSN order, over TCP to N replicas; replicas apply
+// them through the same session write path recovery replay uses and serve
+// reads from their epoch-published views while rejecting client writes.
+//
+// The protocol is deliberately small. Everything on the wire is a frame —
+// length-prefixed, checksummed, typed — and the only stateful frame is
+// ENTRIES, which carries a batch of log records tagged with the primary-LSN
+// range [From, Next) it advances the replica's cursor across. A replica's
+// position in the stream is therefore a single number (the primary LSN it has
+// applied up to), which is what makes bootstrap, catch-up after a crash, WAIT
+// acks, and the primary's GC holds all one mechanism. See DESIGN.md §8.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"chameleondb/internal/xhash"
+)
+
+// Frame types.
+const (
+	// frameHello opens a replica->primary connection:
+	// [8 epoch][8 resumeLSN][2 idLen][id]. epoch is the replication epoch the
+	// replica last applied under (0 = never replicated), resumeLSN the first
+	// primary LSN it has not durably applied.
+	frameHello = byte(1)
+	// frameAccept answers a Hello: [8 epoch][8 startLSN][1 full]. full means
+	// the replica's position is not resumable (epoch mismatch, or the primary
+	// GC'd past resumeLSN) and the stream restarts from the primary's log
+	// base — the replica must start from an empty store.
+	frameAccept = byte(2)
+	// frameEntries ships log records: [8 fromLSN][8 nextLSN][1 flags] then
+	// records (see appendRecord). Applying the frame moves the replica's
+	// cursor from fromLSN to nextLSN; the gap may exceed the records carried
+	// (sealed-chunk padding, GC'd garbage) but records always lie inside it.
+	frameEntries = byte(3)
+	// frameAck reports replica progress: [8 appliedLSN][8 durableLSN].
+	frameAck = byte(4)
+	// framePing is the primary's heartbeat: [8 watermarkLSN][1 flags]. The
+	// replica answers with an Ack.
+	framePing = byte(5)
+	// frameReject aborts a handshake with a reason: [2 len][msg].
+	frameReject = byte(6)
+)
+
+// Entries/Ping flags.
+const (
+	// flagAckDurable asks the replica to flush and acknowledge durably now —
+	// set while WAIT waiters are pending on the primary.
+	flagAckDurable = byte(1)
+)
+
+const (
+	frameMagic = uint32(0x4C505243) // "CRPL"
+	headerLen  = 20
+
+	// MaxFramePayload bounds any frame on the wire; the decoder rejects
+	// larger claims before allocating.
+	MaxFramePayload = 4 << 20
+
+	recordHeader = 15 // [8 lsn][2 keyLen][4 valLen][1 flags]
+)
+
+// ErrBadFrame is wrapped by every decoder rejection: truncated, torn,
+// bit-flipped, oversized, or structurally invalid frames all land here and
+// never panic or yield a partial result.
+var ErrBadFrame = errors.New("repl: bad frame")
+
+func frameSum(typ byte, payload []byte) uint64 {
+	s := xhash.Seeded(uint64(typ)<<40^uint64(len(payload)), payload)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// appendFrame encodes one frame onto buf and returns the extended slice.
+func appendFrame(buf []byte, typ byte, payload []byte) []byte {
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
+	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[12:20], frameSum(typ, payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// writeFrame encodes and writes one frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	_, err := w.Write(appendFrame(nil, typ, payload))
+	return err
+}
+
+// readFrame reads exactly one frame from r, verifying the checksum. The
+// payload is freshly allocated and owned by the caller.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	return decodeFrameAfterHeader(hdr, r)
+}
+
+func decodeFrameAfterHeader(hdr [headerLen]byte, r io.Reader) (byte, []byte, error) {
+	if binary.LittleEndian.Uint32(hdr[0:4]) != frameMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, hdr[0:4])
+	}
+	typ := hdr[4]
+	if typ < frameHello || typ > frameReject {
+		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, typ)
+	}
+	if hdr[5] != 0 || hdr[6] != 0 || hdr[7] != 0 {
+		return 0, nil, fmt.Errorf("%w: nonzero reserved bytes", ErrBadFrame)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: payload claims %d bytes", ErrBadFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	if frameSum(typ, payload) != binary.LittleEndian.Uint64(hdr[12:20]) {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch on type %d", ErrBadFrame, typ)
+	}
+	return typ, payload, nil
+}
+
+// hello is the decoded Hello payload.
+type hello struct {
+	Epoch  int64
+	Resume int64
+	ID     string
+}
+
+func encodeHello(h hello) []byte {
+	b := make([]byte, 0, 18+len(h.ID))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.Epoch))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.Resume))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.ID)))
+	return append(b, h.ID...)
+}
+
+func decodeHello(b []byte) (hello, error) {
+	if len(b) < 18 {
+		return hello{}, fmt.Errorf("%w: hello payload %d bytes", ErrBadFrame, len(b))
+	}
+	h := hello{
+		Epoch:  int64(binary.LittleEndian.Uint64(b[0:8])),
+		Resume: int64(binary.LittleEndian.Uint64(b[8:16])),
+	}
+	n := int(binary.LittleEndian.Uint16(b[16:18]))
+	if len(b) != 18+n {
+		return hello{}, fmt.Errorf("%w: hello id length %d in %d-byte payload", ErrBadFrame, n, len(b))
+	}
+	h.ID = string(b[18:])
+	return h, nil
+}
+
+// accept is the decoded Accept payload.
+type accept struct {
+	Epoch int64
+	Start int64
+	Full  bool
+}
+
+func encodeAccept(a accept) []byte {
+	b := make([]byte, 0, 17)
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.Epoch))
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.Start))
+	full := byte(0)
+	if a.Full {
+		full = 1
+	}
+	return append(b, full)
+}
+
+func decodeAccept(b []byte) (accept, error) {
+	if len(b) != 17 || b[16] > 1 {
+		return accept{}, fmt.Errorf("%w: accept payload %d bytes", ErrBadFrame, len(b))
+	}
+	return accept{
+		Epoch: int64(binary.LittleEndian.Uint64(b[0:8])),
+		Start: int64(binary.LittleEndian.Uint64(b[8:16])),
+		Full:  b[16] == 1,
+	}, nil
+}
+
+// ack is the decoded Ack payload.
+type ack struct {
+	Applied int64
+	Durable int64
+}
+
+func encodeAck(a ack) []byte {
+	b := make([]byte, 0, 16)
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.Applied))
+	return binary.LittleEndian.AppendUint64(b, uint64(a.Durable))
+}
+
+func decodeAck(b []byte) (ack, error) {
+	if len(b) != 16 {
+		return ack{}, fmt.Errorf("%w: ack payload %d bytes", ErrBadFrame, len(b))
+	}
+	return ack{
+		Applied: int64(binary.LittleEndian.Uint64(b[0:8])),
+		Durable: int64(binary.LittleEndian.Uint64(b[8:16])),
+	}, nil
+}
+
+func encodePing(watermark int64, flags byte) []byte {
+	b := make([]byte, 0, 9)
+	b = binary.LittleEndian.AppendUint64(b, uint64(watermark))
+	return append(b, flags)
+}
+
+func decodePing(b []byte) (watermark int64, flags byte, err error) {
+	if len(b) != 9 {
+		return 0, 0, fmt.Errorf("%w: ping payload %d bytes", ErrBadFrame, len(b))
+	}
+	return int64(binary.LittleEndian.Uint64(b[0:8])), b[8], nil
+}
+
+func encodeReject(msg string) []byte {
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	b := binary.LittleEndian.AppendUint16(nil, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+func decodeReject(b []byte) (string, error) {
+	if len(b) < 2 || len(b) != 2+int(binary.LittleEndian.Uint16(b[0:2])) {
+		return "", fmt.Errorf("%w: reject payload %d bytes", ErrBadFrame, len(b))
+	}
+	return string(b[2:]), nil
+}
+
+// record is one shipped log entry.
+type record struct {
+	LSN       int64
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+// entriesHeader is the fixed prefix of an Entries payload.
+const entriesHeader = 17 // [8 fromLSN][8 nextLSN][1 flags]
+
+// appendEntriesHeader starts an Entries payload.
+func appendEntriesHeader(b []byte, from, next int64, flags byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(from))
+	b = binary.LittleEndian.AppendUint64(b, uint64(next))
+	return append(b, flags)
+}
+
+// patchEntriesNext rewrites the nextLSN field of an already-started Entries
+// payload (the exporter learns the final cursor only after scanning).
+func patchEntriesNext(b []byte, next int64) {
+	binary.LittleEndian.PutUint64(b[8:16], uint64(next))
+}
+
+// appendRecord encodes one record onto an Entries payload.
+func appendRecord(b []byte, lsn int64, key, value []byte, tombstone bool) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(lsn))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(key)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(value)))
+	flags := byte(0)
+	if tombstone {
+		flags = 1
+	}
+	b = append(b, flags)
+	b = append(b, key...)
+	return append(b, value...)
+}
+
+// decodeEntries validates a complete Entries payload and returns its cursor
+// range and fully-decoded records. It is all-or-nothing: any structural
+// violation — truncation, a record outside [from, next), non-monotonic LSNs,
+// impossible lengths — errors without returning any records, so a torn or
+// bit-flipped frame can never be half-applied. Records alias b.
+func decodeEntries(b []byte) (from, next int64, flags byte, recs []record, err error) {
+	if len(b) < entriesHeader {
+		return 0, 0, 0, nil, fmt.Errorf("%w: entries payload %d bytes", ErrBadFrame, len(b))
+	}
+	from = int64(binary.LittleEndian.Uint64(b[0:8]))
+	next = int64(binary.LittleEndian.Uint64(b[8:16]))
+	flags = b[16]
+	if from < 0 || next < from {
+		return 0, 0, 0, nil, fmt.Errorf("%w: entries range [%d, %d)", ErrBadFrame, from, next)
+	}
+	pos := entriesHeader
+	last := from - 1
+	for pos < len(b) {
+		if pos+recordHeader > len(b) {
+			return 0, 0, 0, nil, fmt.Errorf("%w: truncated record header at %d", ErrBadFrame, pos)
+		}
+		lsn := int64(binary.LittleEndian.Uint64(b[pos : pos+8]))
+		keyLen := int(binary.LittleEndian.Uint16(b[pos+8 : pos+10]))
+		valLen := int(binary.LittleEndian.Uint32(b[pos+10 : pos+14]))
+		rf := b[pos+14]
+		if rf > 1 {
+			return 0, 0, 0, nil, fmt.Errorf("%w: record flags %d", ErrBadFrame, rf)
+		}
+		if lsn < from || lsn >= next || lsn <= last {
+			return 0, 0, 0, nil, fmt.Errorf("%w: record LSN %d outside (%d, %d)", ErrBadFrame, lsn, last, next)
+		}
+		pos += recordHeader
+		if valLen > MaxFramePayload || pos+keyLen+valLen > len(b) {
+			return 0, 0, 0, nil, fmt.Errorf("%w: record at LSN %d claims %d+%d bytes", ErrBadFrame, lsn, keyLen, valLen)
+		}
+		recs = append(recs, record{
+			LSN:       lsn,
+			Key:       b[pos : pos+keyLen],
+			Value:     b[pos+keyLen : pos+keyLen+valLen],
+			Tombstone: rf == 1,
+		})
+		pos += keyLen + valLen
+		last = lsn
+	}
+	return from, next, flags, recs, nil
+}
+
+// DecodeFrameBytes decodes one frame from a raw byte buffer, including full
+// payload validation for every typed payload. It exists for the fuzzer: the
+// production path reads from a stream (readFrame) and validates payloads at
+// the same call sites, but the fuzz target needs a single total function over
+// arbitrary bytes.
+func DecodeFrameBytes(b []byte) error {
+	if len(b) < headerLen {
+		return fmt.Errorf("%w: %d bytes", ErrBadFrame, len(b))
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:], b)
+	typ, payload, err := decodeFrameAfterHeader(hdr, newSliceReader(b[headerLen:]))
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case frameHello:
+		_, err = decodeHello(payload)
+	case frameAccept:
+		_, err = decodeAccept(payload)
+	case frameEntries:
+		_, _, _, _, err = decodeEntries(payload)
+	case frameAck:
+		_, err = decodeAck(payload)
+	case framePing:
+		_, _, err = decodePing(payload)
+	case frameReject:
+		_, err = decodeReject(payload)
+	}
+	return err
+}
+
+// sliceReader is a minimal io.Reader over a slice (bytes.Reader without the
+// import weight in this hot decode path).
+type sliceReader struct{ b []byte }
+
+func newSliceReader(b []byte) *sliceReader { return &sliceReader{b} }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

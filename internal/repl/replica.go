@@ -1,0 +1,331 @@
+package repl
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/simclock"
+)
+
+// link is the replica half of a node: it dials the primary, hands over its
+// durable watermark, and applies the shipped entry stream through the normal
+// write path, acking durability back. It reconnects with backoff until
+// stopped, and parks (latching Status.NeedsReset) if the primary demands a
+// full resync that the local store cannot satisfy in place.
+type link struct {
+	n    *Node
+	addr string
+
+	stopc chan struct{}
+	done  chan struct{}
+
+	up      atomic.Bool
+	applied atomic.Int64 // primary LSN applied up to
+	durable atomic.Int64 // primary LSN durably applied and persisted up to
+
+	mu   sync.Mutex
+	conn net.Conn // live connection, severed by stop()
+}
+
+// startLink attaches a new link to the node and runs it. When syncFirst is
+// set (only from Start), the first dial, handshake, and full-resync
+// resolution happen synchronously — a store swap via cfg.ResetStore is only
+// safe while nothing serves from the store, and Start returning is what opens
+// it to serving. The stream itself then continues in the background. A
+// primary that is not up yet is not an error — the background loop keeps
+// retrying (without the reset privilege).
+func (n *Node) startLink(addr string, syncFirst bool) {
+	l := &link{
+		n:     n,
+		addr:  addr,
+		stopc: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	n.mu.Lock()
+	n.link = l
+	n.mu.Unlock()
+
+	if syncFirst {
+		if conn, acc, ok := l.connect(false); ok {
+			st, ok := l.prepare(acc, true)
+			if !ok {
+				conn.Close()
+				go func() { // parked: restart with a clean directory clears it
+					defer close(l.done)
+					<-l.stopc
+				}()
+				return
+			}
+			go func() {
+				defer close(l.done)
+				if l.stream(conn, acc, st) {
+					l.run(false)
+				}
+			}()
+			return
+		}
+	}
+	go func() {
+		defer close(l.done)
+		l.run(true)
+	}()
+}
+
+// stop severs the connection and waits for the link's goroutine to finish
+// its in-flight frame and exit.
+func (l *link) stop() {
+	close(l.stopc)
+	l.mu.Lock()
+	conn := l.conn
+	l.conn = nil
+	l.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	<-l.done
+}
+
+func (l *link) stopped() bool {
+	select {
+	case <-l.stopc:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the reconnect loop: dial, handshake, stream, back off, repeat.
+// first suppresses the reconnect counter for the initial attempt.
+func (l *link) run(first bool) {
+	delay := l.n.cfg.ReconnectDelay
+	for !l.stopped() {
+		conn, acc, ok := l.connect(!first)
+		first = false
+		if ok {
+			st, sok := l.prepare(acc, false)
+			if !sok {
+				conn.Close()
+				return // parked on needs-reset
+			}
+			delay = l.n.cfg.ReconnectDelay
+			if !l.stream(conn, acc, st) {
+				return
+			}
+			continue
+		}
+		select {
+		case <-l.stopc:
+			return
+		case <-time.After(delay):
+		}
+		if delay < 16*l.n.cfg.ReconnectDelay {
+			delay *= 2
+		}
+	}
+}
+
+// connect dials the primary and performs the hello/accept handshake.
+// countReconnect increments the reconnect metric on success (false for the
+// link's very first attempt).
+func (l *link) connect(countReconnect bool) (net.Conn, accept, bool) {
+	st := l.n.store()
+	epoch, resume := st.ReplState()
+	conn, err := net.DialTimeout("tcp", l.addr, l.n.cfg.DialTimeout)
+	if err != nil {
+		return nil, accept{}, false
+	}
+	id := l.n.cfg.ID
+	if id == "" {
+		id = conn.LocalAddr().String()
+	}
+	if err := l.write(conn, frameHello, encodeHello(hello{Epoch: epoch, Resume: resume, ID: id})); err != nil {
+		conn.Close()
+		return nil, accept{}, false
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, err := l.read(conn)
+	if err != nil || typ != frameAccept {
+		conn.Close()
+		return nil, accept{}, false
+	}
+	acc, err := decodeAccept(payload)
+	if err != nil {
+		conn.Close()
+		return nil, accept{}, false
+	}
+	conn.SetReadDeadline(time.Time{})
+	if countReconnect {
+		l.n.c.reconnects.Add(1)
+	}
+	return conn, acc, true
+}
+
+// storeEmpty reports whether st holds no replicated or local writes: a fresh
+// log (nothing ever appended, nothing ever freed) and a zero replication
+// watermark. Only such a store may accept a full resync in place — anything
+// else might hold keys whose tombstones the primary's GC already settled
+// away, which replaying the compacted prefix would never delete.
+func storeEmpty(st *core.Store) bool {
+	log := st.Log()
+	_, applied := st.ReplState()
+	return applied == 0 && log.Base() == log.SegmentSize() && log.Tail() == log.SegmentSize()
+}
+
+// prepare resolves a full-resync demand. It returns the store to apply into,
+// or false to park the link: the store has diverged state and either no
+// ResetStore hook exists or the synchronous-start window has closed (a live
+// server cannot have its store swapped out from under it).
+func (l *link) prepare(acc accept, resetOK bool) (*core.Store, bool) {
+	st := l.n.store()
+	if !acc.Full {
+		return st, true
+	}
+	l.n.c.fullSyncs.Add(1)
+	if storeEmpty(st) {
+		return st, true
+	}
+	if resetOK && l.n.cfg.ResetStore != nil {
+		fresh, err := l.n.cfg.ResetStore()
+		if err != nil {
+			l.park()
+			return nil, false
+		}
+		fresh.SetReadOnly(true)
+		l.n.mu.Lock()
+		l.n.st = fresh
+		l.n.mu.Unlock()
+		return fresh, true
+	}
+	l.park()
+	return nil, false
+}
+
+func (l *link) park() {
+	l.n.mu.Lock()
+	l.n.needsReset = true
+	l.n.mu.Unlock()
+}
+
+// stream applies one connection's frame stream until it errors or the link is
+// stopped. It returns true to let the caller re-dial, false when the link
+// must not reconnect (stopped).
+func (l *link) stream(conn net.Conn, acc accept, st *core.Store) bool {
+	sess, sok := st.NewSession(simclock.New(0)).(*core.Session)
+	if !sok {
+		conn.Close()
+		return false
+	}
+	defer sess.Release()
+
+	l.mu.Lock()
+	if l.stopped() {
+		l.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	l.conn = conn
+	l.mu.Unlock()
+
+	l.applied.Store(acc.Start)
+	l.durable.Store(acc.Start)
+	l.up.Store(true)
+	defer l.up.Store(false)
+	defer func() {
+		l.mu.Lock()
+		if l.conn == conn {
+			l.conn = nil
+		}
+		l.mu.Unlock()
+		conn.Close()
+	}()
+
+	for {
+		typ, payload, err := l.read(conn)
+		if err != nil {
+			return !l.stopped()
+		}
+		switch typ {
+		case frameEntries:
+			from, next, _, recs, err := decodeEntries(payload)
+			if err != nil || from != l.applied.Load() {
+				return !l.stopped()
+			}
+			for _, r := range recs {
+				if err := sess.ApplyReplicated(r.Key, r.Value, r.Tombstone); err != nil {
+					return !l.stopped()
+				}
+			}
+			l.n.c.entriesApplied.Add(int64(len(recs)))
+			l.applied.Store(next)
+			// Durability cadence: flush and durably ack after every Entries
+			// frame. The stream is already chunked at cfg.MaxChunk, so this
+			// amortizes like the primary's own group commit.
+			if !l.ackDurable(conn, sess, st, acc.Epoch, next) {
+				return !l.stopped()
+			}
+		case framePing:
+			_, flags, err := decodePing(payload)
+			if err != nil {
+				return !l.stopped()
+			}
+			if flags&flagAckDurable != 0 {
+				if !l.ackDurable(conn, sess, st, acc.Epoch, l.applied.Load()) {
+					return !l.stopped()
+				}
+			} else if !l.sendAck(conn) {
+				return !l.stopped()
+			}
+		default:
+			return !l.stopped()
+		}
+	}
+}
+
+// ackDurable makes everything applied so far durable — session flush first,
+// then the persisted watermark, in that order, so the recorded watermark
+// never runs ahead of the data it describes — and acks it to the primary.
+// The AckGate hook can suppress the ack (never the flush): the crash-sweep
+// harness wires the simulated device's power-failure latch here so a crashed
+// replica cannot confirm durability the model has already discarded.
+func (l *link) ackDurable(conn net.Conn, sess *core.Session, st *core.Store, epoch, next int64) bool {
+	if err := sess.Flush(); err != nil {
+		return false
+	}
+	st.SetReplState(epoch, next)
+	l.durable.Store(next)
+	if gate := l.n.cfg.AckGate; gate != nil && !gate() {
+		return true
+	}
+	l.n.c.acksSent.Add(1)
+	return l.write(conn, frameAck, encodeAck(ack{Applied: l.applied.Load(), Durable: next})) == nil
+}
+
+// sendAck reports progress without forcing a flush.
+func (l *link) sendAck(conn net.Conn) bool {
+	if gate := l.n.cfg.AckGate; gate != nil && !gate() {
+		return true
+	}
+	l.n.c.acksSent.Add(1)
+	return l.write(conn, frameAck, encodeAck(ack{Applied: l.applied.Load(), Durable: l.durable.Load()})) == nil
+}
+
+func (l *link) write(conn net.Conn, typ byte, payload []byte) error {
+	err := writeFrame(conn, typ, payload)
+	if err == nil {
+		l.n.c.framesSent.Add(1)
+		l.n.c.bytesSent.Add(int64(headerLen + len(payload)))
+	}
+	return err
+}
+
+func (l *link) read(conn net.Conn) (byte, []byte, error) {
+	typ, payload, err := readFrame(conn)
+	if err == nil {
+		l.n.c.framesReceived.Add(1)
+		l.n.c.bytesReceived.Add(int64(headerLen + len(payload)))
+	}
+	return typ, payload, err
+}

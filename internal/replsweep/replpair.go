@@ -1,0 +1,420 @@
+// Replica-pair crash sweep: the failover extension of the crash-point sweep.
+//
+// A primary and a replica (internal/repl) run a deterministic scripted
+// workload with WAIT(1) acknowledgment points. A count run measures how many
+// device persist events each side issues; the sweep then replays the script
+// killing the primary — or the replica — at every Nth persist via the device
+// fault-injection layer, and checks the failover contract on the survivor:
+//
+//   - promoted survivor: every write acknowledged by a successful WAIT(1)
+//     before the kill must be served (value or tombstone), and every value it
+//     serves must be one the workload actually acknowledged — no phantoms;
+//   - surviving primary (replica killed): the full applied state is served
+//     exactly, writes keep working, and WAIT degrades to 0 instead of
+//     wedging;
+//   - the killed replica can never confirm durability the simulated device
+//     has already discarded (Config.AckGate wired to the power-failure
+//     latch).
+//
+// The replica's persist schedule depends on how the shipped stream happened
+// to be framed, so its counts are not reproducible run to run; a replay whose
+// plan never fires is treated as an end-of-script kill (still a legal check)
+// rather than an error, like storetest.SweepConfig.AllowUntriggered.
+package replsweep
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/device"
+	"chameleondb/internal/repl"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/storetest"
+)
+
+// PairSweepConfig sizes the replica-pair sweep.
+type PairSweepConfig struct {
+	Seed        int64
+	Ops         int // scripted puts/deletes
+	Keys        int // key-space size
+	MaxValueLen int
+	WaitEvery   int           // a WAIT(1) acknowledgment point every this many ops
+	WaitTimeout time.Duration // per-WAIT cap; a dead replica makes WAIT return 0 after this
+	Stride      int           // test every Stride-th persist point (0 or 1 = exhaustive)
+
+	// StoreConfig overrides the scaled-down default store geometry. Leave
+	// zero for the default. MaintenanceWorkers is forced to 0 either way so
+	// the primary's persist schedule stays deterministic.
+	StoreConfig *core.Config
+
+	Logf func(format string, args ...any)
+}
+
+func (c *PairSweepConfig) defaults() {
+	if c.Ops == 0 {
+		c.Ops = 400
+	}
+	if c.Keys == 0 {
+		c.Keys = 64
+	}
+	if c.MaxValueLen == 0 {
+		c.MaxValueLen = 48
+	}
+	if c.WaitEvery == 0 {
+		c.WaitEvery = 25
+	}
+	if c.WaitTimeout == 0 {
+		c.WaitTimeout = 2 * time.Second
+	}
+	if c.Stride <= 0 {
+		c.Stride = 1
+	}
+}
+
+func (c *PairSweepConfig) storeConfig() core.Config {
+	if c.StoreConfig != nil {
+		scfg := *c.StoreConfig
+		scfg.MaintenanceWorkers = 0
+		return scfg
+	}
+	scfg := core.TestConfig()
+	scfg.Shards = 4
+	scfg.MemTableSlots = 32
+	scfg.ArenaBytes = 4 << 20
+	scfg.LogBytes = 1 << 20
+	scfg.MaintenanceWorkers = 0
+	return scfg
+}
+
+// PairSweepResult summarizes a completed pair sweep.
+type PairSweepResult struct {
+	PrimaryPersists int64 // persist events on the primary in one clean run
+	ReplicaPersists int64 // persist events on the replica in one clean run
+	Runs            int   // kill/failover cycles executed
+	Untriggered     int   // replays that ended the script before the plan fired
+}
+
+func (r PairSweepResult) String() string {
+	return fmt.Sprintf("primary %d / replica %d persist events, %d failover runs (%d end-of-script)",
+		r.PrimaryPersists, r.ReplicaPersists, r.Runs, r.Untriggered)
+}
+
+// pairOp is one scripted step.
+type pairOp struct {
+	kind int // 0 put, 1 delete, 2 wait
+	key  int
+	val  []byte
+}
+
+const (
+	pairPut = iota
+	pairDelete
+	pairWait
+)
+
+func buildPairScript(cfg PairSweepConfig) []pairOp {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var script []pairOp
+	for i := 0; i < cfg.Ops; i++ {
+		key := rng.Intn(cfg.Keys)
+		if rng.Intn(10) < 8 {
+			val := make([]byte, 1+rng.Intn(cfg.MaxValueLen))
+			for j := range val {
+				val[j] = byte('a' + (key+i+j)%26)
+			}
+			script = append(script, pairOp{kind: pairPut, key: key, val: val})
+		} else {
+			script = append(script, pairOp{kind: pairDelete, key: key})
+		}
+		if (i+1)%cfg.WaitEvery == 0 {
+			script = append(script, pairOp{kind: pairWait})
+		}
+	}
+	script = append(script, pairOp{kind: pairWait})
+	return script
+}
+
+// pair is one live primary+replica topology.
+type pair struct {
+	pst, rst     *core.Store
+	pnode, rnode *repl.Node
+	pdev, rdev   *device.Device
+}
+
+// startPair opens both stores, installs the fault plans (counters when the
+// sweep is only measuring), and connects the replica. Plans are installed
+// before the nodes start so bootstrap traffic counts too. The replica's
+// AckGate is wired to its device's power-failure latch: after the kill point
+// it keeps applying into the doomed model but can no longer confirm
+// durability — exactly a replica whose disk died under it.
+func startPair(cfg PairSweepConfig, pplan, rplan *device.FaultPlan) (*pair, error) {
+	scfg := cfg.storeConfig()
+	pst, err := core.Open(scfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &pair{pst: pst, pdev: pst.Device()}
+	p.pdev.InstallFaultPlan(pplan)
+	p.pnode, err = repl.Start(pst, repl.Config{
+		Addr:        "127.0.0.1:0",
+		Heartbeat:   2 * time.Millisecond,
+		HoldTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		pst.Close()
+		return nil, err
+	}
+	rst, err := core.Open(scfg)
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	p.rst, p.rdev = rst, rst.Device()
+	p.rdev.InstallFaultPlan(rplan)
+	p.rnode, err = repl.Start(rst, repl.Config{
+		PrimaryAddr:    p.pnode.Addr(),
+		ID:             "pair-replica",
+		Heartbeat:      2 * time.Millisecond,
+		ReconnectDelay: 5 * time.Millisecond,
+		AckGate:        func() bool { return !p.rdev.PowerFailed() },
+	})
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// close tears the topology down, nodes before stores (a node owns goroutines
+// that touch its store).
+func (p *pair) close() {
+	if p.rnode != nil {
+		p.rnode.Close()
+	}
+	if p.pnode != nil {
+		p.pnode.Close()
+	}
+	if p.rst != nil {
+		p.rst.Close()
+	}
+	if p.pst != nil {
+		p.pst.Close()
+	}
+}
+
+// runPairScript drives the script on the primary, promoting the oracle's
+// durable view at every WAIT(1) that succeeded before the victim's plan
+// fired. It stops at the first op that observes the trigger, recording the
+// in-flight write as ambiguous.
+func runPairScript(p *pair, vplan *device.FaultPlan, script []pairOp, cfg PairSweepConfig) (*storetest.RunState, error) {
+	se := p.pst.NewSession(simclock.New(0))
+	defer releasePairSession(se)
+	rs := storetest.NewRunState()
+	for n, op := range script {
+		if vplan.Triggered() {
+			return rs, nil
+		}
+		switch op.kind {
+		case pairWait:
+			got, err := p.pnode.Wait(se, 1, cfg.WaitTimeout)
+			if vplan.Triggered() {
+				return rs, nil
+			}
+			if err != nil {
+				return rs, fmt.Errorf("op %d: WAIT: %w", n, err)
+			}
+			if got >= 1 {
+				rs.Promote()
+			}
+		case pairPut:
+			err := se.Put(storetest.SweepKey(op.key), op.val)
+			if vplan.Triggered() {
+				rs.AddPending(op.key, string(op.val), false)
+				return rs, nil
+			}
+			if err != nil {
+				return rs, fmt.Errorf("op %d: put: %w", n, err)
+			}
+			rs.Ack(op.key, string(op.val), false)
+		case pairDelete:
+			err := se.Delete(storetest.SweepKey(op.key))
+			if vplan.Triggered() {
+				rs.AddPending(op.key, "", true)
+				return rs, nil
+			}
+			if err != nil {
+				return rs, fmt.Errorf("op %d: delete: %w", n, err)
+			}
+			rs.Ack(op.key, "", true)
+		}
+	}
+	return rs, nil
+}
+
+func releasePairSession(se interface{ Flush() error }) {
+	if r, ok := se.(interface{ Release() error }); ok {
+		r.Release()
+	}
+}
+
+// checkSurvivor verifies the surviving store against the oracle. exact
+// demands the full applied state (a surviving primary lost nothing);
+// otherwise the WAIT-acked legality check applies (a promoted replica).
+func checkSurvivor(st *core.Store, rs *storetest.RunState, keys int, exact bool) error {
+	se := st.NewSession(simclock.New(0))
+	defer releasePairSession(se)
+	for key := 0; key < keys; key++ {
+		got, ok, err := se.Get(storetest.SweepKey(key))
+		if err != nil {
+			return fmt.Errorf("survivor get key %d: %w", key, err)
+		}
+		if exact {
+			want, wantOK := rs.AppliedVal(key)
+			if ok != wantOK || (ok && string(got) != want) {
+				return fmt.Errorf("surviving primary key %d = %q,%v want %q,%v",
+					key, storetest.Trunc(got), ok, storetest.Trunc([]byte(want)), wantOK)
+			}
+			continue
+		}
+		if legal, why := rs.Legal(key, got, ok); !legal {
+			return fmt.Errorf("promoted survivor key %d: %s", key, why)
+		}
+	}
+	// The survivor must keep taking writes durably.
+	if err := se.Put([]byte("pair-probe"), []byte("alive")); err != nil {
+		return fmt.Errorf("survivor probe put: %w", err)
+	}
+	if err := se.Flush(); err != nil {
+		return fmt.Errorf("survivor probe flush: %w", err)
+	}
+	return nil
+}
+
+// runPairPoint replays the script killing the victim ("primary" or
+// "replica") at persist event `point`, then runs the survivor checks. It
+// reports whether the plan actually fired.
+func runPairPoint(cfg PairSweepConfig, script []pairOp, point int64, victim string) (bool, error) {
+	pplan, rplan := &device.FaultPlan{}, &device.FaultPlan{}
+	vplan := pplan
+	if victim == "replica" {
+		vplan = rplan
+	}
+	vplan.CrashAtPersist = point
+	p, err := startPair(cfg, pplan, rplan)
+	if err != nil {
+		return false, err
+	}
+	defer p.close()
+
+	rs, err := runPairScript(p, vplan, script, cfg)
+	if err != nil {
+		return vplan.Triggered(), fmt.Errorf("%s kill at persist %d: %w", victim, point, err)
+	}
+	triggered := vplan.Triggered()
+
+	if victim == "primary" {
+		// Fail the primary over: stop its node (the dead store must not keep
+		// shipping), promote the replica, and check the WAIT-acked contract.
+		p.pnode.Close()
+		p.pnode = nil
+		if err := p.rnode.Promote(); err != nil {
+			return triggered, fmt.Errorf("primary kill at persist %d: promote: %w", point, err)
+		}
+		if err := checkSurvivor(p.rst, rs, cfg.Keys, false); err != nil {
+			return triggered, fmt.Errorf("primary kill at persist %d: %w", point, err)
+		}
+		return triggered, nil
+	}
+
+	// Replica killed: tear its node down, then the primary must serve the
+	// exact applied state, keep accepting writes, and report 0 from WAIT
+	// instead of wedging on the corpse.
+	p.rnode.Close()
+	p.rnode = nil
+	if err := checkSurvivor(p.pst, rs, cfg.Keys, true); err != nil {
+		return triggered, fmt.Errorf("replica kill at persist %d: %w", point, err)
+	}
+	se := p.pst.NewSession(simclock.New(0))
+	got, err := p.pnode.Wait(se, 1, 50*time.Millisecond)
+	releasePairSession(se)
+	if err != nil {
+		return triggered, fmt.Errorf("replica kill at persist %d: post-kill WAIT: %w", point, err)
+	}
+	if got != 0 {
+		return triggered, fmt.Errorf("replica kill at persist %d: WAIT counted %d dead replicas", point, got)
+	}
+	return triggered, nil
+}
+
+// PairCrashSweep runs the replica-pair kill sweep: a clean count run, then a
+// kill of the primary at every Stride-th primary persist and of the replica
+// at every Stride-th replica persist.
+func PairCrashSweep(cfg PairSweepConfig) (PairSweepResult, error) {
+	cfg.defaults()
+	script := buildPairScript(cfg)
+	var res PairSweepResult
+
+	// Count run: counter plans on both devices, script to completion, replica
+	// parity checked exactly after the final WAIT.
+	pplan, rplan := &device.FaultPlan{}, &device.FaultPlan{}
+	p, err := startPair(cfg, pplan, rplan)
+	if err != nil {
+		return res, err
+	}
+	rs, err := runPairScript(p, pplan, script, cfg)
+	if err == nil {
+		err = checkSurvivor(p.pst, rs, cfg.Keys, true)
+	}
+	if err == nil {
+		// The final scripted WAIT confirmed replica durability of everything
+		// before it; the probe write above is not shipped-acked, so check the
+		// replica against the oracle's durable view, not applied.
+		rse := p.rst.NewSession(simclock.New(0))
+		for key := 0; key < cfg.Keys; key++ {
+			got, ok, gerr := rse.Get(storetest.SweepKey(key))
+			if gerr != nil {
+				err = fmt.Errorf("count run: replica get key %d: %w", key, gerr)
+				break
+			}
+			if legal, why := rs.Legal(key, got, ok); !legal {
+				err = fmt.Errorf("count run: replica key %d: %s", key, why)
+				break
+			}
+		}
+		releasePairSession(rse)
+	}
+	p.close()
+	if err != nil {
+		return res, fmt.Errorf("count run: %w", err)
+	}
+	res.PrimaryPersists, res.ReplicaPersists = pplan.Persists(), rplan.Persists()
+	if res.PrimaryPersists == 0 {
+		return res, fmt.Errorf("count run issued no primary persist events")
+	}
+
+	for point := int64(1); point <= res.PrimaryPersists; point += int64(cfg.Stride) {
+		triggered, err := runPairPoint(cfg, script, point, "primary")
+		if err != nil {
+			return res, err
+		}
+		res.Runs++
+		if !triggered {
+			res.Untriggered++
+		}
+		storetest.Logf(cfg.Logf, "pair sweep: primary kill %d/%d ok (fired=%v)", point, res.PrimaryPersists, triggered)
+	}
+	for point := int64(1); point <= res.ReplicaPersists; point += int64(cfg.Stride) {
+		triggered, err := runPairPoint(cfg, script, point, "replica")
+		if err != nil {
+			return res, err
+		}
+		res.Runs++
+		if !triggered {
+			res.Untriggered++
+		}
+		storetest.Logf(cfg.Logf, "pair sweep: replica kill %d/%d ok (fired=%v)", point, res.ReplicaPersists, triggered)
+	}
+	return res, nil
+}

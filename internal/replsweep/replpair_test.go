@@ -1,0 +1,31 @@
+package replsweep
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPairCrashSweep kills the primary and the replica at a stride of persist
+// points and checks the failover contract each time. The full stride-1 sweep
+// runs in CI's replication job via -pair-stride; here a coarser stride keeps
+// the default test wall-clock short.
+func TestPairCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pair sweep is not short")
+	}
+	res, err := PairCrashSweep(PairSweepConfig{
+		Seed:        7,
+		Ops:         260,
+		WaitEvery:   20,
+		WaitTimeout: 1500 * time.Millisecond,
+		Stride:      3,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs == 0 {
+		t.Fatal("sweep tested no kill points")
+	}
+	t.Log(res)
+}

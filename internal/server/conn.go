@@ -245,8 +245,9 @@ func (c *conn) dispatchRun(dirty *bool) {
 	*dirty = true
 	if err != nil {
 		c.srv.metrics.StoreErrors.Add(int64(n))
+		msg := respError(err)
 		for i := 0; i < n; i++ {
-			c.w.Error("ERR " + err.Error())
+			c.w.Error(msg)
 		}
 	} else {
 		for i := 0; i < n; i++ {
@@ -255,6 +256,19 @@ func (c *conn) dispatchRun(dirty *bool) {
 	}
 	c.runKeys = c.runKeys[:0]
 	c.runVals = c.runVals[:0]
+}
+
+// respError renders a store error as a RESP error string. Errors that carry
+// their own Redis error code — today that is core.ErrReadOnly's "READONLY
+// You can't write against a read only replica." — pass through verbatim so
+// clients see the conventional -READONLY reply; everything else is wrapped
+// in the generic ERR code.
+func respError(err error) string {
+	msg := err.Error()
+	if len(msg) >= len("READONLY ") && msg[:len("READONLY ")] == "READONLY " {
+		return msg
+	}
+	return "ERR " + msg
 }
 
 // fail terminates the connection on a read error. Protocol violations get a
@@ -318,7 +332,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		switch {
 		case err != nil:
 			m.StoreErrors.Add(1)
-			c.w.Error("ERR " + err.Error())
+			c.w.Error(respError(err))
 		case !ok:
 			c.w.Null()
 		default:
@@ -331,7 +345,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		}
 		if err := c.se.Put(args[1], args[2]); err != nil {
 			m.StoreErrors.Add(1)
-			c.w.Error("ERR " + err.Error())
+			c.w.Error(respError(err))
 			return
 		}
 		*dirty = true
@@ -361,7 +375,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			}
 			if err != nil {
 				m.StoreErrors.Add(1)
-				c.w.Error("ERR " + err.Error())
+				c.w.Error(respError(err))
 				return
 			}
 			if existed {
@@ -380,7 +394,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			_, ok, err := c.getInto(key)
 			if err != nil {
 				m.StoreErrors.Add(1)
-				c.w.Error("ERR " + err.Error())
+				c.w.Error(respError(err))
 				return
 			}
 			if ok {
@@ -410,7 +424,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		// persistent when OK comes back. (Documented in DESIGN.md §7.)
 		if err := c.se.Flush(); err != nil {
 			m.StoreErrors.Add(1)
-			c.w.Error("ERR " + err.Error())
+			c.w.Error(respError(err))
 			return
 		}
 		if lp, ok := c.srv.store.(interface{ Log() *wlog.Log }); ok {
@@ -435,7 +449,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 				nb, ok, err := c.vr.GetInto(key, buf)
 				if err != nil {
 					m.StoreErrors.Add(1)
-					c.w.Error("ERR " + err.Error())
+					c.w.Error(respError(err))
 					c.vbuf, c.mget = nb[:0], spans[:0]
 					return
 				}
@@ -459,7 +473,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			val, ok, err := c.se.Get(key)
 			if err != nil {
 				m.StoreErrors.Add(1)
-				c.w.Error("ERR " + err.Error())
+				c.w.Error(respError(err))
 				return
 			}
 			vals[i], hits[i] = val, ok
@@ -495,7 +509,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			*dirty = true
 			if err != nil {
 				m.StoreErrors.Add(1)
-				c.w.Error("ERR " + err.Error())
+				c.w.Error(respError(err))
 				return
 			}
 			c.w.SimpleString("OK")
@@ -504,7 +518,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		for i := 1; i+1 < len(args); i += 2 {
 			if err := c.se.Put(args[i], args[i+1]); err != nil {
 				m.StoreErrors.Add(1)
-				c.w.Error("ERR " + err.Error())
+				c.w.Error(respError(err))
 				return
 			}
 			*dirty = true
@@ -535,15 +549,19 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		v, err := c.inc.IncrBy(args[1], delta)
 		if err != nil {
 			m.StoreErrors.Add(1)
-			c.w.Error("ERR " + err.Error())
+			c.w.Error(respError(err))
 			return
 		}
 		*dirty = true
 		c.w.Int(v)
 	case cmdScan:
-		// SCAN cursor [COUNT n] [WITHVALUES]. WITHVALUES is this server's
-		// extension: values interleave with keys in the reply so a scan does
-		// not need an MGET per batch.
+		// SCAN cursor [MATCH pattern] [COUNT n] [WITHVALUES]. WITHVALUES is
+		// this server's extension: values interleave with keys in the reply so
+		// a scan does not need an MGET per batch. MATCH filters server-side,
+		// per page, after the engine scan — exactly Redis's contract: COUNT
+		// governs how many entries the engine visits, not how many survive the
+		// filter, so a page may come back empty while the cursor still
+		// advances.
 		if len(args) < 2 {
 			c.arity("scan")
 			return
@@ -559,6 +577,7 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		}
 		count := 10
 		withValues := false
+		var match []byte
 		for i := 2; i < len(args); i++ {
 			switch {
 			case equalFoldUpper(args[i], "COUNT") && i+1 < len(args):
@@ -572,6 +591,9 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 				}
 				count = int(n)
 				i++
+			case equalFoldUpper(args[i], "MATCH") && i+1 < len(args):
+				match = args[i+1]
+				i++
 			case equalFoldUpper(args[i], "WITHVALUES"):
 				withValues = true
 			default:
@@ -582,8 +604,17 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 		pairs, next, err := c.sc.Scan(cursor, count)
 		if err != nil {
 			m.StoreErrors.Add(1)
-			c.w.Error("ERR " + err.Error())
+			c.w.Error(respError(err))
 			return
+		}
+		if match != nil {
+			kept := pairs[:0]
+			for _, kv := range pairs {
+				if globMatch(match, kv.Key) {
+					kept = append(kept, kv)
+				}
+			}
+			pairs = kept
 		}
 		c.w.ArrayHeader(2)
 		c.w.Bulk(strconv.AppendUint(c.num[:0], next, 10))
@@ -599,6 +630,65 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 				c.w.Bulk(kv.Key)
 			}
 		}
+	case cmdReplicaOf:
+		if len(args) != 3 {
+			c.arity("replicaof")
+			return
+		}
+		repl := c.srv.cfg.Repl
+		if repl == nil {
+			c.w.Error("ERR replication is not enabled on this server")
+			return
+		}
+		var addr string
+		if !equalFoldUpper(args[1], "NO") || !equalFoldUpper(args[2], "ONE") {
+			addr = net.JoinHostPort(string(args[1]), string(args[2]))
+		}
+		if err := repl.ReplicaOf(addr); err != nil {
+			m.StoreErrors.Add(1)
+			c.w.Error(respError(err))
+			return
+		}
+		c.w.SimpleString("OK")
+	case cmdWait:
+		// WAIT numreplicas timeout-ms. Flushes this session first so the
+		// reply covers every write the connection has issued, then blocks
+		// until that watermark is durable on numreplicas replicas or the
+		// timeout fires. The reply is how many replicas had acknowledged.
+		if len(args) != 3 {
+			c.arity("wait")
+			return
+		}
+		num, ok := resp.ParseInt(args[1])
+		if !ok || num < 0 {
+			c.w.Error("ERR value is not an integer or out of range")
+			return
+		}
+		ms, ok := resp.ParseInt(args[2])
+		if !ok || ms < 0 {
+			c.w.Error("ERR timeout is not an integer or out of range")
+			return
+		}
+		repl := c.srv.cfg.Repl
+		if repl == nil {
+			// No replication subsystem: WAIT degrades to a durability barrier
+			// on this node alone, answering 0 replicas — same as Redis with no
+			// replicas attached.
+			if err := c.se.Flush(); err != nil {
+				m.StoreErrors.Add(1)
+				c.w.Error(respError(err))
+				return
+			}
+			c.w.Int(0)
+			return
+		}
+		n, err := repl.Wait(c.se, int(num), time.Duration(ms)*time.Millisecond)
+		if err != nil {
+			m.StoreErrors.Add(1)
+			c.w.Error(respError(err))
+			return
+		}
+		c.w.Int(int64(n))
 	case cmdMulti:
 		if c.inTxn {
 			c.w.Error("ERR MULTI calls can not be nested")
@@ -714,7 +804,9 @@ func arityOK(kind cmdKind, n int) bool {
 	case cmdPing, cmdInfo:
 		return n <= 2
 	case cmdScan:
-		return n >= 2 && n <= 5
+		return n >= 2 && n <= 7
+	case cmdReplicaOf, cmdWait:
+		return n == 3
 	}
 	return true
 }

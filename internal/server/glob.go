@@ -1,0 +1,96 @@
+package server
+
+// globMatch reports whether key matches pattern under Redis glob semantics
+// (stringmatchlen): '*' matches any run including empty, '?' any single byte,
+// '[...]' a byte class with ranges and '^' negation, '\' escapes the next
+// byte. Bytes, not runes — exactly like Redis, which matches binary-safe
+// keys bytewise.
+func globMatch(pattern, key []byte) bool {
+	for len(pattern) > 0 {
+		switch pattern[0] {
+		case '*':
+			// Collapse consecutive stars, then greedily try every suffix.
+			for len(pattern) > 1 && pattern[1] == '*' {
+				pattern = pattern[1:]
+			}
+			if len(pattern) == 1 {
+				return true
+			}
+			for i := 0; i <= len(key); i++ {
+				if globMatch(pattern[1:], key[i:]) {
+					return true
+				}
+			}
+			return false
+		case '?':
+			if len(key) == 0 {
+				return false
+			}
+			key = key[1:]
+			pattern = pattern[1:]
+		case '[':
+			if len(key) == 0 {
+				return false
+			}
+			p := pattern[1:]
+			negate := len(p) > 0 && p[0] == '^'
+			if negate {
+				p = p[1:]
+			}
+			matched := false
+			closed := false
+			c := key[0]
+			for len(p) > 0 {
+				if p[0] == '\\' && len(p) >= 2 {
+					if p[1] == c {
+						matched = true
+					}
+					p = p[2:]
+					continue
+				}
+				if p[0] == ']' {
+					closed = true
+					p = p[1:]
+					break
+				}
+				if len(p) >= 3 && p[1] == '-' && p[2] != ']' {
+					lo, hi := p[0], p[2]
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					if lo <= c && c <= hi {
+						matched = true
+					}
+					p = p[3:]
+					continue
+				}
+				if p[0] == c {
+					matched = true
+				}
+				p = p[1:]
+			}
+			if !closed {
+				// Unterminated class: Redis treats the remaining bytes as the
+				// class and stops at end of pattern.
+				p = nil
+			}
+			if matched == negate {
+				return false
+			}
+			key = key[1:]
+			pattern = p
+		case '\\':
+			if len(pattern) >= 2 {
+				pattern = pattern[1:]
+			}
+			fallthrough
+		default:
+			if len(key) == 0 || key[0] != pattern[0] {
+				return false
+			}
+			key = key[1:]
+			pattern = pattern[1:]
+		}
+	}
+	return len(key) == 0
+}

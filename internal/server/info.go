@@ -68,6 +68,14 @@ func (s *Server) infoText(section []byte) []byte {
 		b = fmt.Appendf(b, "dram_footprint_bytes:%d\r\n", s.store.DRAMFootprint())
 		b = append(b, "\r\n"...)
 	}
+	if want("replication") {
+		if s.cfg.Repl != nil {
+			b = s.cfg.Repl.InfoSection(b)
+		} else {
+			b = append(b, "# Replication\r\nrole:master\r\nconnected_slaves:0\r\n"...)
+		}
+		b = append(b, "\r\n"...)
+	}
 	if want("maintenance") {
 		// The engine's background maintenance pipeline, read from its metrics
 		// registry so this stays store-agnostic: a store without the async

@@ -29,6 +29,8 @@ const (
 	cmdMulti
 	cmdExec
 	cmdDiscard
+	cmdReplicaOf
+	cmdWait
 	cmdUnknown
 	numCmdKinds
 )
@@ -69,6 +71,10 @@ func (k cmdKind) String() string {
 		return "exec"
 	case cmdDiscard:
 		return "discard"
+	case cmdReplicaOf:
+		return "replicaof"
+	case cmdWait:
+		return "wait"
 	}
 	return "unknown"
 }
@@ -128,6 +134,10 @@ func commandKind(name []byte) cmdKind {
 		return cmdExec
 	case equalFoldUpper(name, "DISCARD"):
 		return cmdDiscard
+	case equalFoldUpper(name, "REPLICAOF"), equalFoldUpper(name, "SLAVEOF"):
+		return cmdReplicaOf
+	case equalFoldUpper(name, "WAIT"):
+		return cmdWait
 	}
 	return cmdUnknown
 }

@@ -1,0 +1,408 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chameleondb/internal/resp"
+)
+
+// buildCtlBinary compiles cmd/chameleonctl into dir.
+func buildCtlBinary(t *testing.T, dir string) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := filepath.Join(dir, "chameleonctl")
+	cmd := exec.Command(goTool, "build", "-o", bin, "chameleondb/cmd/chameleonctl")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build chameleonctl: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// replProc is a chameleon-server child with replication enabled.
+type replProc struct {
+	cmd      *exec.Cmd
+	addr     string // RESP listen address
+	replAddr string // log-shipping listen address
+	out      *bytes.Buffer
+}
+
+// startReplProc execs the server with replication flags and parses both the
+// RESP banner and the replication banner. The replication line prints only
+// after a replica's synchronous bootstrap, so a returned proc is ready.
+func startReplProc(t *testing.T, bin, dataDir string, extra ...string) *replProc {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-backend", "file",
+		"-dir", dataDir,
+		"-shards", "8",
+		"-arena-mb", "16",
+		"-log-mb", "8",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	p := &replProc{cmd: cmd, out: &errBuf}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+
+	type banners struct {
+		addr, repl string
+	}
+	ch := make(chan banners, 1)
+	go func() {
+		var b banners
+		seenRepl := false
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				b.addr = strings.Fields(line[i+len("listening on "):])[0]
+			}
+			if i := strings.Index(line, "primary shipping on "); i >= 0 {
+				b.repl = strings.Fields(line[i+len("primary shipping on "):])[0]
+				seenRepl = true
+			}
+			if i := strings.Index(line, "repl-addr="); i >= 0 {
+				// A replica without -repl-addr prints an empty repl-addr;
+				// seeing the line still means replication is up.
+				b.repl = strings.TrimSuffix(line[i+len("repl-addr="):], ")")
+				seenRepl = true
+			}
+			if b.addr != "" && seenRepl {
+				ch <- b
+				return
+			}
+		}
+		ch <- b
+	}()
+	select {
+	case b := <-ch:
+		if b.addr == "" {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+			t.Fatalf("server exited before listening; stderr:\n%s", errBuf.String())
+		}
+		p.addr, p.replAddr = b.addr, b.repl
+	case <-time.After(60 * time.Second):
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+		t.Fatalf("timed out waiting for banners; stderr:\n%s", errBuf.String())
+	}
+	return p
+}
+
+func (p *replProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+// ctl runs a chameleonctl subcommand and returns its stdout.
+func ctl(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("chameleonctl %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func replValue(i int) []byte {
+	return []byte(fmt.Sprintf("rv-%05d-%s", i, strings.Repeat("y", i%48)))
+}
+
+func replKey(i int) string { return fmt.Sprintf("rk-%05d", i) }
+
+// TestReplicationFailoverE2E is the replication subsystem's flagship e2e, two
+// real server processes on loopback:
+//
+//  1. a primary is loaded, a replica bootstraps from it live and catches up
+//     (WAIT 1 acks), serves identical reads, and refuses writes with
+//     -READONLY;
+//  2. the primary is SIGKILLed mid-pipelined-batch; the replica is promoted
+//     via chameleonctl; every write covered by a successful WAIT 1 before the
+//     kill must be served by the survivor, and anything it serves must be a
+//     value the loader actually wrote;
+//  3. the old primary restarts pointed at the new one, full-resyncs (its
+//     epoch diverged), and converges to the new primary's exact state — no
+//     unacknowledged write resurrected from its recovered log.
+func TestReplicationFailoverE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs server binaries")
+	}
+	work := t.TempDir()
+	bin := buildServerBinary(t, work)
+	ctlBin := buildCtlBinary(t, work)
+	dirA := filepath.Join(work, "a")
+	dirB := filepath.Join(work, "b")
+	for _, d := range []string{dirA, dirB} {
+		if err := os.Mkdir(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prim := startReplProc(t, bin, dirA, "-repl-addr", "127.0.0.1:0")
+	if prim.replAddr == "" {
+		t.Fatalf("primary printed no replication banner; stderr:\n%s", prim.out.String())
+	}
+
+	// Preload before the replica exists, so bootstrap is a real catch-up of
+	// history, not an empty stream.
+	pc := dialT(t, prim.addr)
+	const preload = 200
+	for i := 0; i < preload; i++ {
+		pc.Send([]byte("SET"), []byte(replKey(i)), replValue(i))
+	}
+	if err := pc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < preload; i++ {
+		if rep, err := pc.Receive(); err != nil || rep.Err() != nil {
+			t.Fatalf("preload SET %d: %+v %v", i, rep, err)
+		}
+	}
+
+	repl := startReplProc(t, bin, dirB, "-repl-addr", "127.0.0.1:0", "-replicaof", prim.replAddr)
+	rep, err := pc.DoStrings("WAIT", "1", "15000")
+	if err != nil || rep.Int < 1 {
+		t.Fatalf("WAIT for bootstrap = %+v %v\nreplica stderr:\n%s", rep, err, repl.out.String())
+	}
+
+	// Catch-up parity: sampled gets plus a MATCH-filtered scan count.
+	rc := dialT(t, repl.addr)
+	for i := 0; i < preload; i += 17 {
+		got, ok, err := rc.Get([]byte(replKey(i)))
+		if err != nil || !ok || !bytes.Equal(got, replValue(i)) {
+			t.Fatalf("replica GET %s = %q,%v,%v", replKey(i), got, ok, err)
+		}
+	}
+	scanCount := func(c *resp.Client, pattern string) int {
+		n, cursor := 0, "0"
+		for {
+			rep, err := c.DoStrings("SCAN", cursor, "MATCH", pattern, "COUNT", "512")
+			if err != nil || rep.Err() != nil {
+				t.Fatalf("SCAN: %+v %v", rep, err)
+			}
+			n += len(rep.Array[1].Array)
+			cursor = string(rep.Array[0].Str)
+			if cursor == "0" {
+				return n
+			}
+		}
+	}
+	if pn, rn := scanCount(pc, "rk-*"), scanCount(rc, "rk-*"); pn != rn || rn != preload {
+		t.Fatalf("scan parity: primary %d replica %d want %d", pn, rn, preload)
+	}
+
+	// The replica refuses writes.
+	if rep, err := rc.DoStrings("SET", "nope", "x"); err != nil ||
+		rep.Type != resp.TypeError || !strings.HasPrefix(string(rep.Str), "READONLY") {
+		t.Fatalf("replica SET reply = %+v %v, want -READONLY", rep, err)
+	}
+	if !strings.Contains(ctl(t, ctlBin, "repl", "status", "-addr", repl.addr), "role:slave") {
+		t.Fatal("repl status does not report slave role")
+	}
+
+	// Load pipelined batches with periodic WAIT-1 checkpoints until enough
+	// writes are replica-durable, then SIGKILL the primary mid-flight.
+	var (
+		mu        sync.Mutex
+		acked     = map[int]bool{}
+		sent      = map[int]bool{}
+		waitAcked = map[int]bool{}
+	)
+	loadDone := make(chan error, 1)
+	go func() {
+		c, err := resp.Dial(prim.addr, 5*time.Second)
+		if err != nil {
+			loadDone <- err
+			return
+		}
+		defer c.Close()
+		c.SetDeadline(time.Now().Add(2 * time.Minute))
+		const batch = 16
+		for i := preload; ; {
+			keys := make([]int, 0, batch)
+			mu.Lock()
+			for len(keys) < batch {
+				c.Send([]byte("SET"), []byte(replKey(i)), replValue(i))
+				sent[i] = true
+				keys = append(keys, i)
+				i++
+			}
+			mu.Unlock()
+			if err := c.Flush(); err != nil {
+				loadDone <- err
+				return
+			}
+			for _, k := range keys {
+				rp, err := c.Receive()
+				if err != nil || rp.Err() != nil {
+					loadDone <- fmt.Errorf("set %d: %v / %v", k, err, rp.Err())
+					return
+				}
+				mu.Lock()
+				acked[k] = true
+				mu.Unlock()
+			}
+			if (i/batch)%4 == 0 {
+				// Everything acked so far was written before this WAIT, so a
+				// >=1 reply makes all of it replica-durable.
+				mu.Lock()
+				snapshot := make([]int, 0, len(acked))
+				for k := range acked {
+					snapshot = append(snapshot, k)
+				}
+				mu.Unlock()
+				rp, err := c.DoStrings("WAIT", "1", "10000")
+				if err != nil || rp.Err() != nil {
+					loadDone <- fmt.Errorf("wait: %v / %v", err, rp.Err())
+					return
+				}
+				if rp.Int >= 1 {
+					mu.Lock()
+					for _, k := range snapshot {
+						waitAcked[k] = true
+					}
+					mu.Unlock()
+				}
+			}
+		}
+	}()
+
+	const waitTarget = preload + 300
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		mu.Lock()
+		n := len(waitAcked)
+		mu.Unlock()
+		if n >= waitTarget {
+			break
+		}
+		select {
+		case err := <-loadDone:
+			t.Fatalf("loader exited early: %v\nprimary stderr:\n%s", err, prim.out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d WAIT-acked writes (have %d)", waitTarget, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	prim.kill(t)
+	if err := <-loadDone; err == nil {
+		t.Fatal("loader finished cleanly despite SIGKILL")
+	}
+
+	// Promote the survivor through the ctl path and verify the WAIT contract.
+	ctl(t, ctlBin, "repl", "promote", "-addr", repl.addr)
+	if !strings.Contains(ctl(t, ctlBin, "repl", "status", "-addr", repl.addr), "role:master") {
+		t.Fatal("promoted replica does not report master role")
+	}
+	mu.Lock()
+	waitKeys := make([]int, 0, len(waitAcked))
+	for k := range waitAcked {
+		waitKeys = append(waitKeys, k)
+	}
+	inflight := make([]int, 0)
+	for k := range sent {
+		if !waitAcked[k] {
+			inflight = append(inflight, k)
+		}
+	}
+	mu.Unlock()
+	missing := []int{}
+	for _, k := range waitKeys {
+		got, ok, err := rc.Get([]byte(replKey(k)))
+		if err != nil {
+			t.Fatalf("GET WAIT-acked %s: %v", replKey(k), err)
+		}
+		if !ok || !bytes.Equal(got, replValue(k)) {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		info, _ := rc.Info()
+		t.Fatalf("%d of %d WAIT-acked keys lost/corrupt on survivor (e.g. %v)\nsurvivor INFO:\n%s",
+			len(missing), len(waitKeys), missing[:min(10, len(missing))], info)
+	}
+	survivor := map[int]bool{}
+	for _, k := range inflight {
+		got, ok, err := rc.Get([]byte(replKey(k)))
+		if err != nil {
+			t.Fatalf("GET in-flight %s: %v", replKey(k), err)
+		}
+		if ok {
+			if !bytes.Equal(got, replValue(k)) {
+				t.Fatalf("in-flight key %s present with phantom value %q", replKey(k), got)
+			}
+			survivor[k] = true
+		}
+	}
+	if err := rc.Set([]byte("post-failover"), []byte("ok")); err != nil {
+		t.Fatalf("SET on promoted survivor: %v", err)
+	}
+	rep, err = rc.DoStrings("WAIT", "0", "100")
+	if err != nil || rep.Err() != nil {
+		t.Fatalf("WAIT on survivor: %+v %v", rep, err)
+	}
+
+	// The old primary rejoins as a replica of the survivor. Its recovered log
+	// holds writes the survivor never saw; its stale epoch forces a full
+	// resync (the file backend wipes and re-replays), so it must converge to
+	// the survivor's exact state — nothing resurrected.
+	old := startReplProc(t, bin, dirA, "-replicaof", repl.replAddr)
+	rep, err = rc.DoStrings("WAIT", "1", "30000")
+	if err != nil || rep.Int < 1 {
+		t.Fatalf("WAIT for rejoin = %+v %v\nold-primary stderr:\n%s", rep, err, old.out.String())
+	}
+	oc := dialT(t, old.addr)
+	for _, k := range inflight {
+		_, ok, err := oc.Get([]byte(replKey(k)))
+		if err != nil {
+			t.Fatalf("rejoined GET %s: %v", replKey(k), err)
+		}
+		if ok != survivor[k] {
+			t.Fatalf("rejoined replica diverges on in-flight key %s: present=%v survivor=%v",
+				replKey(k), ok, survivor[k])
+		}
+	}
+	for _, k := range waitKeys[:min(50, len(waitKeys))] {
+		got, ok, err := oc.Get([]byte(replKey(k)))
+		if err != nil || !ok || !bytes.Equal(got, replValue(k)) {
+			t.Fatalf("rejoined GET %s = %q,%v,%v", replKey(k), got, ok, err)
+		}
+	}
+	if got, ok, err := oc.Get([]byte("post-failover")); err != nil || !ok || string(got) != "ok" {
+		t.Fatalf("rejoined replica missing post-failover write: %q,%v,%v", got, ok, err)
+	}
+	t.Logf("verified %d WAIT-acked keys across failover, %d in-flight keys consistent after rejoin",
+		len(waitKeys), len(inflight))
+}

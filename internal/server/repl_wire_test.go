@@ -1,0 +1,251 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/resp"
+)
+
+// fakeRepl records the wire layer's calls into the Replicator surface.
+type fakeRepl struct {
+	replicaOf []string
+	waitNum   int
+	waitTo    time.Duration
+	waitSe    kvstore.Session
+	waitRet   int
+}
+
+func (f *fakeRepl) ReplicaOf(addr string) error {
+	f.replicaOf = append(f.replicaOf, addr)
+	return nil
+}
+
+func (f *fakeRepl) Wait(se kvstore.Session, num int, to time.Duration) (int, error) {
+	f.waitSe, f.waitNum, f.waitTo = se, num, to
+	return f.waitRet, nil
+}
+
+func (f *fakeRepl) InfoSection(b []byte) []byte {
+	return append(b, "# Replication\r\nrole:slave\r\nfake_marker:1\r\n"...)
+}
+
+// TestScanMatchWire drives SCAN MATCH over the wire: the filter applies per
+// page after the engine scan, the cursor advances even through pages the
+// pattern empties entirely, and the union across pages is exactly the
+// matching keys.
+func TestScanMatchWire(t *testing.T) {
+	_, addr := startServer(t, nil, Config{})
+	c := dialT(t, addr)
+
+	want := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		uk := fmt.Sprintf("user:%02d", i)
+		if rep, err := c.DoStrings("SET", uk, "u"); err != nil || rep.Text() != "OK" {
+			t.Fatalf("SET %s: %+v %v", uk, rep, err)
+		}
+		want[uk] = true
+		ok := fmt.Sprintf("other:%02d", i)
+		if rep, err := c.DoStrings("SET", ok, "o"); err != nil || rep.Text() != "OK" {
+			t.Fatalf("SET %s: %+v %v", ok, rep, err)
+		}
+	}
+
+	scanAll := func(match string, count int) (keys []string, sawEmptyPage, sawAnyPage bool) {
+		cursor := "0"
+		for {
+			rep, err := c.DoStrings("SCAN", cursor, "MATCH", match, "COUNT", fmt.Sprint(count))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Type != resp.TypeArray || len(rep.Array) != 2 {
+				t.Fatalf("SCAN reply = %+v", rep)
+			}
+			cursor = string(rep.Array[0].Str)
+			page := rep.Array[1].Array
+			sawAnyPage = true
+			if len(page) == 0 && cursor != "0" {
+				sawEmptyPage = true
+			}
+			for _, kr := range page {
+				keys = append(keys, string(kr.Str))
+			}
+			if cursor == "0" {
+				return
+			}
+		}
+	}
+
+	keys, _, _ := scanAll("user:*", 7)
+	if len(keys) != len(want) {
+		t.Fatalf("MATCH user:* returned %d keys, want %d: %v", len(keys), len(want), keys)
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("MATCH user:* returned non-matching key %q", k)
+		}
+	}
+
+	// A pattern matching nothing: with 40 keys and COUNT 7 the scan takes
+	// several pages, every one filtered empty — the cursor must still walk to
+	// completion instead of wedging or short-circuiting.
+	keys, sawEmpty, _ := scanAll("nomatch:*", 7)
+	if len(keys) != 0 {
+		t.Fatalf("MATCH nomatch:* returned keys: %v", keys)
+	}
+	if !sawEmpty {
+		t.Fatal("scan never produced an empty page with a live cursor")
+	}
+
+	// MATCH composes with WITHVALUES.
+	rep, err := c.DoStrings("SCAN", "0", "MATCH", "user:*", "COUNT", "4096", "WITHVALUES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := rep.Array[1].Array
+	if len(pairs) != 2*len(want) {
+		t.Fatalf("WITHVALUES returned %d elements, want %d", len(pairs), 2*len(want))
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		if !want[string(pairs[i].Str)] || string(pairs[i+1].Str) != "u" {
+			t.Fatalf("WITHVALUES pair %q=%q", pairs[i].Str, pairs[i+1].Str)
+		}
+	}
+
+	// Glob classes work over the wire too.
+	keys, _, _ = scanAll("user:0[0-4]", 7)
+	if len(keys) != 5 {
+		t.Fatalf("MATCH user:0[0-4] returned %d keys: %v", len(keys), keys)
+	}
+}
+
+// TestReadOnlyReplicaWire pins the -READONLY contract: against a store in
+// replica mode every mutating command answers the READONLY error code (not a
+// generic -ERR), reads and scans keep working, and flipping the store back
+// restores writes on live connections.
+func TestReadOnlyReplicaWire(t *testing.T) {
+	st, err := core.Open(core.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	_, addr := startServer(t, st, Config{})
+	c := dialT(t, addr)
+
+	if rep, err := c.DoStrings("SET", "seeded", "v"); err != nil || rep.Text() != "OK" {
+		t.Fatalf("seed SET: %+v %v", rep, err)
+	}
+	st.SetReadOnly(true)
+
+	wantReadonly := func(rep resp.Reply, err error, cmd string) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if rep.Type != resp.TypeError || !strings.HasPrefix(string(rep.Str), "READONLY") {
+			t.Fatalf("%s reply = %+v, want -READONLY", cmd, rep)
+		}
+	}
+	rep, err := c.DoStrings("SET", "k", "v")
+	wantReadonly(rep, err, "SET")
+	rep, err = c.DoStrings("DEL", "seeded")
+	wantReadonly(rep, err, "DEL")
+	rep, err = c.DoStrings("MSET", "a", "1", "b", "2")
+	wantReadonly(rep, err, "MSET")
+	rep, err = c.DoStrings("INCR", "n")
+	wantReadonly(rep, err, "INCR")
+
+	// The pipelined SET-run fast path (dispatchRun → PutBatch) must report
+	// READONLY per command too.
+	c.SendStrings("SET", "r1", "x")
+	c.SendStrings("SET", "r2", "y")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rep, err := c.Receive()
+		wantReadonly(rep, err, "pipelined SET")
+	}
+
+	// Reads still serve.
+	if val, ok, err := c.Get([]byte("seeded")); err != nil || !ok || string(val) != "v" {
+		t.Fatalf("GET on replica: %q %v %v", val, ok, err)
+	}
+	rep, err = c.DoStrings("SCAN", "0", "MATCH", "*", "COUNT", "4096")
+	if err != nil || rep.Type != resp.TypeArray {
+		t.Fatalf("SCAN on replica: %+v %v", rep, err)
+	}
+
+	st.SetReadOnly(false)
+	if rep, err := c.DoStrings("SET", "k", "v"); err != nil || rep.Text() != "OK" {
+		t.Fatalf("SET after promote: %+v %v", rep, err)
+	}
+}
+
+// TestReplicaOfWaitWire checks the wire plumbing into the Replicator surface
+// and the degraded behavior without one.
+func TestReplicaOfWaitWire(t *testing.T) {
+	fake := &fakeRepl{waitRet: 2}
+	_, addr := startServer(t, nil, Config{Repl: fake})
+	c := dialT(t, addr)
+
+	if rep, err := c.DoStrings("REPLICAOF", "127.0.0.1", "7000"); err != nil || rep.Text() != "OK" {
+		t.Fatalf("REPLICAOF: %+v %v", rep, err)
+	}
+	if rep, err := c.DoStrings("SLAVEOF", "NO", "ONE"); err != nil || rep.Text() != "OK" {
+		t.Fatalf("SLAVEOF NO ONE: %+v %v", rep, err)
+	}
+	if len(fake.replicaOf) != 2 || fake.replicaOf[0] != "127.0.0.1:7000" || fake.replicaOf[1] != "" {
+		t.Fatalf("ReplicaOf calls = %v", fake.replicaOf)
+	}
+
+	rep, err := c.DoStrings("WAIT", "2", "150")
+	if err != nil || rep.Type != resp.TypeInt || rep.Int != 2 {
+		t.Fatalf("WAIT = %+v %v", rep, err)
+	}
+	if fake.waitNum != 2 || fake.waitTo != 150*time.Millisecond || fake.waitSe == nil {
+		t.Fatalf("Wait call = num %d to %v se %v", fake.waitNum, fake.waitTo, fake.waitSe)
+	}
+
+	info, err := c.Info()
+	if err != nil || !strings.Contains(info, "fake_marker:1") {
+		t.Fatalf("INFO missing replication section: %v %q", err, info)
+	}
+
+	// Bad arity / bad args refuse cleanly.
+	if rep, _ := c.DoStrings("WAIT", "2"); rep.Type != resp.TypeError {
+		t.Fatalf("WAIT arity: %+v", rep)
+	}
+	if rep, _ := c.DoStrings("WAIT", "x", "10"); rep.Type != resp.TypeError {
+		t.Fatalf("WAIT non-int: %+v", rep)
+	}
+	if rep, _ := c.DoStrings("REPLICAOF", "onlyhost"); rep.Type != resp.TypeError {
+		t.Fatalf("REPLICAOF arity: %+v", rep)
+	}
+}
+
+// TestWaitWithoutReplWire: no Replicator configured — WAIT degrades to a
+// local durability barrier answering 0; REPLICAOF refuses.
+func TestWaitWithoutReplWire(t *testing.T) {
+	_, addr := startServer(t, nil, Config{})
+	c := dialT(t, addr)
+
+	if rep, err := c.DoStrings("SET", "k", "v"); err != nil || rep.Text() != "OK" {
+		t.Fatalf("SET: %+v %v", rep, err)
+	}
+	rep, err := c.DoStrings("WAIT", "1", "10")
+	if err != nil || rep.Type != resp.TypeInt || rep.Int != 0 {
+		t.Fatalf("WAIT without repl = %+v %v", rep, err)
+	}
+	if rep, _ := c.DoStrings("REPLICAOF", "127.0.0.1", "7000"); rep.Type != resp.TypeError {
+		t.Fatalf("REPLICAOF without repl: %+v", rep)
+	}
+	info, err := c.Info()
+	if err != nil || !strings.Contains(info, "role:master") {
+		t.Fatalf("INFO replication default: %v %q", err, info)
+	}
+}

@@ -68,6 +68,24 @@ type Config struct {
 	ReplyRetainBytes int
 	// Limits bound the RESP parser.
 	Limits resp.Limits
+	// Repl, when set, wires REPLICAOF/WAIT and the INFO replication section to
+	// the replication subsystem (internal/repl.Node implements it). Nil keeps
+	// those commands inert: WAIT answers 0 after a flush, REPLICAOF errors.
+	Repl Replicator
+}
+
+// Replicator is the control surface the replication subsystem exposes to the
+// wire protocol.
+type Replicator interface {
+	// ReplicaOf points the node at a primary; the empty address promotes it
+	// back to primary (REPLICAOF NO ONE).
+	ReplicaOf(addr string) error
+	// Wait flushes the session and blocks until numReplicas connected replicas
+	// acknowledge durability up to the resulting watermark, or the timeout
+	// elapses; it returns how many had acknowledged when it stopped waiting.
+	Wait(se kvstore.Session, numReplicas int, timeout time.Duration) (int, error)
+	// InfoSection appends the "# Replication" INFO section.
+	InfoSection(b []byte) []byte
 }
 
 // DefaultConfig returns production-leaning defaults.

@@ -1,0 +1,50 @@
+// Exported surface of the crash-durability oracle for sweeps built outside
+// this package (internal/replsweep). The core tests import storetest, so a
+// sweep that needs internal/core — like the replica-pair sweep — cannot live
+// here without a test-only import cycle; it lives in its own package and
+// reaches the oracle through these wrappers instead.
+package storetest
+
+// RunState is the exported handle on the durability oracle: durable state at
+// the last promoted acknowledgment point, everything acked since, and the
+// ambiguous in-flight ops. See runState.
+type RunState = runState
+
+// NewRunState returns an empty oracle.
+func NewRunState() *RunState { return newRunState() }
+
+// Ack records one acknowledged write (del=true for a delete).
+func (rs *runState) Ack(key int, val string, del bool) {
+	rs.ack(key, sinceVal{val: val, del: del})
+}
+
+// Promote folds everything acknowledged so far into the durable view, as
+// after a successful durability barrier (Flush, WAIT(1)).
+func (rs *runState) Promote() { rs.promote() }
+
+// AddPending records one write whose durability is ambiguous: it was in
+// flight when the fault plan triggered.
+func (rs *runState) AddPending(key int, val string, del bool) {
+	rs.pending = append(rs.pending, pendingOp{key: key, v: sinceVal{val: val, del: del}})
+}
+
+// Legal reports whether the recovered (got, ok) for key is consistent with
+// the crash-durability contract, and if not, why.
+func (rs *runState) Legal(key int, got []byte, ok bool) (bool, string) {
+	return rs.legal(key, got, ok)
+}
+
+// AppliedVal returns the oracle's applied (clean-run) value for key.
+func (rs *runState) AppliedVal(key int) (string, bool) {
+	v, ok := rs.applied[key]
+	return v, ok
+}
+
+// SweepKey is the scripted key encoding shared by all sweeps.
+func SweepKey(i int) []byte { return sweepKey(i) }
+
+// Trunc shortens a value for error messages.
+func Trunc(b []byte) []byte { return trunc(b) }
+
+// Logf calls f if non-nil.
+func Logf(f func(string, ...any), format string, args ...any) { logf(f, format, args...) }

@@ -105,6 +105,20 @@ type Log struct {
 	// Log methods that take the metadata mutex.
 	metaHook func(head, next int64, segs map[int64]int64)
 
+	// holds maps a holder id (one per connected replica) to the lowest LSN
+	// that holder still needs. FreeBefore never reclaims a segment at or
+	// above the minimum hold, whatever its caller computed — the hard
+	// backstop under log GC racing a lagging log shipper. Guarded by mu so a
+	// hold update, the floor computation, and the free decision serialize.
+	holds map[string]int64
+
+	// sealHook, when set, runs after an appender seals (persists and
+	// detaches) a non-empty batch chunk: the durable watermark MinNextLSN
+	// may have advanced. The replication shipper uses it to wake tailing
+	// senders. It runs with the appender's mutex held, so it must not block
+	// and must not call back into appender methods.
+	sealHook atomic.Pointer[func()]
+
 	entries atomic.Int64
 	bytes   atomic.Int64
 }
@@ -190,6 +204,66 @@ func (l *Log) RestoreSegments(head, next int64, segs map[int64]int64) {
 	}
 }
 
+// HoldGC registers (or moves) a named reclamation floor: FreeBefore will not
+// release the segment containing lsn or anything above it until the hold is
+// released or moved up. Replication registers one hold per replica, pinned at
+// the replica's acked LSN, so log GC can never reclaim bytes a lagging
+// replica has not applied yet. A hold at 0 pins the whole log.
+func (l *Log) HoldGC(id string, lsn int64) {
+	l.mu.Lock()
+	if l.holds == nil {
+		l.holds = make(map[string]int64)
+	}
+	l.holds[id] = lsn
+	l.mu.Unlock()
+}
+
+// ReleaseGCHold removes a named hold installed by HoldGC.
+func (l *Log) ReleaseGCHold(id string) {
+	l.mu.Lock()
+	delete(l.holds, id)
+	l.mu.Unlock()
+}
+
+// holdFloorLocked returns the minimum registered hold and true, or false when
+// no holds exist. Caller holds mu.
+func (l *Log) holdFloorLocked() (int64, bool) {
+	ok := false
+	var min int64
+	for _, lsn := range l.holds {
+		if !ok || lsn < min {
+			min, ok = lsn, true
+		}
+	}
+	return min, ok
+}
+
+// GCFloor returns the highest LSN log GC may currently free up to: the
+// MinNextLSN durability watermark further clamped by every registered GC
+// hold. core.CompactLog caps its reclamation target here, and FreeBefore
+// re-checks the hold component under its own lock, so a hold installed
+// between the two can only make reclamation more conservative.
+func (l *Log) GCFloor() int64 {
+	floor := l.MinNextLSN()
+	l.mu.Lock()
+	if h, ok := l.holdFloorLocked(); ok && h < floor {
+		floor = h
+	}
+	l.mu.Unlock()
+	return floor
+}
+
+// SetSealHook installs fn to run after any appender seals a non-empty batch
+// chunk — the moment the MinNextLSN watermark can advance. fn must not block:
+// it runs on the sealing worker with the appender locked.
+func (l *Log) SetSealHook(fn func()) {
+	if fn == nil {
+		l.sealHook.Store(nil)
+		return
+	}
+	l.sealHook.Store(&fn)
+}
+
 // Base returns the first potentially-live LSN (the GC head). Lock-free.
 func (l *Log) Base() int64 { return l.head.Load() }
 
@@ -228,7 +302,15 @@ func (l *Log) phys(v int64) (int64, bool) {
 // reserveChunk hands out the next chunk-aligned virtual region of at least
 // size bytes (rounded up to whole chunks), allocating segments as needed.
 // Chunks never span segments; oversized reservations take whole segments.
-func (l *Log) reserveChunk(size int64) (int64, int64, error) {
+//
+// The reserving appender's nextLSN floor is published (under l.mu, before the
+// tail advances) rather than by the caller afterwards: MinNextLSN reads the
+// tail first and the appender floors second, so any reader that observes the
+// advanced tail also observes this reservation's floor. Publishing after the
+// tail would open a window where the watermark covers a reserved-but-empty
+// chunk — a concurrent shipper or checkpoint would skip it and the entries
+// later appended into it would sit below a cursor that never revisits them.
+func (l *Log) reserveChunk(a *Appender, size int64) (int64, int64, error) {
 	n := (size + l.chunkSize - 1) / l.chunkSize * l.chunkSize
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -255,6 +337,7 @@ func (l *Log) reserveChunk(size int64) (int64, int64, error) {
 		l.segments.Store(seg, off)
 		l.segCount.Add(1)
 	}
+	a.nextLSN.Store(start)
 	l.next.Store(end)
 	if l.metaHook != nil {
 		// Persist the updated segment directory before the reservation is
@@ -280,6 +363,11 @@ func (l *Log) FreeBefore(v int64) (freedBytes int64) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// A registered GC hold is a hard floor: even if the caller computed its
+	// target before the hold appeared, the segments the holder needs survive.
+	if h, ok := l.holdFloorLocked(); ok && h < v {
+		v = h
+	}
 	lastSeg := v / l.segSize // segments strictly below this index die
 	next := l.next.Load()
 	l.segments.Range(func(k, val any) bool {
@@ -386,16 +474,16 @@ func (a *Appender) Append(c *simclock.Clock, hash uint64, key, value []byte, fla
 		if err := a.seal(c); err != nil {
 			return 0, err
 		}
-		off, n, err := a.log.reserveChunk(sz)
+		off, n, err := a.log.reserveChunk(a, sz)
 		if err != nil {
 			return 0, err
 		}
 		phys, ok := a.log.phys(off)
 		if !ok {
+			a.nextLSN.Store(0)
 			return 0, fmt.Errorf("wlog: fresh chunk unmapped at %d", off)
 		}
 		a.chunkOff, a.chunkPhys, a.chunkLen, a.used, a.persisted = off, phys, n, 0, 0
-		a.nextLSN.Store(off)
 	}
 	lsn := a.chunkOff + a.used
 	buf := a.log.arena.Bytes(a.chunkPhys+a.used, sz)
@@ -438,12 +526,18 @@ func (a *Appender) AppendSync(c *simclock.Clock, hash uint64, key, value []byte,
 
 // seal persists the unpersisted part of the current chunk and detaches it.
 func (a *Appender) seal(c *simclock.Clock) error {
-	if a.chunkOff != 0 && a.used > a.persisted {
+	sealed := a.chunkOff != 0
+	if sealed && a.used > a.persisted {
 		a.log.arena.Persist(c, a.chunkPhys+a.persisted, a.used-a.persisted)
 		a.persisted = a.used
 	}
 	a.chunkOff, a.chunkPhys, a.chunkLen, a.used, a.persisted = 0, 0, 0, 0, 0
 	a.nextLSN.Store(0)
+	if sealed {
+		if hook := a.log.sealHook.Load(); hook != nil {
+			(*hook)()
+		}
+	}
 	return nil
 }
 
@@ -587,10 +681,23 @@ func (l *Log) PeekHash(lsn int64) (uint64, uint16, bool) {
 // scan. Reclaimed and unallocated segments are skipped. Scan is how stores
 // rebuild volatile indexes after a crash.
 func (l *Log) Scan(c *simclock.Clock, from int64, fn func(Entry) bool) error {
+	return l.ScanRange(c, from, l.Tail(), fn)
+}
+
+// ScanRange is Scan bounded above: it never touches bytes at or past to, so a
+// caller that picked to = MinNextLSN can run concurrently with live appenders
+// — every byte below that watermark was published (via the appenders' nextLSN
+// atomics) before the watermark was read, and no future append can land
+// there. The replication shipper exports chunks this way while the store
+// serves writes.
+func (l *Log) ScanRange(c *simclock.Clock, from, to int64, fn func(Entry) bool) error {
 	if from < l.segSize {
 		from = l.segSize
 	}
 	end := l.Tail()
+	if to < end {
+		end = to
+	}
 	pos := from
 	for pos < end {
 		phys, ok := l.phys(pos)
