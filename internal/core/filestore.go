@@ -118,6 +118,8 @@ func attachStore(cfg Config, dev *device.Device, arena *pmem.Arena, med *filedev
 	if cfg.MaintenanceWorkers > 0 {
 		s.maint = newMaintPool(s, cfg.MaintenanceWorkers)
 	}
+	rid := hs.ReplID
+	s.replID.Store(&rid)
 	s.replEpoch.Store(hs.ReplEpoch)
 	s.replApplied.Store(hs.ReplApplied)
 	// The store reattaches in the crashed state: sessions are rejected and

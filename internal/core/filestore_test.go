@@ -185,6 +185,9 @@ func TestHostStateRoundtrip(t *testing.T) {
 		Segs:              map[int64]int64{1: 256, 2: 33024, 5: 66048},
 		ManifestSlotBytes: 512,
 		ManifestOffs:      []int64{256, 1280, 2304, 3328},
+		ReplID:            "4f2d1c0b9a87654321fedcba0123456789abcdef",
+		ReplEpoch:         3,
+		ReplApplied:       64 << 10,
 	}
 	got, err := decodeHostState(encodeHostState(hs))
 	if err != nil {
@@ -192,6 +195,9 @@ func TestHostStateRoundtrip(t *testing.T) {
 	}
 	if got.fp != hs.fp || got.ArenaNext != hs.ArenaNext || got.LogHead != hs.LogHead || got.LogNext != hs.LogNext {
 		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, hs)
+	}
+	if got.ReplID != hs.ReplID || got.ReplEpoch != hs.ReplEpoch || got.ReplApplied != hs.ReplApplied {
+		t.Fatalf("roundtrip lost replication identity: %+v vs %+v", got, hs)
 	}
 	if len(got.Segs) != len(hs.Segs) || len(got.ManifestOffs) != len(hs.ManifestOffs) {
 		t.Fatalf("roundtrip lost entries: %+v", got)

@@ -38,13 +38,18 @@ type hostState struct {
 	ManifestSlotBytes int64
 	ManifestOffs      []int64
 
-	// Replication identity (see internal/repl). ReplEpoch is the replication
-	// epoch this store last served under — bumped by failover promotion, so a
-	// deposed primary rejoining with a stale epoch is detected at handshake
-	// and fully resynced instead of resurrecting unacked writes. ReplApplied
-	// is a replica's durably-applied primary-LSN watermark: the resume point
-	// for catch-up after a restart. Both are zero on stores that never
-	// replicated.
+	// Replication identity (see internal/repl). ReplID is the replication
+	// lineage ID: a random string minted once per primary lifetime, adopted
+	// by replicas at handshake. Two stores share an LSN history iff their IDs
+	// match, so an unrelated primary whose bare epoch counter happens to
+	// collide is still detected at handshake and fully resynced. ReplEpoch is
+	// the replication epoch this store last served under — bumped by failover
+	// promotion, so a deposed primary rejoining with a stale epoch is
+	// detected at handshake and fully resynced instead of resurrecting
+	// unacked writes. ReplApplied is a replica's durably-applied primary-LSN
+	// watermark: the resume point for catch-up after a restart. All are zero
+	// on stores that never replicated.
+	ReplID      string
 	ReplEpoch   int64
 	ReplApplied int64
 }
@@ -71,7 +76,11 @@ func fingerprintOf(cfg Config) configFingerprint {
 	}
 }
 
-const hostStateVersion = 2
+const hostStateVersion = 3
+
+// maxReplIDLen bounds the persisted (and wire) replication lineage ID. IDs
+// the node mints are 40 hex chars; the bound rejects corrupt records.
+const maxReplIDLen = 64
 
 // hostStateMax bounds the encoded size of any host state a config can
 // produce, so the medium's metadata slots can be sized before the store
@@ -79,7 +88,7 @@ const hostStateVersion = 2
 // LogBytes/segmentSize live segments.
 func hostStateMax(cfg Config) int64 {
 	maxSegs := cfg.LogBytes/wlog.SegmentSizeFor(cfg.LogBytes) + 2
-	n := int64(8) + 8*8 + 6*8 + 8 + int64(cfg.Shards)*8 + 8 + maxSegs*16
+	n := int64(8) + 8*8 + 6*8 + 8 + maxReplIDLen + 8 + int64(cfg.Shards)*8 + 8 + maxSegs*16
 	return (n + 4095) / 4096 * 4096
 }
 
@@ -101,6 +110,12 @@ func encodeHostState(hs hostState) []byte {
 	u64(hs.ManifestSlotBytes)
 	u64(hs.ReplEpoch)
 	u64(hs.ReplApplied)
+	rid := hs.ReplID
+	if len(rid) > maxReplIDLen {
+		rid = rid[:maxReplIDLen]
+	}
+	u64(int64(len(rid)))
+	buf = append(buf, rid...)
 	u64(int64(len(hs.ManifestOffs)))
 	for _, off := range hs.ManifestOffs {
 		u64(off)
@@ -145,6 +160,18 @@ func decodeHostState(b []byte) (hostState, error) {
 			return hs, err
 		}
 	}
+	ridLen, err := u64()
+	if err != nil {
+		return hs, err
+	}
+	if ridLen < 0 || ridLen > maxReplIDLen {
+		return hs, fmt.Errorf("core: host state repl ID length %d out of range", ridLen)
+	}
+	if pos+int(ridLen) > len(b) {
+		return hs, fmt.Errorf("core: truncated host state repl ID at byte %d", pos)
+	}
+	hs.ReplID = string(b[pos : pos+int(ridLen)])
+	pos += int(ridLen)
 	nShards, err := u64()
 	if err != nil {
 		return hs, err
@@ -221,6 +248,9 @@ func (s *Store) persistHostMetaWith(head, next int64, segs map[int64]int64) {
 		ManifestOffs:      make([]int64, len(s.shards)),
 		ReplEpoch:         s.replEpoch.Load(),
 		ReplApplied:       s.replApplied.Load(),
+	}
+	if p := s.replID.Load(); p != nil {
+		hs.ReplID = *p
 	}
 	for i, sh := range s.shards {
 		hs.ManifestOffs[i] = sh.manifest.off

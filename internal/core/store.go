@@ -83,12 +83,16 @@ type Store struct {
 	// Replication state (see internal/repl). readOnly gates client writes
 	// while the store serves as a replica: Put/Delete/PutBatch/IncrBy return
 	// ErrReadOnly, while the replication apply path (Session.ApplyReplicated)
-	// bypasses the gate. replEpoch is the replication epoch (bumped on
-	// failover promotion); replApplied a replica's durably-applied
-	// primary-LSN watermark. Both are persisted in the host-state record on
-	// file-backed stores so a restarted replica resumes catch-up where its
-	// durable image actually is.
+	// bypasses the gate. replID is the replication lineage ID — a random
+	// string minted per primary lifetime; two stores share a history iff
+	// their IDs match, which is what makes incremental resume safe across
+	// unrelated or diverged nodes whose bare epoch counters collide. replEpoch
+	// is the replication epoch (bumped on failover promotion); replApplied a
+	// replica's durably-applied primary-LSN watermark. All three are
+	// persisted in the host-state record on file-backed stores so a restarted
+	// replica resumes catch-up where its durable image actually is.
 	readOnly    atomic.Bool
+	replID      atomic.Pointer[string]
 	replEpoch   atomic.Int64
 	replApplied atomic.Int64
 
@@ -331,17 +335,22 @@ func (s *Store) SetReadOnly(on bool) { s.readOnly.Store(on) }
 // ReadOnly reports whether the replica write gate is set.
 func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
 
-// ReplState returns the store's replication identity: the epoch it last
-// served under and (for replicas) the durably-applied primary-LSN watermark.
-func (s *Store) ReplState() (epoch, applied int64) {
-	return s.replEpoch.Load(), s.replApplied.Load()
+// ReplState returns the store's replication identity: the lineage ID and
+// epoch it last served under and (for replicas) the durably-applied
+// primary-LSN watermark. The ID is "" on stores that never replicated.
+func (s *Store) ReplState() (id string, epoch, applied int64) {
+	if p := s.replID.Load(); p != nil {
+		id = *p
+	}
+	return id, s.replEpoch.Load(), s.replApplied.Load()
 }
 
 // SetReplState records the replication identity and, on file-backed stores,
 // persists it in the host-state record. A replica calls it only after locally
 // flushing everything at or below applied, so the durable watermark never
 // runs ahead of the durable data it stands for.
-func (s *Store) SetReplState(epoch, applied int64) {
+func (s *Store) SetReplState(id string, epoch, applied int64) {
+	s.replID.Store(&id)
 	s.replEpoch.Store(epoch)
 	s.replApplied.Store(applied)
 	if !s.crashed.Load() && !s.closed.Load() {

@@ -24,14 +24,18 @@ import (
 // Frame types.
 const (
 	// frameHello opens a replica->primary connection:
-	// [8 epoch][8 resumeLSN][2 idLen][id]. epoch is the replication epoch the
-	// replica last applied under (0 = never replicated), resumeLSN the first
-	// primary LSN it has not durably applied.
+	// [8 epoch][8 resumeLSN][2 idLen][id][2 ridLen][rid]. epoch is the
+	// replication epoch the replica last applied under (0 = never
+	// replicated), resumeLSN the first primary LSN it has not durably
+	// applied, rid the replication lineage ID it last applied under ("" =
+	// never replicated).
 	frameHello = byte(1)
-	// frameAccept answers a Hello: [8 epoch][8 startLSN][1 full]. full means
-	// the replica's position is not resumable (epoch mismatch, or the primary
-	// GC'd past resumeLSN) and the stream restarts from the primary's log
-	// base — the replica must start from an empty store.
+	// frameAccept answers a Hello: [8 epoch][8 startLSN][1 full][2 ridLen]
+	// [rid]. full means the replica's position is not resumable (lineage or
+	// epoch mismatch, or the primary GC'd past resumeLSN) and the stream
+	// restarts from the primary's log base — the replica must start from an
+	// empty store. rid is the primary's lineage ID; the replica adopts it
+	// with its first durable ack.
 	frameAccept = byte(2)
 	// frameEntries ships log records: [8 fromLSN][8 nextLSN][1 flags] then
 	// records (see appendRecord). Applying the frame moves the replica's
@@ -130,23 +134,30 @@ func decodeFrameAfterHeader(hdr [headerLen]byte, r io.Reader) (byte, []byte, err
 	return typ, payload, nil
 }
 
+// maxReplIDLen bounds the lineage ID on the wire; minted IDs are 40 hex
+// chars, the bound rejects corrupt frames before allocating.
+const maxReplIDLen = 64
+
 // hello is the decoded Hello payload.
 type hello struct {
 	Epoch  int64
 	Resume int64
 	ID     string
+	ReplID string
 }
 
 func encodeHello(h hello) []byte {
-	b := make([]byte, 0, 18+len(h.ID))
+	b := make([]byte, 0, 20+len(h.ID)+len(h.ReplID))
 	b = binary.LittleEndian.AppendUint64(b, uint64(h.Epoch))
 	b = binary.LittleEndian.AppendUint64(b, uint64(h.Resume))
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.ID)))
-	return append(b, h.ID...)
+	b = append(b, h.ID...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.ReplID)))
+	return append(b, h.ReplID...)
 }
 
 func decodeHello(b []byte) (hello, error) {
-	if len(b) < 18 {
+	if len(b) < 20 {
 		return hello{}, fmt.Errorf("%w: hello payload %d bytes", ErrBadFrame, len(b))
 	}
 	h := hello{
@@ -154,39 +165,52 @@ func decodeHello(b []byte) (hello, error) {
 		Resume: int64(binary.LittleEndian.Uint64(b[8:16])),
 	}
 	n := int(binary.LittleEndian.Uint16(b[16:18]))
-	if len(b) != 18+n {
+	if len(b) < 20+n {
 		return hello{}, fmt.Errorf("%w: hello id length %d in %d-byte payload", ErrBadFrame, n, len(b))
 	}
-	h.ID = string(b[18:])
+	h.ID = string(b[18 : 18+n])
+	rn := int(binary.LittleEndian.Uint16(b[18+n : 20+n]))
+	if rn > maxReplIDLen || len(b) != 20+n+rn {
+		return hello{}, fmt.Errorf("%w: hello repl ID length %d in %d-byte payload", ErrBadFrame, rn, len(b))
+	}
+	h.ReplID = string(b[20+n:])
 	return h, nil
 }
 
 // accept is the decoded Accept payload.
 type accept struct {
-	Epoch int64
-	Start int64
-	Full  bool
+	Epoch  int64
+	Start  int64
+	Full   bool
+	ReplID string
 }
 
 func encodeAccept(a accept) []byte {
-	b := make([]byte, 0, 17)
+	b := make([]byte, 0, 19+len(a.ReplID))
 	b = binary.LittleEndian.AppendUint64(b, uint64(a.Epoch))
 	b = binary.LittleEndian.AppendUint64(b, uint64(a.Start))
 	full := byte(0)
 	if a.Full {
 		full = 1
 	}
-	return append(b, full)
+	b = append(b, full)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(a.ReplID)))
+	return append(b, a.ReplID...)
 }
 
 func decodeAccept(b []byte) (accept, error) {
-	if len(b) != 17 || b[16] > 1 {
+	if len(b) < 19 || b[16] > 1 {
 		return accept{}, fmt.Errorf("%w: accept payload %d bytes", ErrBadFrame, len(b))
 	}
+	rn := int(binary.LittleEndian.Uint16(b[17:19]))
+	if rn > maxReplIDLen || len(b) != 19+rn {
+		return accept{}, fmt.Errorf("%w: accept repl ID length %d in %d-byte payload", ErrBadFrame, rn, len(b))
+	}
 	return accept{
-		Epoch: int64(binary.LittleEndian.Uint64(b[0:8])),
-		Start: int64(binary.LittleEndian.Uint64(b[8:16])),
-		Full:  b[16] == 1,
+		Epoch:  int64(binary.LittleEndian.Uint64(b[0:8])),
+		Start:  int64(binary.LittleEndian.Uint64(b[8:16])),
+		Full:   b[16] == 1,
+		ReplID: string(b[19:]),
 	}, nil
 }
 

@@ -14,8 +14,8 @@ func validFrames() [][]byte {
 	entries = appendRecord(entries, 160, []byte("beta"), nil, true)
 	entries = appendRecord(entries, 390, []byte("gamma"), bytes.Repeat([]byte("x"), 200), false)
 	return [][]byte{
-		appendFrame(nil, frameHello, encodeHello(hello{Epoch: 3, Resume: 8192, ID: "replica-1"})),
-		appendFrame(nil, frameAccept, encodeAccept(accept{Epoch: 3, Start: 8192, Full: true})),
+		appendFrame(nil, frameHello, encodeHello(hello{Epoch: 3, Resume: 8192, ID: "replica-1", ReplID: "4f2d1c0b9a87654321fedcba0123456789abcdef"})),
+		appendFrame(nil, frameAccept, encodeAccept(accept{Epoch: 3, Start: 8192, Full: true, ReplID: "4f2d1c0b9a87654321fedcba0123456789abcdef"})),
 		appendFrame(nil, frameEntries, entries),
 		appendFrame(nil, frameAck, encodeAck(ack{Applied: 500, Durable: 400})),
 		appendFrame(nil, framePing, encodePing(777, flagAckDurable)),
@@ -24,15 +24,24 @@ func validFrames() [][]byte {
 }
 
 func TestFrameRoundTrip(t *testing.T) {
-	h := hello{Epoch: 7, Resume: 12345, ID: "node-a"}
+	h := hello{Epoch: 7, Resume: 12345, ID: "node-a", ReplID: newReplID()}
 	got, err := decodeHello(encodeHello(h))
 	if err != nil || got != h {
 		t.Fatalf("hello round trip: %+v, %v", got, err)
 	}
-	a := accept{Epoch: 7, Start: 4096, Full: true}
+	// A never-replicated node's empty lineage ID round-trips too.
+	h.ReplID = ""
+	if got, err = decodeHello(encodeHello(h)); err != nil || got != h {
+		t.Fatalf("hello round trip (no replid): %+v, %v", got, err)
+	}
+	a := accept{Epoch: 7, Start: 4096, Full: true, ReplID: newReplID()}
 	ga, err := decodeAccept(encodeAccept(a))
 	if err != nil || ga != a {
 		t.Fatalf("accept round trip: %+v, %v", ga, err)
+	}
+	// Oversized lineage IDs are rejected, not silently truncated.
+	if _, err := decodeHello(encodeHello(hello{ID: "x", ReplID: string(make([]byte, maxReplIDLen+1))})); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized hello replid: %v not ErrBadFrame", err)
 	}
 	k := ack{Applied: 99, Durable: 98}
 	gk, err := decodeAck(encodeAck(k))

@@ -1,6 +1,8 @@
 package repl
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
@@ -49,6 +51,13 @@ type Config struct {
 	HoldTimeout time.Duration
 	// Heartbeat is the primary's idle ping cadence. Default 100ms.
 	Heartbeat time.Duration
+	// WriteTimeout bounds every frame write from the primary to a replica. A
+	// replica process that is alive but has stopped reading would otherwise
+	// block the sender in TCP backpressure forever, with its GC hold pinning
+	// the primary's log until it fills and all writes fail; the deadline
+	// drops such a peer to the held state, whose HoldTimeout then bounds the
+	// pin. Default 10s.
+	WriteTimeout time.Duration
 	// MaxChunk bounds one Entries frame's payload. Default 256 KiB.
 	MaxChunk int
 	// DialTimeout bounds replica connect attempts. Default 3s.
@@ -75,6 +84,9 @@ func (c *Config) defaults() {
 	}
 	if c.Heartbeat <= 0 {
 		c.Heartbeat = 100 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
 	}
 	if c.MaxChunk <= 0 || c.MaxChunk > MaxFramePayload-1024 {
 		c.MaxChunk = 256 << 10
@@ -141,14 +153,16 @@ func Start(st *core.Store, cfg Config) (*Node, error) {
 		st.SetReadOnly(true)
 		n.startLink(cfg.PrimaryAddr, true)
 	} else {
-		// Every fresh primary lifetime gets a new epoch: incremental resume
-		// is only ever valid within a single primary lifetime, where the
-		// LSN → content mapping below the ship watermark is immutable. A
-		// replica of an older lifetime — including a deposed primary's —
-		// fails the epoch check at handshake and full-resyncs instead of
-		// resuming over a possibly diverged history.
-		epoch, applied := st.ReplState()
-		st.SetReplState(epoch+1, applied)
+		// Every fresh primary lifetime gets a new lineage ID and epoch:
+		// incremental resume is only ever valid within a single primary
+		// lifetime, where the LSN → content mapping below the ship watermark
+		// is immutable. The random ID is the actual lineage check — bare
+		// epoch counters collide across unrelated nodes (every fresh primary
+		// would start at 1) — so a replica of any other lifetime, including a
+		// deposed primary's, fails the ID comparison at handshake and
+		// full-resyncs instead of resuming over a possibly diverged history.
+		_, epoch, applied := st.ReplState()
+		st.SetReplState(newReplID(), epoch+1, applied)
 	}
 	n.registerMetrics(n.store().Registry())
 	if n.hub != nil {
@@ -188,11 +202,11 @@ func (n *Node) Addr() string {
 }
 
 // Promote makes the node a primary: the replica link (if any) is torn down
-// after finishing its in-flight frame, the replication epoch is bumped, and
-// the read-only gate opens. The epoch bump is the failover safety argument:
-// a deposed primary reconnecting with the old epoch can never resume
-// incrementally, so writes it acknowledged but never shipped die with its
-// full resync instead of resurrecting (DESIGN.md §8).
+// after finishing its in-flight frame, a fresh replication lineage ID is
+// minted (and the epoch bumped), and the read-only gate opens. The new ID is
+// the failover safety argument: a deposed primary reconnecting with the old
+// lineage can never resume incrementally, so writes it acknowledged but never
+// shipped die with its full resync instead of resurrecting (DESIGN.md §8).
 func (n *Node) Promote() error {
 	n.mu.Lock()
 	if n.closed {
@@ -211,8 +225,8 @@ func (n *Node) Promote() error {
 		l.stop()
 	}
 	if wasReplica {
-		epoch, applied := st.ReplState()
-		st.SetReplState(epoch+1, applied)
+		_, epoch, applied := st.ReplState()
+		st.SetReplState(newReplID(), epoch+1, applied)
 	}
 	st.SetReadOnly(false)
 	return nil
@@ -288,6 +302,7 @@ type PeerStatus struct {
 // tests.
 type Status struct {
 	Role        string
+	ReplID      string
 	Epoch       int64
 	PrimaryAddr string
 	LinkUp      bool
@@ -309,7 +324,7 @@ func (n *Node) Status() Status {
 	}
 	l := n.link
 	n.mu.Unlock()
-	s.Epoch, _ = st.ReplState()
+	s.ReplID, s.Epoch, _ = st.ReplState()
 	if l != nil {
 		s.LinkUp = l.up.Load()
 		s.AppliedLSN = l.applied.Load()
@@ -356,6 +371,7 @@ func (n *Node) InfoSection(b []byte) []byte {
 		app("slave_applied_lsn:%d\r\n", s.AppliedLSN)
 		app("slave_durable_lsn:%d\r\n", s.DurableLSN)
 	}
+	app("master_replid:%s\r\n", s.ReplID)
 	app("repl_epoch:%d\r\n", s.Epoch)
 	connected := 0
 	for _, p := range s.Peers {
@@ -446,16 +462,36 @@ func (n *Node) registerMetrics(reg *obs.Registry) {
 	})
 }
 
+// newReplID mints a replication lineage ID: 40 hex chars of entropy, unique
+// per primary lifetime. Two stores share an LSN history iff their IDs match.
+func newReplID() string {
+	var b [20]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; if it somehow
+		// does, a constant-free fallback is still better than panicking in
+		// Start. The all-zero ID only risks an unnecessary full resync.
+		return "0000000000000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // exportRange encodes log entries in [from, to) into an Entries payload of at
 // most maxBytes record bytes, returning the payload and the cursor it
 // advances to (to when the range was exhausted, the first unshipped entry's
-// LSN when maxBytes stopped it early). The scan is race-free against live
-// appenders because to never exceeds MinNextLSN — see wlog.ScanRange.
+// LSN when the size limit stopped it early). The scan is race-free against
+// live appenders because to never exceeds MinNextLSN — see wlog.ScanRange.
+// Whatever maxBytes the config allows, the payload never exceeds
+// MaxFramePayload: a record that would push it past stops the scan instead,
+// so the replica's decoder can never reject a frame the primary would then
+// deterministically rebuild (a livelock). The first record is always taken —
+// one record always fits, since log entries are bounded by the segment size,
+// far below MaxFramePayload — so the cursor always advances.
 func exportRange(log *wlog.Log, clk *simclock.Clock, from, to int64, maxBytes int, flags byte) (payload []byte, next int64, count int, err error) {
 	payload = appendEntriesHeader(make([]byte, 0, entriesHeader+maxBytes/4), from, to, flags)
 	next = to
 	err = log.ScanRange(clk, from, to, func(e wlog.Entry) bool {
-		if len(payload)-entriesHeader >= maxBytes {
+		rec := recordHeader + len(e.Key) + len(e.Value)
+		if count > 0 && (len(payload)-entriesHeader >= maxBytes || len(payload)+rec > MaxFramePayload) {
 			next = e.LSN
 			return false
 		}

@@ -145,14 +145,17 @@ func (h *hub) serve(conn net.Conn) {
 // no concurrent FreeBefore can slip between the decision and the hold: once
 // the hold exists, Base cannot advance past it.
 //
-// Incremental resume is legal only when the replica's epoch matches ours
-// (same primary lifetime — LSN → content below the ship watermark is
-// immutable within one lifetime) and its watermark still lies inside our
-// retained log. Anything else gets full=true: the replica wipes and replays
-// our compacted prefix from Base, which reconstructs the full live state
-// exactly like recovery does. Resuming across a GC'd gap would skip settled
-// tombstones and resurrect deleted keys; the epoch check additionally stops
-// a replica of a deposed primary from resuming over a diverged history.
+// Incremental resume is legal only when the replica's lineage ID and epoch
+// both match ours (same primary lifetime — LSN → content below the ship
+// watermark is immutable within one lifetime) and its watermark still lies
+// inside our retained log. Anything else gets full=true: the replica wipes
+// and replays our compacted prefix from Base, which reconstructs the full
+// live state exactly like recovery does. Resuming across a GC'd gap would
+// skip settled tombstones and resurrect deleted keys. The random lineage ID
+// — not the bare epoch counter, which collides across unrelated primaries
+// (every fresh one starts at 1) — is what stops a replica retargeted to a
+// different or diverged primary, or a replica of a deposed primary, from
+// resuming over an unrelated LSN stream whose epoch happens to match.
 func (h *hub) handshake(conn net.Conn) (*peer, error) {
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	typ, payload, err := h.read(conn)
@@ -186,10 +189,10 @@ func (h *hub) handshake(conn net.Conn) (*peer, error) {
 	}
 
 	log.HoldGC(key, 0)
-	epoch, _ := st.ReplState()
+	replID, epoch, _ := st.ReplState()
 	base := log.Base()
 	tail := log.Tail()
-	full := hl.Epoch != epoch || hl.Resume < base || hl.Resume > tail
+	full := hl.ReplID != replID || hl.Epoch != epoch || hl.Resume < base || hl.Resume > tail
 	start := hl.Resume
 	if full {
 		start = base
@@ -213,11 +216,23 @@ func (h *hub) handshake(conn net.Conn) (*peer, error) {
 	h.peers[id] = p
 	h.mu.Unlock()
 
-	if err := h.write(conn, frameAccept, encodeAccept(accept{Epoch: epoch, Start: start, Full: full})); err != nil {
+	if err := h.writeTimed(conn, frameAccept, encodeAccept(accept{ReplID: replID, Epoch: epoch, Start: start, Full: full})); err != nil {
 		h.dropPeer(p, true)
 		return nil, err
 	}
 	return p, nil
+}
+
+// writeTimed writes one frame under cfg.WriteTimeout. A replica that is alive
+// but has stopped reading stalls the sender in TCP backpressure; the deadline
+// turns that into a write error, dropping the peer to the held state so its
+// GC hold is bounded by HoldTimeout instead of pinning the log until it fills
+// and every client write fails.
+func (h *hub) writeTimed(conn net.Conn, typ byte, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(h.n.cfg.WriteTimeout))
+	err := h.write(conn, typ, payload)
+	conn.SetWriteDeadline(time.Time{})
+	return err
 }
 
 func (h *hub) write(conn net.Conn, typ byte, payload []byte) error {
@@ -259,7 +274,7 @@ func (h *hub) sendLoop(p *peer, conn net.Conn) {
 			if err != nil {
 				return
 			}
-			if err := h.write(conn, frameEntries, payload); err != nil {
+			if err := h.writeTimed(conn, frameEntries, payload); err != nil {
 				return
 			}
 			h.n.c.entriesShipped.Add(int64(count))
@@ -276,7 +291,7 @@ func (h *hub) sendLoop(p *peer, conn net.Conn) {
 		select {
 		case <-p.notify:
 		case <-hb.C:
-			if err := h.write(conn, framePing, encodePing(wm, flags)); err != nil {
+			if err := h.writeTimed(conn, framePing, encodePing(wm, flags)); err != nil {
 				return
 			}
 		case <-p.stopc:
@@ -349,23 +364,32 @@ func (h *hub) peerDisconnected(p *peer) {
 // expireHold drops a disconnected peer whose HoldTimeout elapsed without a
 // reconnect, releasing its wlog GC hold. The identity check makes a stale
 // timer harmless: a reconnect replaced the registration with a new *peer.
+// The release happens under h.mu (HoldGC/ReleaseGCHold take only the log
+// mutex, so no lock-order cycle): released after unlocking, a reconnect
+// landing in the window would register a fresh hold that this stale timer
+// then strips, leaving log GC free to reclaim segments the new peer's sender
+// has not shipped — which ScanRange would silently skip.
 func (h *hub) expireHold(p *peer) {
+	log := h.n.store().Log()
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.peers[p.id] != p || p.conn != nil {
-		h.mu.Unlock()
 		return
 	}
 	delete(h.peers, p.id)
-	h.mu.Unlock()
-	h.n.store().Log().ReleaseGCHold(holdKey(p.id))
+	log.ReleaseGCHold(holdKey(p.id))
 }
 
 // dropPeer removes a peer immediately. releaseHold=false leaves the wlog hold
 // in place for a successor registration (reconnect); true releases it
-// (shutdown).
+// (shutdown). The release only happens if p still owned the registration —
+// and under h.mu, like expireHold — so a racing reconnect that already
+// replaced the registration keeps its own hold.
 func (h *hub) dropPeer(p *peer, releaseHold bool) {
+	log := h.n.store().Log()
 	h.mu.Lock()
-	if h.peers[p.id] == p {
+	owned := h.peers[p.id] == p
+	if owned {
 		delete(h.peers, p.id)
 	}
 	if p.holdTimer != nil {
@@ -376,12 +400,12 @@ func (h *hub) dropPeer(p *peer, releaseHold bool) {
 		p.conn = nil
 		close(p.stopc)
 	}
+	if releaseHold && owned {
+		log.ReleaseGCHold(holdKey(p.id))
+	}
 	h.mu.Unlock()
 	if conn != nil {
 		conn.Close()
-	}
-	if releaseHold {
-		h.n.store().Log().ReleaseGCHold(holdKey(p.id))
 	}
 }
 

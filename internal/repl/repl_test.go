@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -227,15 +228,19 @@ func TestReplicaReadOnlyAndPromote(t *testing.T) {
 		t.Fatalf("replica Get = %q,%v,%v", v, ok, err)
 	}
 
-	epochBefore, _ := rst.ReplState()
+	idBefore, epochBefore, _ := rst.ReplState()
 	if err := rn.Promote(); err != nil {
 		t.Fatal(err)
 	}
 	if rn.Role() != RolePrimary {
 		t.Fatalf("role after promote = %s", rn.Role())
 	}
-	if epoch, _ := rst.ReplState(); epoch != epochBefore+1 {
+	id, epoch, _ := rst.ReplState()
+	if epoch != epochBefore+1 {
 		t.Fatalf("epoch after promote = %d, want %d", epoch, epochBefore+1)
+	}
+	if id == idBefore || id == "" {
+		t.Fatalf("repl ID after promote = %q, want a fresh lineage (was %q)", id, idBefore)
 	}
 	if err := rse.Put([]byte("x"), []byte("y")); err != nil {
 		t.Fatalf("promoted Put = %v", err)
@@ -469,4 +474,114 @@ func TestReconnectResumesIncrementally(t *testing.T) {
 	}
 	rse := session(t, rst)
 	assertParity(t, pse, rse)
+}
+
+// TestRetargetUnrelatedPrimaryParks is the lineage regression: two unrelated
+// primaries are both in their first lifetime, so their bare epoch counters
+// collide, and the replica's resume LSN lies inside the second primary's
+// retained log. Retargeting the replica must not pass the incremental-resume
+// check — the random lineage ID differs — so the primary demands a full
+// resync and the replica, holding diverged state with no reset hook, parks
+// with NeedsReset instead of silently applying an unrelated LSN stream onto
+// its existing data.
+func TestRetargetUnrelatedPrimaryParks(t *testing.T) {
+	pstA := openStore(t, core.TestConfig())
+	pnA := startPrimary(t, pstA, fastConfig())
+	pseA := session(t, pstA)
+	for i := 0; i < 50; i++ {
+		if err := pseA.Put([]byte(fmt.Sprintf("a-%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rst := openStore(t, core.TestConfig())
+	rn := startReplica(t, rst, pnA.Addr(), "r1", fastConfig())
+	if got, err := pnA.Wait(pseA, 1, 10*time.Second); err != nil || got != 1 {
+		t.Fatalf("WAIT = %d, %v", got, err)
+	}
+
+	pstB := openStore(t, core.TestConfig())
+	pnB := startPrimary(t, pstB, fastConfig())
+	pseB := session(t, pstB)
+	for i := 0; i < 200; i++ {
+		if err := pseB.Put([]byte(fmt.Sprintf("b-%03d", i)), []byte("w")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pseB.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trap must be armed for the test to mean anything: equal epoch
+	// counters and a resume LSN inside B's retained log, so only the lineage
+	// ID tells the histories apart.
+	_, ea, resume := rst.ReplState()
+	_, eb, _ := pstB.ReplState()
+	if ea != eb {
+		t.Fatalf("epochs differ (%d vs %d); the scenario needs colliding counters", ea, eb)
+	}
+	if logB := pstB.Log(); resume < logB.Base() || resume > logB.Tail() {
+		t.Fatalf("resume %d outside B's log [%d, %d]; the scenario needs an in-range watermark",
+			resume, logB.Base(), logB.Tail())
+	}
+
+	if err := rn.ReplicaOf(pnB.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "needs-reset latch", func() bool { return rn.Status().NeedsReset })
+
+	// Nothing from B leaked into the replica, and A's replicated data is
+	// intact.
+	rse := session(t, rst)
+	got := dump(t, rse)
+	for k := range got {
+		if strings.HasPrefix(k, "b-") {
+			t.Fatalf("replica applied unrelated key %q", k)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("a-%03d", i)
+		if got[k] != "v" {
+			t.Fatalf("replica lost key %q (have %q)", k, got[k])
+		}
+	}
+}
+
+// TestExportRangeProgress pins exportRange's no-livelock contract: however
+// small the byte budget, every frame carries at least one record and advances
+// the cursor, and the payload never exceeds MaxFramePayload.
+func TestExportRangeProgress(t *testing.T) {
+	st := openStore(t, core.TestConfig())
+	se := session(t, st)
+	for i := 0; i < 20; i++ {
+		if err := se.Put([]byte(fmt.Sprintf("k-%03d", i)), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := se.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	log := st.Log()
+	clk := simclock.New(0)
+	cursor, wm := log.Base(), log.MinNextLSN()
+	total := 0
+	for cursor < wm {
+		payload, next, count, err := exportRange(log, clk, cursor, wm, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(payload) > MaxFramePayload {
+			t.Fatalf("payload %d bytes exceeds MaxFramePayload", len(payload))
+		}
+		if next <= cursor {
+			t.Fatalf("cursor stuck at %d (next %d)", cursor, next)
+		}
+		if count == 0 && next < wm {
+			t.Fatalf("empty frame at cursor %d did not exhaust the range", cursor)
+		}
+		total += count
+		cursor = next
+	}
+	if total != 20 {
+		t.Fatalf("exported %d records, want 20", total)
+	}
 }

@@ -132,7 +132,7 @@ func (l *link) run(first bool) {
 // link's very first attempt).
 func (l *link) connect(countReconnect bool) (net.Conn, accept, bool) {
 	st := l.n.store()
-	epoch, resume := st.ReplState()
+	replID, epoch, resume := st.ReplState()
 	conn, err := net.DialTimeout("tcp", l.addr, l.n.cfg.DialTimeout)
 	if err != nil {
 		return nil, accept{}, false
@@ -141,7 +141,7 @@ func (l *link) connect(countReconnect bool) (net.Conn, accept, bool) {
 	if id == "" {
 		id = conn.LocalAddr().String()
 	}
-	if err := l.write(conn, frameHello, encodeHello(hello{Epoch: epoch, Resume: resume, ID: id})); err != nil {
+	if err := l.write(conn, frameHello, encodeHello(hello{Epoch: epoch, Resume: resume, ID: id, ReplID: replID})); err != nil {
 		conn.Close()
 		return nil, accept{}, false
 	}
@@ -170,7 +170,7 @@ func (l *link) connect(countReconnect bool) (net.Conn, accept, bool) {
 // away, which replaying the compacted prefix would never delete.
 func storeEmpty(st *core.Store) bool {
 	log := st.Log()
-	_, applied := st.ReplState()
+	_, _, applied := st.ReplState()
 	return applied == 0 && log.Base() == log.SegmentSize() && log.Tail() == log.SegmentSize()
 }
 
@@ -263,7 +263,7 @@ func (l *link) stream(conn net.Conn, acc accept, st *core.Store) bool {
 			// Durability cadence: flush and durably ack after every Entries
 			// frame. The stream is already chunked at cfg.MaxChunk, so this
 			// amortizes like the primary's own group commit.
-			if !l.ackDurable(conn, sess, st, acc.Epoch, next) {
+			if !l.ackDurable(conn, sess, st, acc, next) {
 				return !l.stopped()
 			}
 		case framePing:
@@ -272,7 +272,7 @@ func (l *link) stream(conn net.Conn, acc accept, st *core.Store) bool {
 				return !l.stopped()
 			}
 			if flags&flagAckDurable != 0 {
-				if !l.ackDurable(conn, sess, st, acc.Epoch, l.applied.Load()) {
+				if !l.ackDurable(conn, sess, st, acc, l.applied.Load()) {
 					return !l.stopped()
 				}
 			} else if !l.sendAck(conn) {
@@ -287,14 +287,16 @@ func (l *link) stream(conn net.Conn, acc accept, st *core.Store) bool {
 // ackDurable makes everything applied so far durable — session flush first,
 // then the persisted watermark, in that order, so the recorded watermark
 // never runs ahead of the data it describes — and acks it to the primary.
+// The persisted identity adopts the primary's lineage ID and epoch: from the
+// first durable ack on, this store's history is the primary's.
 // The AckGate hook can suppress the ack (never the flush): the crash-sweep
 // harness wires the simulated device's power-failure latch here so a crashed
 // replica cannot confirm durability the model has already discarded.
-func (l *link) ackDurable(conn net.Conn, sess *core.Session, st *core.Store, epoch, next int64) bool {
+func (l *link) ackDurable(conn net.Conn, sess *core.Session, st *core.Store, acc accept, next int64) bool {
 	if err := sess.Flush(); err != nil {
 		return false
 	}
-	st.SetReplState(epoch, next)
+	st.SetReplState(acc.ReplID, acc.Epoch, next)
 	l.durable.Store(next)
 	if gate := l.n.cfg.AckGate; gate != nil && !gate() {
 		return true

@@ -53,7 +53,11 @@ func globMatch(pattern, key []byte) bool {
 					p = p[1:]
 					break
 				}
-				if len(p) >= 3 && p[1] == '-' && p[2] != ']' {
+				// A '-' with any byte after it is a range, even when that
+				// byte is ']' — Redis parses "[a-]" as the range 'a'..']',
+				// not a literal '-' (stringmatchlen checks only
+				// pattern[1]=='-' && patternLen >= 3).
+				if len(p) >= 3 && p[1] == '-' {
 					lo, hi := p[0], p[2]
 					if lo > hi {
 						lo, hi = hi, lo

@@ -38,6 +38,14 @@ func TestGlobMatch(t *testing.T) {
 		{"[a-c]", "b", true},
 		{"[a-c]", "d", false},
 		{"[c-a]", "b", true}, // reversed range still matches (Redis swaps)
+		{"[a-]", "a", true},  // '-' before ']' is still a range: ']'..'a' after swap
+		{"[a-]", "]", true},
+		{"[a-]", "^", true},  // between ']' (0x5D) and 'a' (0x61)
+		{"[a-]", "-", false}, // not a literal '-' (Redis parses the range)
+		{"[a-]", "b", false},
+		{"[-a]", "-", true}, // leading '-' is a literal (no range start before it)
+		{"[-a]", "a", true},
+		{"[-a]", "b", false},
 		{"[^abc]", "d", true},
 		{"[^abc]", "a", false},
 		{"h[ae]llo", "hello", true},
