@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"chameleondb/internal/core"
+	"chameleondb/internal/hotcache"
 	"chameleondb/internal/kvstore"
 	"chameleondb/internal/simclock"
 )
@@ -88,6 +89,11 @@ type Options struct {
 	// (DESIGN.md §5.3). 0 keeps maintenance inline on the writing
 	// goroutine — the pre-pipeline behaviour.
 	MaintenanceWorkers int
+	// HotCacheBytes enables a DRAM hot-key read cache of this capacity in
+	// front of the engine (DESIGN.md §9): reads fill it under TinyLFU
+	// admission, writes invalidate it, Crash empties it. 0 (the default)
+	// disables it.
+	HotCacheBytes int64
 	// Seed drives load-factor randomization.
 	Seed int64
 }
@@ -161,6 +167,8 @@ func (o Options) coreConfig() core.Config {
 // DB is a ChameleonDB instance. All methods are safe for concurrent use.
 type DB struct {
 	store *core.Store
+	kv    kvstore.Store // store, behind the hot cache when one is configured
+	cache *hotcache.Cache
 	pool  sync.Pool
 }
 
@@ -170,7 +178,8 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{store: s}
+	cache := hotcache.New(opts.HotCacheBytes)
+	db := &DB{store: s, kv: hotcache.Wrap(s, cache), cache: cache}
 	db.pool.New = func() any { return db.NewSession() }
 	return db, nil
 }
@@ -179,14 +188,28 @@ func Open(opts Options) (*DB, error) {
 // virtual clock accumulating the cost of its operations. Not safe for
 // concurrent use.
 type Session struct {
-	inner *core.Session
+	inner kvstore.Session
+	vr    kvstore.ValueReader
+	bw    kvstore.BatchWriter
+	cd    kvstore.ConditionalDeleter
+	inc   kvstore.Incrementer
+	sc    kvstore.Scanner
 	clock *simclock.Clock
 }
 
 // NewSession creates a session.
 func (db *DB) NewSession() *Session {
 	c := simclock.New(0)
-	return &Session{inner: db.store.NewSession(c).(*core.Session), clock: c}
+	se := db.kv.NewSession(c)
+	return &Session{
+		inner: se,
+		vr:    se.(kvstore.ValueReader),
+		bw:    se.(kvstore.BatchWriter),
+		cd:    se.(kvstore.ConditionalDeleter),
+		inc:   se.(kvstore.Incrementer),
+		sc:    se.(kvstore.Scanner),
+		clock: c,
+	}
 }
 
 // Put inserts or updates a key.
@@ -203,7 +226,7 @@ func (s *Session) Get(key []byte) ([]byte, bool, error) { return s.inner.Get(key
 // unchanged. The result is a copy the caller owns — it never aliases store
 // memory.
 func (s *Session) GetInto(key, dst []byte) ([]byte, bool, error) {
-	return s.inner.GetInto(key, dst)
+	return s.vr.GetInto(key, dst)
 }
 
 // PutBatch applies n independent puts in one call, grouping keys by
@@ -212,7 +235,7 @@ func (s *Session) GetInto(key, dst []byte) ([]byte, bool, error) {
 // keep their order); on error an arbitrary subset may have been applied. See
 // kvstore.BatchWriter.
 func (s *Session) PutBatch(keys, values [][]byte) error {
-	return s.inner.PutBatch(keys, values)
+	return s.bw.PutBatch(keys, values)
 }
 
 // Delete removes a key.
@@ -225,11 +248,11 @@ func (s *Session) Flush() error { return s.inner.Flush() }
 // DeleteIfPresent deletes key and reports whether it existed. Probe and
 // tombstone run atomically under the store's write path, so the answer is
 // exact even with concurrent writers.
-func (s *Session) DeleteIfPresent(key []byte) (bool, error) { return s.inner.DeleteIfPresent(key) }
+func (s *Session) DeleteIfPresent(key []byte) (bool, error) { return s.cd.DeleteIfPresent(key) }
 
 // IncrBy atomically adds delta to the decimal integer stored at key (missing
 // keys count from 0) and returns the new value.
-func (s *Session) IncrBy(key []byte, delta int64) (int64, error) { return s.inner.IncrBy(key, delta) }
+func (s *Session) IncrBy(key []byte, delta int64) (int64, error) { return s.inc.IncrBy(key, delta) }
 
 // KV is one key/value pair returned by a scan.
 type KV = kvstore.KV
@@ -242,13 +265,13 @@ type Snapshot = kvstore.Snapshot
 // the returned cursor back in, stop when it returns 0. Each call captures its
 // own per-shard view (Redis-SCAN guarantees); use Snapshot for a stable view.
 func (s *Session) Scan(cursor uint64, limit int) ([]KV, uint64, error) {
-	return s.inner.Scan(cursor, limit)
+	return s.sc.Scan(cursor, limit)
 }
 
 // Snapshot captures a stable view of the whole store: scans against it never
 // see writes issued after this call. The snapshot pins internal resources
 // (epoch reclamation) until released.
-func (s *Session) Snapshot() (Snapshot, error) { return s.inner.Snapshot() }
+func (s *Session) Snapshot() (Snapshot, error) { return s.sc.Snapshot() }
 
 // VirtualNanos returns the simulated time this session's operations have
 // consumed on the modeled hardware.
@@ -302,7 +325,7 @@ func (db *DB) GetProtectActive() bool { return db.store.GPMActive() }
 // Crash simulates a power failure on the underlying device: all volatile
 // state (MemTables, ABIs, unflushed batches) is lost. Quiesce all sessions
 // first. Call Recover before further use.
-func (db *DB) Crash() { db.store.Crash() }
+func (db *DB) Crash() { db.kv.Crash() }
 
 // Recover rebuilds the store after Crash and returns the simulated restart
 // times: ready is when requests can be served again; full additionally
@@ -356,7 +379,7 @@ func (db *DB) Stats() Stats {
 		LogicalBytesWritten: d.LogicalBytesWritten,
 		MediaBytesWritten:   d.MediaBytesWritten,
 		MediaBytesRead:      d.MediaBytesRead,
-		DRAMFootprintBytes:  db.store.DRAMFootprint(),
+		DRAMFootprintBytes:  db.kv.DRAMFootprint(),
 	}
 }
 

@@ -21,7 +21,7 @@ func main() {
 		valueSize  = flag.Int("value-size", 8, "value size in bytes")
 		seed       = flag.Int64("seed", 1, "random seed")
 		asJSON     = flag.Bool("json", false, "emit reports as JSON (including the store's metrics snapshot) instead of text tables")
-		compare    = flag.String("compare", "", "baseline JSON file (a prior -json run); fail if the readscale/writescale speedup regresses >10% vs it")
+		compare    = flag.String("compare", "", "baseline JSON file (a prior -json run); fail if a gated ratio (readscale/writescale/scan/netbench/ycsb/allocs) regresses vs it")
 	)
 	flag.Parse()
 
@@ -77,7 +77,8 @@ func main() {
 // compareScaling is the CI regression gate: for each gated experiment this
 // run produced (readscale for the lock-free get path, writescale for the
 // async write path, scan for the merging iterator's batch amortization,
-// netbench for the wire hot path's pipelining gain), it compares the
+// netbench for the wire hot path's pipelining gain, ycsb for the hot-key
+// cache's hit ratio on the zipfian head), it compares the
 // experiment's headline ratio — speedup at the top worker count, ns/key
 // amortization at the top COUNT, or deep-pipeline throughput over depth-1 —
 // against the checked-in baseline. A ratio, not absolute time, is compared so
@@ -112,6 +113,7 @@ func compareScaling(baselinePath string, reports []*bench.Report) error {
 		{"writescale", bench.WriteScaleSpeedup},
 		{"scan", bench.ScanAmortization},
 		{"netbench", bench.NetBenchPipelineGain},
+		{"ycsb", bench.YCSBCacheGain},
 	}
 	gated := false
 	for _, g := range gates {
@@ -173,7 +175,7 @@ func compareScaling(baselinePath string, reports []*bench.Report) error {
 		gated = true
 	}
 	if !gated {
-		return fmt.Errorf("this run produced no gated report (add -experiment readscale, writescale, scan, netbench, or allocs)")
+		return fmt.Errorf("this run produced no gated report (add -experiment readscale, writescale, scan, netbench, ycsb, or allocs)")
 	}
 	return nil
 }

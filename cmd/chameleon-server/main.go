@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"chameleondb/internal/core"
+	"chameleondb/internal/hotcache"
 	"chameleondb/internal/obs"
 	"chameleondb/internal/repl"
 	"chameleondb/internal/server"
@@ -50,6 +51,7 @@ func main() {
 		replAddr    = flag.String("repl-addr", "", "replication listen address for log shipping to replicas (empty: off)")
 		replicaOf   = flag.String("replicaof", "", "start as a replica of this primary's repl-addr (host:port)")
 		replID      = flag.String("repl-id", "", "stable replica identity for GC holds across reconnects (default: local addr)")
+		cacheBytes  = flag.Int64("hotcache-bytes", 0, "hot-key DRAM read cache capacity in bytes (0: off)")
 	)
 	flag.Parse()
 
@@ -99,13 +101,20 @@ func main() {
 	// any client can connect. ResetStore closes the stale store and reopens a
 	// fresh one — for the file backend that wipes the data directory, since a
 	// full resync replays the primary's entire live state from its log.
+	// The hot-key cache is shared between the serving layer (which reads
+	// through and invalidates it) and replication (whose applies bypass the
+	// serving layer's sessions and so invalidate via OnApply). nil when off.
+	cache := hotcache.New(*cacheBytes)
+
 	var node *repl.Node
 	if *replAddr != "" || *replicaOf != "" {
 		rcfg := repl.Config{Addr: *replAddr, PrimaryAddr: *replicaOf, ID: *replID}
+		rcfg.OnApply = cache.Invalidate
 		old := st
 		if *backend == "file" {
 			dataDir := *dir
 			rcfg.ResetStore = func() (*core.Store, error) {
+				cache.InvalidateAll() // full resync: everything cached is suspect
 				old.Close()
 				if err := os.RemoveAll(dataDir); err != nil {
 					return nil, err
@@ -115,6 +124,7 @@ func main() {
 			}
 		} else {
 			rcfg.ResetStore = func() (*core.Store, error) {
+				cache.InvalidateAll()
 				old.Close()
 				return core.Open(cfg)
 			}
@@ -142,6 +152,7 @@ func main() {
 	if node != nil {
 		scfg.Repl = node
 	}
+	scfg.Cache = cache
 	srv := server.New(st, scfg)
 	if err := srv.Listen(); err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)
@@ -149,6 +160,9 @@ func main() {
 	}
 	fmt.Printf("chameleon-server listening on %s (backend=%s shards=%d arena=%dMB log=%dMB maintenance-workers=%d)\n",
 		srv.Addr(), *backend, *shards, *arenaMB, *logMB, cfg.MaintenanceWorkers)
+	if cache != nil {
+		fmt.Printf("hotcache: %d bytes DRAM read cache\n", cache.Capacity())
+	}
 	if node != nil {
 		if node.Role() == repl.RoleReplica {
 			fmt.Printf("replication: replica of %s (repl-addr=%s)\n", *replicaOf, node.Addr())

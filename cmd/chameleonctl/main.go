@@ -15,6 +15,7 @@ import (
 
 	"chameleondb"
 	"chameleondb/internal/core"
+	"chameleondb/internal/hotcache"
 	"chameleondb/internal/kvstore"
 	"chameleondb/internal/storetest"
 )
@@ -49,6 +50,7 @@ func crashSweepCmd(args []string) {
 		scanEv  = fs.Int("scan-every", 0, "interleave a full snapshot scan every N ops, checked exactly against applied state (0: off)")
 		backend = fs.String("backend", "sim", "persistence backend: sim, or file (one fresh directory per crash point, every Recover a real cold reopen)")
 		dir     = fs.String("dir", "", "parent directory for -backend=file sweep stores (default: a temp dir, removed on success)")
+		cacheB  = fs.Int64("hotcache-bytes", 0, "run the sweep through a hot-key DRAM cache of this capacity (0: off); the cache is volatile, so every crash point also checks cold-cache recovery")
 	)
 	fs.Parse(args)
 
@@ -111,6 +113,20 @@ func crashSweepCmd(args []string) {
 		os.Exit(2)
 	}
 
+	if *cacheB > 0 {
+		// One fresh cache per store instance: the sweep's oracle then drives
+		// every read and write through the interposer, so a stale hit or a
+		// warm post-crash cache shows up as a durability violation.
+		inner := newStore
+		newStore = func() (kvstore.Store, error) {
+			st, err := inner()
+			if err != nil {
+				return nil, err
+			}
+			return hotcache.Wrap(st, hotcache.New(*cacheB)), nil
+		}
+	}
+
 	start := time.Now()
 	res, err := storetest.CrashSweep(
 		newStore,
@@ -161,12 +177,14 @@ func main() {
 	var (
 		shards    = flag.Int("shards", 64, "index shards (power of two)")
 		maintWork = flag.Int("maintenance-workers", 0, "background maintenance workers (0: inline maintenance)")
+		cacheB    = flag.Int64("hotcache-bytes", 0, "hot-key DRAM read cache capacity in bytes (0: off)")
 	)
 	flag.Parse()
 
 	opts := chameleondb.DefaultOptions()
 	opts.Shards = *shards
 	opts.MaintenanceWorkers = *maintWork
+	opts.HotCacheBytes = *cacheB
 	db, err := chameleondb.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -18,7 +18,7 @@ func pingCmd(args []string) {
 	var (
 		addr    = fs.String("addr", "127.0.0.1:6379", "server address")
 		timeout = fs.Duration("timeout", 3*time.Second, "dial and I/O timeout")
-		section = fs.String("section", "", "single INFO section (server, clients, stats, commandstats, latencystats)")
+		section = fs.String("section", "", "single INFO section (server, clients, stats, cache, replication, commandstats, latencystats)")
 	)
 	fs.Parse(args)
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"chameleondb/internal/core"
+	"chameleondb/internal/hotcache"
 	"chameleondb/internal/kvstore"
 	"chameleondb/internal/obs"
 	"chameleondb/internal/simclock"
@@ -30,6 +31,7 @@ func statsCmd(args []string) {
 		traceOut = fs.String("trace-out", "", "append trace events as JSONL to this file as they happen")
 		shards   = fs.Int("shards", 64, "index shards (power of two)")
 		maint    = fs.Int("maintenance-workers", 0, "background maintenance workers (0: inline maintenance)")
+		cacheB   = fs.Int64("hotcache-bytes", 0, "hot-key DRAM read cache capacity in bytes (0: off); hotcache_* counters appear in the snapshot")
 	)
 	fs.Parse(args)
 
@@ -56,7 +58,13 @@ func statsCmd(args []string) {
 		}
 	}
 
-	se := s.NewSession(simclock.New(0))
+	// With a cache, sessions come from the interposing wrapper and its
+	// hotcache_* counters join the same registry the snapshot reads.
+	cache := hotcache.New(*cacheB)
+	kst := hotcache.Wrap(s, cache)
+	cache.Register(s.Registry())
+
+	se := kst.NewSession(simclock.New(0))
 	val := []byte("synthetic")
 	for i := int64(0); i < *fill; i++ {
 		if err := se.Put(statsKey(i), val); err != nil {
@@ -79,7 +87,7 @@ func statsCmd(args []string) {
 
 	var stop atomic.Bool
 	if *churn {
-		go churnLoop(s.NewSession(simclock.New(se.Clock().Now())), *fill, &stop)
+		go churnLoop(kst.NewSession(simclock.New(se.Clock().Now())), *fill, &stop)
 		defer stop.Store(true)
 	}
 	fmt.Printf("serving stats on http://%s/ (stats.json, metrics, trace.jsonl, debug/pprof/)\n", *serve)

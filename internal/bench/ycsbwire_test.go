@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+
+	"chameleondb/internal/ycsb"
+)
+
+// TestYCSBWireSmoke boots one cache-on server and drives workloads A and C
+// over real loopback connections at tiny scale — the wire driver's e2e
+// smoke, cheap enough to run under -race in CI on every push (the full
+// ycsb experiment is minutes; this is seconds). It checks the mechanics
+// the experiment's numbers stand on: the preloaded keyspace never
+// produces a GET miss, both op classes record latencies, RMW legs pair
+// up, and the cache actually serves hits under zipfian skew.
+func TestYCSBWireSmoke(t *testing.T) {
+	opt := Options{Keys: 5000, Ops: 8000, Threads: 4, ValueSize: 8, Seed: 1}.withDefaults()
+	sv, err := startYCSBServer(opt, opt.Threads, "on", 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.stop()
+
+	for _, w := range []ycsb.Workload{ycsb.A, ycsb.C} {
+		res, err := ycsb.RunWire(ycsb.WireConfig{
+			Addr:      sv.addr,
+			Workload:  w,
+			Keys:      opt.Keys,
+			Ops:       opt.Ops,
+			Workers:   opt.Threads,
+			Depth:     ycsbWireDepth,
+			ValueSize: opt.ValueSize,
+			Seed:      opt.Seed,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if res.Reads.Ops == 0 || res.Reads.P99us <= 0 {
+			t.Fatalf("%s: no read latencies recorded: %+v", w, res.Reads)
+		}
+		if w == ycsb.A && res.Writes.Ops == 0 {
+			t.Fatalf("A: no write latencies recorded: %+v", res.Writes)
+		}
+		if got := res.Reads.Ops + res.Writes.Ops; got < res.Ops {
+			t.Fatalf("%s: %d latency samples for %d ops", w, got, res.Ops)
+		}
+	}
+	if s := sv.cache.Stats(); s.Hits == 0 || s.Admits == 0 {
+		t.Fatalf("cache served no hits over the wire: %+v", s)
+	}
+}

@@ -1,0 +1,193 @@
+package hotcache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/hotcache"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/simclock"
+)
+
+// TestStressLinearizable races GET/SET/DEL (through the cache interposer)
+// against eviction, miss-fills, and full invalidations, checking the cache's
+// correctness contract: every read — hit or miss — must be indistinguishable
+// from an engine read ordered at some point since the key's last acked local
+// write. Run under -race this also shakes out data races in the shard
+// locking and the version-gate protocol.
+//
+// Oracle: one writer per key issues strictly increasing sequence numbers.
+// After each engine op returns (the "ack"), the writer publishes the key's
+// state as seq<<1|present. A reader snapshots that state BEFORE its read:
+//   - a read that returns a value must carry seq >= the snapshot's seq
+//     (anything older predates an acked write: a stale hit);
+//   - a read that returns not-found while the snapshot says present is legal
+//     only if a delete newer than the snapshot was already in flight, which
+//     the writer records in deleteIssued before calling the engine.
+func TestStressLinearizable(t *testing.T) {
+	st, err := core.Open(core.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cache := hotcache.New(32 << 10) // tiny: forces admission/eviction churn
+	wst := hotcache.Wrap(st, cache)
+
+	const (
+		numKeys      = 512 // ~8 keys per cache shard: real eviction pressure
+		writers      = 8
+		readers      = 8
+		opsPerWriter = 3000
+	)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("stress-%04d", i)) }
+	val := func(seq uint64) []byte { return []byte(fmt.Sprintf("%016d", seq)) }
+
+	var (
+		acked        [numKeys]atomic.Uint64 // seq<<1 | present, post-ack
+		deleteIssued [numKeys]atomic.Uint64 // max seq of a delete handed to the engine
+		violation    atomic.Pointer[string]
+	)
+	fail := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		violation.CompareAndSwap(nil, &msg)
+	}
+
+	var wg, writerWG sync.WaitGroup
+	writersDone := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			se := wst.NewSession(simclock.New(0))
+			defer releaseSession(se)
+			var seq uint64
+			for op := 0; op < opsPerWriter; op++ {
+				if op%32 == 31 {
+					// On GOMAXPROCS=1 a writer otherwise burns through its whole
+					// op budget inside one scheduler slice and the readers never
+					// observe a live cache; yielding forces real interleaving.
+					runtime.Gosched()
+				}
+				ki := w + writers*(op%(numKeys/writers)) // this writer's key slice
+				seq++
+				if op%7 == 6 {
+					deleteIssued[ki].Store(seq)
+					if err := se.Delete(key(ki)); err != nil {
+						fail("delete: %v", err)
+						return
+					}
+					acked[ki].Store(seq << 1)
+				} else {
+					if err := se.Put(key(ki), val(seq)); err != nil {
+						fail("put: %v", err)
+						return
+					}
+					acked[ki].Store(seq<<1 | 1)
+				}
+			}
+		}(w)
+	}
+
+	readLoop := func(r int, useGetInto bool) {
+		defer wg.Done()
+		se := wst.NewSession(simclock.New(0))
+		defer releaseSession(se)
+		vr, _ := se.(kvstore.ValueReader)
+		rng := rand.New(rand.NewSource(int64(r)))
+		buf := make([]byte, 0, 64)
+		for done := false; !done; {
+			select {
+			case <-writersDone:
+				done = true // one final sweep below
+			default:
+			}
+			ki := rng.Intn(numKeys)
+			s0 := acked[ki].Load()
+			var (
+				got []byte
+				ok  bool
+				err error
+			)
+			if useGetInto && vr != nil {
+				got, ok, err = vr.GetInto(key(ki), buf[:0])
+			} else {
+				got, ok, err = se.Get(key(ki))
+			}
+			if err != nil {
+				fail("get: %v", err)
+				return
+			}
+			seq0 := s0 >> 1
+			if ok {
+				var seqV uint64
+				if _, perr := fmt.Sscanf(string(got), "%d", &seqV); perr != nil {
+					fail("unparseable value %q for key %d", got, ki)
+					return
+				}
+				if seqV < seq0 {
+					fail("STALE READ key %d: value seq %d < acked seq %d (state %#x)",
+						ki, seqV, seq0, s0)
+					return
+				}
+			} else if s0&1 == 1 && deleteIssued[ki].Load() < seq0 {
+				fail("LOST KEY %d: not found, but acked present at seq %d with no newer delete issued",
+					ki, seq0)
+				return
+			}
+		}
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go readLoop(r, r%2 == 0)
+	}
+
+	// A disruptor periodically drops the whole cache (the FLUSHALL /
+	// crash-recovery path); this must never produce an oracle violation, only
+	// cold misses.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-writersDone:
+				return
+			case <-time.After(500 * time.Microsecond):
+			}
+			if i%16 == 15 {
+				cache.InvalidateAll()
+			} else {
+				cache.Invalidate(key(i % numKeys))
+			}
+		}
+	}()
+
+	go func() {
+		writerWG.Wait()
+		close(writersDone)
+	}()
+
+	writerWG.Wait()
+	wg.Wait()
+	if msg := violation.Load(); msg != nil {
+		t.Fatal(*msg)
+	}
+	s := cache.Stats()
+	t.Logf("cache after stress: hits=%d misses=%d admits=%d raced=%d evictions=%d invalidations=%d",
+		s.Hits, s.Misses, s.Admits, s.AdmitsRaced, s.Evictions, s.Invalidations)
+	if s.Hits == 0 || s.Admits == 0 {
+		t.Fatal("stress exercised no cache hits/admissions — not a meaningful test")
+	}
+}
+
+func releaseSession(se kvstore.Session) {
+	if r, ok := se.(interface{ Release() error }); ok {
+		r.Release()
+	}
+}

@@ -1,0 +1,110 @@
+package hotcache_test
+
+import (
+	"testing"
+
+	"chameleondb/internal/core"
+	"chameleondb/internal/hotcache"
+	"chameleondb/internal/kvstore"
+	"chameleondb/internal/simclock"
+	"chameleondb/internal/storetest"
+)
+
+// sweepConfig mirrors the engine's own crash-sweep shrink (4 shards, 3
+// levels, 2 MB arena) so crashing at every persist event stays fast.
+func sweepConfig() core.Config {
+	cfg := core.TestConfig()
+	cfg.Shards = 4
+	cfg.MemTableSlots = 32
+	cfg.Levels = 3
+	cfg.Ratio = 2
+	cfg.ArenaBytes = 2 << 20
+	cfg.LogBytes = 128 << 10
+	return cfg
+}
+
+// TestCrashSweepWithCache runs the full crash-point conformance sweep with
+// every read and write interposed by a hot-key cache small enough that the
+// workload constantly admits, evicts, and invalidates. The sweep's oracle
+// then proves the cache's crash contract: the cache is volatile (Crash drops
+// it cold), so no post-recovery read may see pre-crash DRAM state, and no
+// mid-script read may see a value older than its last acked write.
+func TestCrashSweepWithCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep is long; run without -short")
+	}
+	newStore := func() (kvstore.Store, error) {
+		st, err := core.Open(sweepConfig())
+		if err != nil {
+			return nil, err
+		}
+		// A fresh cache per store instance, as a process restart would have;
+		// 16 KiB against 96 keys × ≤120 B values keeps it under constant
+		// eviction pressure.
+		return hotcache.Wrap(st, hotcache.New(16<<10)), nil
+	}
+	res, err := storetest.CrashSweep(newStore, storetest.SweepConfig{
+		Seed:          1,
+		Ops:           1500,
+		Keys:          96,
+		MaxValueLen:   120,
+		FlushEvery:    20,
+		MaintainEvery: 50,
+		Maintenance:   storetest.StandardMaintenance(),
+		ScanEvery:     75,
+		Tear:          true,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+}
+
+// TestCrashStartsCold pins the volatility contract directly: a warm cache is
+// emptied by Crash, and post-recovery reads are served by the engine (and
+// re-admitted from it), never from pre-crash DRAM.
+func TestCrashStartsCold(t *testing.T) {
+	st, err := core.Open(core.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cache := hotcache.New(1 << 20)
+	wst := hotcache.Wrap(st, cache)
+
+	se := wst.NewSession(simclock.New(0))
+	key, val := []byte("durable-key"), []byte("durable-val")
+	if err := se.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache.
+	if _, ok, _ := se.Get(key); !ok {
+		t.Fatal("warm read missed")
+	}
+	if cache.Stats().Entries == 0 {
+		t.Fatal("read did not warm the cache")
+	}
+	releaseSession(se)
+
+	wst.Crash()
+	if s := cache.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("cache survived crash: %+v", s)
+	}
+	if err := wst.Recover(simclock.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	se2 := wst.NewSession(simclock.New(0))
+	defer releaseSession(se2)
+	misses := cache.Stats().Misses
+	got, ok, err := se2.Get(key)
+	if err != nil || !ok || string(got) != string(val) {
+		t.Fatalf("post-recovery read: %q %v %v", got, ok, err)
+	}
+	if cache.Stats().Misses != misses+1 {
+		t.Fatal("post-recovery read did not go to the engine (warm hit on a cold cache)")
+	}
+}

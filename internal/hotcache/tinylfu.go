@@ -1,0 +1,123 @@
+package hotcache
+
+// sketch is a count-min sketch with 4-bit counters, the frequency half of the
+// TinyLFU admission filter. Four rows of packed nibbles; an increment bumps
+// the counter in each row (capped at 15), an estimate takes the row minimum.
+// halve() divides every counter by two, aging the sample so the sketch tracks
+// recent popularity rather than all-time popularity.
+//
+// Counters are packed 16 per uint64. Row width is a power of two so index
+// extraction is a mask, and is capped at 1<<16 so each row's slot can be cut
+// from one 16-bit chunk of a single pre-mixed hash: the whole
+// sketch+doorkeeper access costs one multiply-mix, which is what keeps the
+// admission filter off the cache's hit-path profile.
+type sketch struct {
+	rows [4][]uint64
+	mask uint64 // counter-index mask per row
+}
+
+// maxCounters bounds a row to what a 16-bit chunk can index.
+const maxCounters = 1 << 16
+
+// init sizes each row to counters 4-bit slots (counters must be a power of
+// two; clamped to [16, 1<<16]).
+func (s *sketch) init(counters uint64) {
+	if counters < 16 {
+		counters = 16
+	}
+	if counters > maxCounters {
+		counters = maxCounters
+	}
+	words := counters / 16
+	for i := range s.rows {
+		s.rows[i] = make([]uint64, words)
+	}
+	s.mask = counters - 1
+}
+
+// slot derives the (word, shift) position of m's counter in row r, using
+// row r's 16-bit chunk of the pre-mixed hash m.
+func (s *sketch) slot(r int, m uint64) (word int, shift uint) {
+	idx := (m >> (16 * uint(r))) & s.mask
+	return int(idx / 16), uint(idx%16) * 4
+}
+
+func (s *sketch) increment(m uint64) {
+	for r := range s.rows {
+		w, sh := s.slot(r, m)
+		if (s.rows[r][w]>>sh)&0xf < 15 {
+			s.rows[r][w] += 1 << sh
+		}
+	}
+}
+
+func (s *sketch) estimate(m uint64) uint32 {
+	min := uint32(15)
+	for r := range s.rows {
+		w, sh := s.slot(r, m)
+		if v := uint32((s.rows[r][w] >> sh) & 0xf); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// halve ages every counter: each 4-bit slot is shifted right by one in place.
+func (s *sketch) halve() {
+	for r := range s.rows {
+		row := s.rows[r]
+		for i, w := range row {
+			// Clear the low bit of every nibble, then shift the whole word:
+			// each nibble halves without borrowing from its neighbor.
+			row[i] = (w &^ 0x1111111111111111) >> 1
+		}
+	}
+}
+
+// doorkeeper is the bloom-filter front of the admission filter: first-time
+// keys land here instead of the sketch, so one-hit wonders never consume
+// sketch counters. Cleared on every sample-window reset. Its two probe
+// positions come from bit windows of the same pre-mixed hash the sketch
+// uses — no hashing of its own.
+type doorkeeper struct {
+	bits []uint64
+	mask uint64
+}
+
+// init sizes the filter to nbits (rounded up to a power of two, >= 64).
+func (d *doorkeeper) init(nbits uint64) {
+	nbits = nextPow2(nbits)
+	if nbits < 64 {
+		nbits = 64
+	}
+	d.bits = make([]uint64, nbits/64)
+	d.mask = nbits - 1
+}
+
+func (d *doorkeeper) pos(i int, m uint64) (word int, bit uint64) {
+	idx := (m >> (8 + 21*uint(i))) & d.mask
+	return int(idx / 64), 1 << (idx % 64)
+}
+
+func (d *doorkeeper) add(m uint64) {
+	for i := 0; i < 2; i++ {
+		w, b := d.pos(i, m)
+		d.bits[w] |= b
+	}
+}
+
+func (d *doorkeeper) contains(m uint64) bool {
+	for i := 0; i < 2; i++ {
+		w, b := d.pos(i, m)
+		if d.bits[w]&b == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *doorkeeper) clear() {
+	for i := range d.bits {
+		d.bits[i] = 0
+	}
+}

@@ -76,6 +76,13 @@ type Config struct {
 	// power-failure latch here, so a "dead" replica can never confirm
 	// durability the model already discarded. Production leaves it nil.
 	AckGate func() bool
+	// OnApply, when set, is called with each key after the replica has
+	// applied the replicated record. Replicated applies bypass the serving
+	// layer's sessions, so a node that fronts its store with a hot-key cache
+	// (hotcache.Wrap) hooks the cache's Invalidate here — otherwise replica
+	// reads could serve pre-catch-up values from DRAM. The key aliases the
+	// wire frame buffer: use it during the call, do not retain it.
+	OnApply func(key []byte)
 }
 
 func (c *Config) defaults() {

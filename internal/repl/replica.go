@@ -253,9 +253,13 @@ func (l *link) stream(conn net.Conn, acc accept, st *core.Store) bool {
 			if err != nil || from != l.applied.Load() {
 				return !l.stopped()
 			}
+			onApply := l.n.cfg.OnApply
 			for _, r := range recs {
 				if err := sess.ApplyReplicated(r.Key, r.Value, r.Tombstone); err != nil {
 					return !l.stopped()
+				}
+				if onApply != nil {
+					onApply(r.Key)
 				}
 			}
 			l.n.c.entriesApplied.Add(int64(len(recs)))

@@ -428,8 +428,14 @@ func (c *conn) execute(kind cmdKind, args [][]byte, dirty, quit *bool) {
 			return
 		}
 		if lp, ok := c.srv.store.(interface{ Log() *wlog.Log }); ok {
-			lp.Log().SyncAll(c.se.Clock())
+			if lg := lp.Log(); lg != nil {
+				lg.SyncAll(c.se.Clock())
+			}
 		}
+		// FLUSHALL is also the operator's "known state" point: drop the
+		// volatile cache so everything served afterwards is a fresh engine
+		// read (over-invalidation is always safe).
+		c.srv.cache.InvalidateAll()
 		c.w.SimpleString("OK")
 	case cmdMGet:
 		if len(args) < 2 {

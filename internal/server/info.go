@@ -68,6 +68,30 @@ func (s *Server) infoText(section []byte) []byte {
 		b = fmt.Appendf(b, "dram_footprint_bytes:%d\r\n", s.store.DRAMFootprint())
 		b = append(b, "\r\n"...)
 	}
+	if want("cache") {
+		// Hot-key cache telemetry, for sizing -hotcache-bytes from live
+		// traffic: enabled/capacity say what is configured, hit_ratio and
+		// evictions say whether it is big enough, admits_rejected says the
+		// admission filter is holding the cold tail out.
+		b = append(b, "# Cache\r\n"...)
+		if s.cache == nil {
+			b = append(b, "cache_enabled:0\r\n"...)
+		} else {
+			cs := s.cache.Stats()
+			b = append(b, "cache_enabled:1\r\n"...)
+			b = fmt.Appendf(b, "cache_capacity_bytes:%d\r\n", cs.Capacity)
+			b = fmt.Appendf(b, "cache_bytes:%d\r\n", cs.Bytes)
+			b = fmt.Appendf(b, "cache_entries:%d\r\n", cs.Entries)
+			b = fmt.Appendf(b, "cache_hits:%d\r\n", cs.Hits)
+			b = fmt.Appendf(b, "cache_misses:%d\r\n", cs.Misses)
+			b = fmt.Appendf(b, "cache_hit_ratio:%.4f\r\n", cs.HitRatio())
+			b = fmt.Appendf(b, "cache_admits:%d\r\n", cs.Admits)
+			b = fmt.Appendf(b, "cache_admits_rejected:%d\r\n", cs.AdmitsRejected)
+			b = fmt.Appendf(b, "cache_evictions:%d\r\n", cs.Evictions)
+			b = fmt.Appendf(b, "cache_invalidations:%d\r\n", cs.Invalidations)
+		}
+		b = append(b, "\r\n"...)
+	}
 	if want("replication") {
 		if s.cfg.Repl != nil {
 			b = s.cfg.Repl.InfoSection(b)

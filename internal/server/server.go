@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"chameleondb/internal/hotcache"
 	"chameleondb/internal/kvstore"
 	"chameleondb/internal/obs"
 	"chameleondb/internal/resp"
@@ -72,6 +73,11 @@ type Config struct {
 	// the replication subsystem (internal/repl.Node implements it). Nil keeps
 	// those commands inert: WAIT answers 0 after a flush, REPLICAOF errors.
 	Repl Replicator
+	// Cache, when set, interposes a hot-key DRAM cache between every
+	// connection's session and the store (hotcache.Wrap): reads fill it,
+	// writes invalidate it, FLUSHALL empties it. Nil (the default) serves
+	// straight from the engine.
+	Cache *hotcache.Cache
 }
 
 // Replicator is the control surface the replication subsystem exposes to the
@@ -132,6 +138,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	store   kvstore.Store
+	cache   *hotcache.Cache
 	metrics *Metrics
 	reg     *obs.Registry
 	batch   *batcher
@@ -154,9 +161,14 @@ type Server struct {
 // via Registry either way.
 func New(store kvstore.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// The cache interposes at the store boundary, not per command: every
+	// session this server hands out reads through it and invalidates it on
+	// write, so no dispatch path can forget to.
+	store = hotcache.Wrap(store, cfg.Cache)
 	s := &Server{
 		cfg:     cfg,
 		store:   store,
+		cache:   cfg.Cache,
 		metrics: &Metrics{},
 		conns:   make(map[*conn]struct{}),
 		start:   time.Now(),
@@ -167,6 +179,7 @@ func New(store kvstore.Store, cfg Config) *Server {
 		s.reg = obs.NewRegistry("chameleon_server")
 	}
 	s.metrics.Register(s.reg)
+	s.cache.Register(s.reg)
 	s.batch = newBatcher(s.metrics, cfg.GroupCommitDelay, cfg.GroupCommitSize)
 	return s
 }

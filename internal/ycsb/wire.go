@@ -1,0 +1,253 @@
+package ycsb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleondb/internal/histogram"
+	"chameleondb/internal/resp"
+)
+
+// WireConfig drives a YCSB workload over a live RESP server: real
+// connections, real framing, real group-commit waits. Unlike the in-process
+// harness in internal/bench, latencies here are client-observed wall clock.
+type WireConfig struct {
+	Addr     string
+	Workload Workload
+	// Keys is the preloaded keyspace size the existing-key choosers draw
+	// from (load it first — RunWire with Workload Load does exactly that).
+	Keys int64
+	// Ops is the total measured operation count across all workers.
+	Ops       int64
+	Workers   int
+	Depth     int // pipeline window (1 = strict request/response)
+	ValueSize int
+	Seed      int64
+	Timeout   time.Duration // per-connection deadline (default 10 min)
+
+	// Burst phases: when BurstOps > 0, each worker alternates SteadyOps of
+	// full-keyspace traffic with BurstOps drawn from only the hottest
+	// BurstFrac of the rank space — a flash crowd on the steady-state hot
+	// set (see Generator.SetHotFrac).
+	SteadyOps int
+	BurstOps  int
+	BurstFrac float64
+}
+
+// ClassLatency summarizes one operation class's client-observed latency.
+// Under pipelining a sample spans send to reply, so it includes time queued
+// behind the rest of the window — what a caller actually waits.
+type ClassLatency struct {
+	Ops    int64
+	P50us  float64
+	P99us  float64
+	P999us float64
+}
+
+// WireResult is one RunWire measurement.
+type WireResult struct {
+	Workload Workload
+	Ops      int64
+	Wall     time.Duration
+	Reads    ClassLatency // GET legs (including the read half of RMW)
+	Writes   ClassLatency // SET legs (updates, inserts, the write half of RMW)
+}
+
+// Kops returns throughput in thousands of operations per second.
+func (r *WireResult) Kops() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Wall.Seconds() / 1e3
+}
+
+func (c WireConfig) withDefaults() WireConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Depth <= 0 {
+		c.Depth = 1
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Minute
+	}
+	if c.BurstOps > 0 && c.SteadyOps <= 0 {
+		c.SteadyOps = 4 * c.BurstOps
+	}
+	if c.BurstOps > 0 && (c.BurstFrac <= 0 || c.BurstFrac >= 1) {
+		c.BurstFrac = 0.01
+	}
+	return c
+}
+
+// RunWire runs one workload phase against the server at cfg.Addr and reports
+// throughput plus per-class latency percentiles. Workloads that read only
+// pick keys guaranteed to exist (preloaded or inserted earlier on the same
+// ordered connection), so any GET miss fails the run as a correctness bug.
+func RunWire(cfg WireConfig) (*WireResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Ops <= 0 {
+		return nil, fmt.Errorf("ycsb: RunWire needs Ops > 0")
+	}
+	var (
+		wg     sync.WaitGroup
+		reads  histogram.Histogram
+		writes histogram.Histogram
+		misses atomic.Int64
+		firstE atomic.Value
+	)
+	per := cfg.Ops / int64(cfg.Workers)
+	if per == 0 {
+		per = 1
+	}
+	// Op streams are generated BEFORE the clock starts: the zipfian draw
+	// (a math.Pow per op) is generator cost, not serving cost, and on a
+	// shared CPU it would otherwise dilute every measured number.
+	streams := make([][]Op, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		streams[w] = genOps(cfg, w, per)
+	}
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := wireWorker(cfg, w, streams[w], &reads, &writes, &misses); err != nil {
+				firstE.CompareAndSwap(nil, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if e := firstE.Load(); e != nil {
+		return nil, e.(error)
+	}
+	if m := misses.Load(); m > 0 {
+		return nil, fmt.Errorf("ycsb: %d GET misses on a loaded keyspace (workload %s)", m, cfg.Workload)
+	}
+	summarize := func(h *histogram.Histogram) ClassLatency {
+		return ClassLatency{
+			Ops:    h.Count(),
+			P50us:  float64(h.Percentile(50)) / 1e3,
+			P99us:  float64(h.Percentile(99)) / 1e3,
+			P999us: float64(h.Percentile(99.9)) / 1e3,
+		}
+	}
+	return &WireResult{
+		Workload: cfg.Workload,
+		Ops:      per * int64(cfg.Workers),
+		Wall:     wall,
+		Reads:    summarize(&reads),
+		Writes:   summarize(&writes),
+	}, nil
+}
+
+// genOps pre-generates one worker's op stream, including the burst-phase
+// toggling (flash crowds are a property of the offered traffic, so they are
+// baked into the stream, not improvised during the measured loop).
+func genOps(cfg WireConfig, w int, ops int64) []Op {
+	g := NewGenerator(cfg.Workload, cfg.Keys, w, cfg.Workers, cfg.Seed)
+	out := make([]Op, 0, ops)
+	var sinceSwitch int64
+	inBurst := false
+	for i := int64(0); i < ops; i++ {
+		if cfg.BurstOps > 0 {
+			limit := int64(cfg.SteadyOps)
+			if inBurst {
+				limit = int64(cfg.BurstOps)
+			}
+			if sinceSwitch >= limit {
+				inBurst = !inBurst
+				sinceSwitch = 0
+				if inBurst {
+					g.SetHotFrac(cfg.BurstFrac)
+				} else {
+					g.SetHotFrac(1)
+				}
+			}
+			sinceSwitch++
+		}
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// wireWorker is one connection's measured loop: windows of up to Depth
+// pre-generated commands, each timestamped at send and measured at its
+// in-order reply.
+func wireWorker(cfg WireConfig, w int, stream []Op, reads, writes *histogram.Histogram, misses *atomic.Int64) error {
+	c, err := resp.Dial(cfg.Addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(cfg.Timeout))
+
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + (w+i)%26)
+	}
+	// A pipeline window holds up to Depth generated ops; an RMW op occupies
+	// two wire slots (GET then SET), so slot arrays are sized for 2x.
+	type slot struct {
+		sent   time.Time
+		isRead bool
+	}
+	slots := make([]slot, 0, 2*cfg.Depth)
+
+	ops := int64(len(stream))
+	var done int64
+	for done < ops {
+		n := int64(cfg.Depth)
+		if rem := ops - done; n > rem {
+			n = rem
+		}
+		slots = slots[:0]
+		for i := int64(0); i < n; i++ {
+			op := stream[done+i]
+			switch op.Kind {
+			case OpRead:
+				c.Send([]byte("GET"), op.Key)
+				slots = append(slots, slot{time.Now(), true})
+			case OpUpdate, OpInsert:
+				c.Send([]byte("SET"), op.Key, val)
+				slots = append(slots, slot{time.Now(), false})
+			case OpReadModifyWrite:
+				// Both legs share a window; the server's per-connection
+				// ordering runs the GET before the SET.
+				c.Send([]byte("GET"), op.Key)
+				slots = append(slots, slot{time.Now(), true})
+				c.Send([]byte("SET"), op.Key, val)
+				slots = append(slots, slot{time.Now(), false})
+			}
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		for i := range slots {
+			rp, err := c.Receive()
+			if err != nil {
+				return err
+			}
+			if rp.Type == resp.TypeError {
+				return fmt.Errorf("ycsb: server error: %s", rp.Text())
+			}
+			lat := time.Since(slots[i].sent).Nanoseconds()
+			if slots[i].isRead {
+				if rp.Null {
+					misses.Add(1)
+				}
+				reads.Record(lat)
+			} else {
+				writes.Record(lat)
+			}
+		}
+		done += n
+	}
+	return nil
+}

@@ -3,13 +3,13 @@
 // and F. Workload E (range scan) is excluded, as in the paper, because the
 // stores are organized by hashed keys.
 //
-// Key choosers follow the YCSB reference: zipfian with theta 0.99 over the
-// inserted keyspace for A/B/C/F, and a "latest" distribution skewed toward
-// recently inserted keys for D.
+// Key choosers follow the YCSB reference: scrambled zipfian (theta 0.99,
+// FNV-remapped over the inserted keyspace) for A/B/C/F, and a "latest"
+// distribution skewed toward recently inserted keys for D's 95% reads, with
+// the remaining 5% inserting new keys that advance the recency frontier.
 package ycsb
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 )
@@ -43,7 +43,7 @@ const (
 	A    Workload = "YCSB_A"    // 50% read / 50% update
 	B    Workload = "YCSB_B"    // 95% read / 5% update
 	C    Workload = "YCSB_C"    // 100% read
-	D    Workload = "YCSB_D"    // read most recently inserted keys
+	D    Workload = "YCSB_D"    // 95% read latest / 5% insert
 	F    Workload = "YCSB_F"    // 50% read / 50% read-modify-write
 )
 
@@ -56,9 +56,13 @@ type Generator struct {
 	workload Workload
 	rng      *rand.Rand
 	zipf     *zipfian
-	inserted int64 // keys already in the store (shared keyspace bound)
-	next     int64 // next key index this worker inserts
-	stride   int64
+	inserted   int64 // keys already in the store (shared keyspace bound)
+	next       int64 // next key index this worker inserts
+	stride     int64
+	ownInserts int64 // inserts this worker has issued (D's latest() frontier)
+
+	hot      *zipfian // flash-crowd rank chooser; nil in steady state
+	hotCache *zipfian // built once per span, kept across burst toggles
 }
 
 // NewGenerator creates a generator for the given workload over a store
@@ -79,9 +83,18 @@ func NewGenerator(w Workload, inserted int64, worker, workers int, seed int64) *
 }
 
 // Key renders key index i in the fixed 8-byte format the paper evaluates
-// (Section 3.2: 8 B keys).
+// (Section 3.2: 8 B keys): the index as eight lowercase hex digits, exactly
+// fmt.Sprintf("%08x", uint32(i)) without the formatter on the driver's hot
+// path.
 func Key(i int64) []byte {
-	return []byte(fmt.Sprintf("%08x", uint32(i))[:8])
+	const digits = "0123456789abcdef"
+	b := make([]byte, 8)
+	v := uint32(i)
+	for j := 7; j >= 0; j-- {
+		b[j] = digits[v&0xf]
+		v >>= 4
+	}
+	return b
 }
 
 // Next returns the next operation.
@@ -102,7 +115,10 @@ func (g *Generator) Next() Op {
 	case C:
 		return g.read()
 	case D:
-		return Op{Kind: OpRead, Key: Key(g.latest())}
+		if g.rng.Intn(100) < 95 {
+			return Op{Kind: OpRead, Key: Key(g.latest())}
+		}
+		return g.insert()
 	case F:
 		if g.rng.Intn(100) < 50 {
 			return g.read()
@@ -116,39 +132,99 @@ func (g *Generator) Next() Op {
 func (g *Generator) insert() Op {
 	k := g.next
 	g.next += g.stride
+	g.ownInserts++
 	return Op{Kind: OpInsert, Key: Key(k)}
 }
 
 func (g *Generator) read() Op   { return Op{Kind: OpRead, Key: Key(g.existing())} }
 func (g *Generator) update() Op { return Op{Kind: OpUpdate, Key: Key(g.existing())} }
 
-// existing picks a zipfian-distributed existing key.
+// existing picks an existing key: a zipfian rank remapped over the key space
+// the way YCSB's ScrambledZipfianGenerator does (FNV hash of the rank, mod
+// key count). Without the remap, rank r is key r — the hot head would be the
+// first-inserted keys in index order, correlating popularity with insertion
+// order and key bytes; scrambling spreads the hot set uniformly over the key
+// space while preserving the zipfian popularity SHAPE (some key gets rank
+// 0's mass, but which key is pseudo-random). The remap is seedless: every
+// worker agrees on which keys are hot.
 func (g *Generator) existing() int64 {
-	if g.zipf == nil {
+	z := g.zipf
+	if g.hot != nil {
+		z = g.hot
+	}
+	if z == nil {
 		return 0
 	}
-	return g.zipf.next()
+	return int64(fnv64(uint64(z.next())) % uint64(g.inserted))
 }
 
-// latest picks a recently inserted key: zipfian distance from the newest
-// key, the YCSB "latest" distribution.
+// SetHotFrac toggles flash-crowd mode: existing-key ranks are drawn from
+// only the hottest frac of the rank space. Because ranks are remapped by the
+// seedless scramble, the burst hammers exactly the keys that are already the
+// hottest in steady state — a traffic spike on the working set, not a new
+// working set. Any frac outside (0, 1) restores steady-state traffic; the
+// restricted chooser is cached across toggles.
+func (g *Generator) SetHotFrac(frac float64) {
+	if frac <= 0 || frac >= 1 || g.inserted <= 0 {
+		g.hot = nil
+		return
+	}
+	span := int64(frac * float64(g.inserted))
+	if span < 1 {
+		span = 1
+	}
+	if g.hotCache == nil || g.hotCache.n != span {
+		g.hotCache = newZipfian(span, 0.99, g.rng)
+	}
+	g.hot = g.hotCache
+}
+
+// fnv64 is YCSB's FNVhash64: FNV-1a folded over the integer's 8 low-order
+// octets.
+func fnv64(v uint64) uint64 {
+	const (
+		offset = 0xCBF29CE484222325
+		prime  = 0x100000001B3
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		v >>= 8
+		h *= prime
+	}
+	return h
+}
+
+// latest picks a recently inserted key: zipfian distance back from the
+// newest key this worker KNOWS exists — its own inserts (newest first), then
+// the preloaded key space. Distances are deliberately not scrambled
+// (YCSB SkewedLatestGenerator): "latest" means recency order, and remapping
+// would destroy exactly the recency correlation the workload models.
 func (g *Generator) latest() int64 {
 	if g.zipf == nil {
 		return 0
 	}
 	d := g.zipf.next()
-	return g.inserted - 1 - d
+	if d < g.ownInserts {
+		return g.next - g.stride*(d+1)
+	}
+	k := g.inserted - 1 - (d - g.ownInserts)
+	if k < 0 {
+		k = 0
+	}
+	return k
 }
 
 // zipfian implements the Gray et al. incremental zipfian generator used by
 // the YCSB reference implementation.
 type zipfian struct {
-	n     int64
-	theta float64
-	alpha float64
-	zetan float64
-	eta   float64
-	rng   *rand.Rand
+	n       int64
+	theta   float64
+	alpha   float64
+	zetan   float64
+	eta     float64
+	halfPow float64 // math.Pow(0.5, theta), hoisted off the per-draw path
+	rng     *rand.Rand
 }
 
 func newZipfian(n int64, theta float64, rng *rand.Rand) *zipfian {
@@ -156,6 +232,7 @@ func newZipfian(n int64, theta float64, rng *rand.Rand) *zipfian {
 	z.zetan = zeta(n, theta)
 	z.alpha = 1.0 / (1.0 - theta)
 	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	z.halfPow = math.Pow(0.5, theta)
 	return z
 }
 
@@ -183,7 +260,7 @@ func (z *zipfian) next() int64 {
 	if uz < 1.0 {
 		return 0
 	}
-	if uz < 1.0+math.Pow(0.5, z.theta) {
+	if uz < 1.0+z.halfPow {
 		return 1
 	}
 	idx := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
@@ -208,7 +285,7 @@ func Mix(w Workload) string {
 	case C:
 		return "100% read"
 	case D:
-		return "read latest inserts"
+		return "95% read latest / 5% insert"
 	case F:
 		return "50% read / 50% read-modify-write"
 	}

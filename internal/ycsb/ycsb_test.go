@@ -2,6 +2,8 @@ package ycsb
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -113,26 +115,172 @@ func TestZipfianBounds(t *testing.T) {
 
 func TestLatestSkewsRecent(t *testing.T) {
 	g := NewGenerator(D, 100000, 0, 1, 5)
-	recent := 0
 	const n = 100000
+	var reads, inserts int
 	for i := 0; i < n; i++ {
-		op := g.Next()
-		if op.Kind != OpRead {
+		switch op := g.Next(); op.Kind {
+		case OpRead:
+			reads++
+		case OpInsert:
+			inserts++
+		default:
 			t.Fatalf("D produced %v", op.Kind)
 		}
 	}
-	// Sample the underlying latest distribution directly.
+	if r := float64(inserts) / n; math.Abs(r-0.05) > 0.01 {
+		t.Fatalf("D insert ratio = %v, want ~0.05 (YCSB D: 95%% read-latest / 5%% insert)", r)
+	}
+	// Sample the underlying latest distribution directly. The recency
+	// frontier has advanced past the preload by this worker's own inserts;
+	// latest() must never name a key beyond it (it would not exist yet).
+	recent := 0
+	frontier := g.next // next key to insert; everything below exists
 	for i := 0; i < n; i++ {
 		k := g.latest()
-		if k < 0 || k >= 100000 {
-			t.Fatalf("latest key out of range: %d", k)
+		if k < 0 || k >= frontier {
+			t.Fatalf("latest key out of range: %d (frontier %d)", k, frontier)
 		}
-		if k >= 99000 {
+		if frontier-k <= frontier/100 {
 			recent++
 		}
 	}
 	if float64(recent)/n < 0.2 {
 		t.Fatalf("latest distribution not recent-skewed: %v in newest 1%%", float64(recent)/n)
+	}
+}
+
+func TestLatestNeverReadsForeignUninsertedKeys(t *testing.T) {
+	// With multiple strided workers, a worker's recency frontier includes
+	// only its OWN inserts above the preload — peers' stripes may lag. Every
+	// latest() pick must be preloaded or one of this worker's own inserts.
+	const inserted, workers, worker = 5000, 4, 2
+	g := NewGenerator(D, inserted, worker, workers, 13)
+	for i := 0; i < 50000; i++ {
+		g.Next() // interleave inserts so the frontier moves
+		k := g.latest()
+		if k < inserted {
+			continue
+		}
+		if k >= g.next || (k-inserted-int64(worker))%int64(workers) != 0 {
+			t.Fatalf("latest picked key %d: not preloaded, not worker %d's stripe (next=%d)",
+				k, worker, g.next)
+		}
+	}
+}
+
+// TestZipfianShapeMatchesTheory checks the incremental generator against the
+// true zipfian PMF p(r) = (r+1)^-θ / ζ(n,θ): exact head ranks, then
+// cumulative mass at several prefixes (the continuous approximation for
+// mid-tail ranks is only faithful cumulatively).
+func TestZipfianShapeMatchesTheory(t *testing.T) {
+	const (
+		nKeys   = 10000
+		samples = 1000000
+		theta   = 0.99
+	)
+	z := newZipfian(nKeys, theta, rand.New(rand.NewSource(11)))
+	counts := make([]int, nKeys)
+	for i := 0; i < samples; i++ {
+		counts[z.next()]++
+	}
+	zn := zeta(nKeys, theta)
+	// Ranks 0 and 1 have closed forms in the generator; they must be tight.
+	for r, tol := range []float64{0.03, 0.05} {
+		want := math.Pow(float64(r+1), -theta) / zn
+		got := float64(counts[r]) / samples
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("rank %d: empirical %.5f vs theoretical %.5f", r, got, want)
+		}
+	}
+	// Cumulative head mass: top-10, top-100, top-1000 within 10% of theory.
+	cum := 0.0
+	cdf := make([]float64, nKeys)
+	for r := 0; r < nKeys; r++ {
+		cum += math.Pow(float64(r+1), -theta) / zn
+		cdf[r] = cum
+	}
+	for _, prefix := range []int{10, 100, 1000} {
+		got := 0
+		for r := 0; r < prefix; r++ {
+			got += counts[r]
+		}
+		emp := float64(got) / samples
+		want := cdf[prefix-1]
+		if math.Abs(emp-want)/want > 0.10 {
+			t.Errorf("top-%d mass: empirical %.4f vs theoretical %.4f", prefix, emp, want)
+		}
+	}
+	// The hot head must actually be hot: rank 0 alone beats the entire
+	// bottom half of the key space combined.
+	bottom := 0
+	for r := nKeys / 2; r < nKeys; r++ {
+		bottom += counts[r]
+	}
+	if counts[0] <= bottom {
+		t.Errorf("rank 0 (%d) not hotter than bottom half combined (%d)", counts[0], bottom)
+	}
+}
+
+// TestScrambledZipfianSpreadsHotHead proves existing()'s FNV remap: the
+// zipfian head keeps its mass but lands on pseudo-random keys spread across
+// the key space, and the mapping is seed-independent so all workers hammer
+// the same hot set.
+func TestScrambledZipfianSpreadsHotHead(t *testing.T) {
+	const nKeys = 100000
+	const n = 300000
+	g := NewGenerator(C, nKeys, 0, 1, 9)
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		k := g.existing()
+		if k < 0 || k >= nKeys {
+			t.Fatalf("scrambled key out of range: %d", k)
+		}
+		counts[k]++
+	}
+	type kc struct {
+		k int64
+		c int
+	}
+	all := make([]kc, 0, len(counts))
+	for k, c := range counts {
+		all = append(all, kc{k, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	mass := 0
+	lo, hi := all[0].k, all[0].k
+	for _, e := range all[:10] {
+		mass += e.c
+		if e.k < lo {
+			lo = e.k
+		}
+		if e.k > hi {
+			hi = e.k
+		}
+	}
+	if float64(mass)/n < 0.15 {
+		t.Fatalf("top-10 key mass %v: scramble destroyed the zipfian head", float64(mass)/n)
+	}
+	if hi < nKeys/10 {
+		t.Fatalf("hot keys all in the first tenth of the key space (%d..%d): not scrambled", lo, hi)
+	}
+	if hi-lo < nKeys/10 {
+		t.Fatalf("hot keys clustered (%d..%d): scramble not spreading", lo, hi)
+	}
+	// Seed independence: a differently seeded worker agrees on the hottest
+	// key (the remap depends only on rank, so the hot set is shared).
+	g2 := NewGenerator(C, nKeys, 3, 8, 777)
+	counts2 := map[int64]int{}
+	for i := 0; i < n; i++ {
+		counts2[g2.existing()]++
+	}
+	best2, bestc := int64(-1), 0
+	for k, c := range counts2 {
+		if c > bestc {
+			best2, bestc = k, c
+		}
+	}
+	if best2 != all[0].k {
+		t.Fatalf("hottest key differs across workers: %d vs %d", best2, all[0].k)
 	}
 }
 
